@@ -1,0 +1,53 @@
+// Extension bench: the paper's §II claim that the sorting-based CV
+// machinery "can be applied to … optimal bandwidth selection for kernel
+// density estimation", quantified. Compares the direct O(k·n²) LSCV
+// evaluation with the sorted-sweep O(n² log n) version (host and device).
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+#include "spmd/device.hpp"
+
+int main() {
+  using kreg::bench::Table;
+  const std::size_t reps = kreg::bench::repetitions();
+
+  kreg::rng::Stream stream(555);
+
+  kreg::bench::banner(
+      "KDE LSCV — direct vs sorted sweep vs device sweep, scaling in k "
+      "(n=1500)");
+  {
+    std::vector<double> xs(1500);
+    for (auto& x : xs) {
+      x = stream.uniform() < 0.5 ? stream.gaussian(-1.0, 0.4)
+                                 : stream.gaussian(1.0, 0.6);
+    }
+    kreg::spmd::Device device;
+    Table table({"k", "direct (s)", "sweep (s)", "device (s)", "same h?"}, 14);
+    for (std::size_t k : {5u, 25u, 100u, 400u}) {
+      const kreg::BandwidthGrid grid(0.02, 1.5, k);
+      kreg::SelectionResult direct;
+      kreg::SelectionResult swept;
+      kreg::SelectionResult dev;
+      const double t_direct = kreg::bench::time_median(
+          [&] { direct = kreg::kde_select_grid(xs, grid); }, reps);
+      const double t_sweep = kreg::bench::time_median(
+          [&] { swept = kreg::kde_select_sweep(xs, grid); }, reps);
+      const double t_device = kreg::bench::time_median(
+          [&] { dev = kreg::SpmdKdeSelector(device).select(xs, grid); },
+          reps);
+      const bool same = direct.bandwidth == swept.bandwidth &&
+                        swept.bandwidth == dev.bandwidth;
+      table.add_row({std::to_string(k), Table::fmt_seconds(t_direct),
+                     Table::fmt_seconds(t_sweep), Table::fmt_seconds(t_device),
+                     same ? "yes" : "NO"});
+    }
+    table.print();
+    std::printf(
+        "\nThe direct criterion pays O(n^2) per bandwidth; the sweep pays "
+        "one sort per\nobservation regardless of k — the regression result "
+        "transferred to KDE.\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Baseline bench: linear-binned CV (Fan & Marron) versus the paper's exact
+// sorted sweep. Binning is the literature's standard speed escape hatch —
+// O(n + G²k) instead of O(n² log n) — at the price of approximation error.
+// This quantifies both sides of that trade on the paper's DGP.
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+
+int main() {
+  using kreg::bench::Table;
+  const std::size_t reps = kreg::bench::repetitions();
+  kreg::rng::Stream stream(2468);
+
+  kreg::bench::banner(
+      "BINNED BASELINE — exact sorted sweep vs linear-binned CV (k=50)");
+  Table table({"n", "bins", "exact (s)", "binned (s)", "h exact", "h binned",
+               "|dCV|/CV"},
+              13);
+  for (std::size_t n : {2000u, 5000u, kreg::bench::full_mode() ? 20000u : 10000u}) {
+    const kreg::data::Dataset data = kreg::data::paper_dgp(n, stream);
+    const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, 50);
+    const kreg::SortedGridSelector exact_selector;
+    kreg::SelectionResult exact;
+    const double t_exact = kreg::bench::time_median(
+        [&] { exact = exact_selector.select(data, grid); }, reps);
+
+    for (std::size_t bins : {100u, 400u}) {
+      kreg::SelectionResult binned;
+      const double t_binned = kreg::bench::time_median(
+          [&] { binned = kreg::binned_select(data, grid, bins); }, reps);
+      const double rel_cv_err =
+          std::abs(binned.cv_score - exact.cv_score) / exact.cv_score;
+      table.add_row({std::to_string(n), std::to_string(bins),
+                     Table::fmt_seconds(t_exact), Table::fmt_seconds(t_binned),
+                     Table::fmt_double(exact.bandwidth, 4),
+                     Table::fmt_double(binned.bandwidth, 4),
+                     Table::fmt_double(rel_cv_err, 5)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nBinning decouples cost from n entirely; the exact sweep keeps the "
+      "guarantee. The\npaper's approach (sort + SPMD) keeps exactness while "
+      "attacking the constant factor.\n\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Figure 1 and Table I: run times of the four programs by
+// sample size (k = 50 bandwidths, the paper's configuration).
+//
+//   Program 1  "Racine & Hayfield"  numerical optimizer over the naive
+//                                   O(n²) CV objective, single thread
+//   Program 2  "Multicore R"        same optimizer, objective parallelized
+//                                   across the host pool
+//   Program 3  "Sequential C"       sorting-based grid search, one core
+//   Program 4  "CUDA on GPU"        sorting-based grid search on the
+//                                   simulated SPMD device
+//
+// Expected shape (paper §V): 1 slowest, then 2, then 3, then 4 at large n;
+// sequential variants win below n ≈ 1,000 where parallel overheads
+// dominate; Program 4's speedup grows with n. Absolute seconds differ from
+// the paper (different host, simulated device) — see EXPERIMENTS.md.
+#include <array>
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::bench::Table;
+
+struct ProgramTimes {
+  double racine = 0.0;
+  double multicore = 0.0;
+  double sequential = 0.0;
+  double spmd = 0.0;
+};
+
+ProgramTimes run_all(const kreg::data::Dataset& data, std::size_t k,
+                     std::size_t reps, kreg::spmd::Device& device) {
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, k);
+
+  kreg::CvOptimizerSelector::Config p1_cfg;  // Program 1
+  const kreg::CvOptimizerSelector program1(p1_cfg);
+
+  kreg::CvOptimizerSelector::Config p2_cfg;  // Program 2
+  p2_cfg.parallel_objective = true;
+  const kreg::CvOptimizerSelector program2(p2_cfg);
+
+  const kreg::SortedGridSelector program3(kreg::KernelType::kEpanechnikov,
+                                          kreg::Precision::kFloat);
+
+  kreg::SpmdSelectorConfig p4_cfg;  // Program 4: paper defaults (float, 512)
+  const kreg::SpmdGridSelector program4(device, p4_cfg);
+
+  ProgramTimes t;
+  t.racine = kreg::bench::time_median(
+      [&] { (void)program1.select(data, grid); }, reps);
+  t.multicore = kreg::bench::time_median(
+      [&] { (void)program2.select(data, grid); }, reps);
+  t.sequential = kreg::bench::time_median(
+      [&] { (void)program3.select(data, grid); }, reps);
+  t.spmd = kreg::bench::time_median(
+      [&] { (void)program4.select(data, grid); }, reps);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 50;
+  const std::size_t reps = kreg::bench::repetitions();
+  const std::vector<std::size_t> sizes = kreg::bench::sample_sizes();
+
+  kreg::bench::banner(
+      "TABLE I / FIGURE 1 — run times (s) by program and sample size, k=50");
+  std::printf("reps=%zu (median reported)%s\n\n", reps,
+              kreg::bench::full_mode()
+                  ? ", FULL mode (paper sample sizes)"
+                  : "; set KREG_BENCH_FULL=1 for n up to 20,000");
+
+  kreg::rng::Stream stream(20170529);  // fixed seed: same data every run
+  kreg::spmd::Device device;           // simulated Tesla S10
+
+  Table table({"n", "Racine&Hayfield", "Multicore", "Sequential C",
+               "SPMD device", "speedup 4 vs 1"},
+              16);
+  std::vector<std::array<double, 5>> fig1_rows;
+
+  for (std::size_t n : sizes) {
+    const kreg::data::Dataset data = kreg::data::paper_dgp(n, stream);
+    const ProgramTimes t = run_all(data, k, reps, device);
+    table.add_row({std::to_string(n), Table::fmt_seconds(t.racine),
+                   Table::fmt_seconds(t.multicore),
+                   Table::fmt_seconds(t.sequential),
+                   Table::fmt_seconds(t.spmd),
+                   Table::fmt_double(t.racine / t.spmd, 2) + "x"});
+    fig1_rows.push_back({static_cast<double>(n), t.racine, t.multicore,
+                         t.sequential, t.spmd});
+  }
+  table.print();
+
+  kreg::bench::banner(
+      "Figure 1 series (CSV: n, program1..program4 seconds; log-x when "
+      "plotted)");
+  std::printf("n,racine_hayfield,multicore,sequential_c,spmd_device\n");
+  for (const auto& row : fig1_rows) {
+    std::printf("%.0f,%.4f,%.4f,%.4f,%.4f\n", row[0], row[1], row[2], row[3],
+                row[4]);
+  }
+  std::printf("\n");
+  return 0;
+}

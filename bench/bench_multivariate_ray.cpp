@@ -1,0 +1,53 @@
+// Extension bench: multivariate bandwidth selection (paper §III's "grid or
+// matrix in multivariate contexts"). Compares three searches on a 2-D
+// product-kernel regression:
+//   - Cartesian grid search: k^p cells, each an O(n²p) CV evaluation;
+//   - coordinate descent: cycles of per-dimension k-point sweeps;
+//   - ray sweep: the paper's sorting trick along h = c·r — all k scales
+//     for one sort per observation.
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+
+int main() {
+  using kreg::bench::Table;
+  const std::size_t reps = kreg::bench::repetitions();
+  kreg::rng::Stream stream(777);
+
+  kreg::bench::banner(
+      "MULTIVARIATE — Cartesian vs coordinate descent vs ray sweep (2-D)");
+  Table table({"n", "k/dim", "cartesian (s)", "coord-desc (s)",
+               "ray sweep (s)", "CV cart", "CV cd", "CV ray"},
+              15);
+  for (std::size_t n : {200u, 400u, 800u}) {
+    const kreg::data::MDataset data =
+        kreg::data::multivariate_dgp(n, 2, stream);
+    const std::size_t k = 12;
+    const auto grids = kreg::default_grids_for(data, k);
+    const auto ratios = kreg::default_ray_ratios(data);
+    const kreg::BandwidthGrid scales(1.0 / static_cast<double>(k), 1.0, k);
+
+    kreg::MultiSelectionResult cart;
+    kreg::MultiSelectionResult cd;
+    kreg::MultiSelectionResult ray;
+    const double t_cart = kreg::bench::time_median(
+        [&] { cart = kreg::multi_grid_search(data, grids); }, reps);
+    const double t_cd = kreg::bench::time_median(
+        [&] { cd = kreg::multi_coordinate_descent(data, grids); }, reps);
+    const double t_ray = kreg::bench::time_median(
+        [&] { ray = kreg::multi_ray_select(data, ratios, scales); }, reps);
+
+    table.add_row({std::to_string(n), std::to_string(k),
+                   Table::fmt_seconds(t_cart), Table::fmt_seconds(t_cd),
+                   Table::fmt_seconds(t_ray), Table::fmt_double(cart.cv_score, 5),
+                   Table::fmt_double(cd.cv_score, 5),
+                   Table::fmt_double(ray.cv_score, 5)});
+  }
+  table.print();
+  std::printf(
+      "\nThe ray sweep searches a 1-D slice (fixed smoothing ratios) at a "
+      "fraction of the\nCartesian cost; coordinate descent refines per-"
+      "dimension ratios when they matter.\n\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces the paper's §III/§V robustness argument: "the objective
+// function … is not necessarily concave. Consequently, numerical
+// optimization techniques … will often produce non-global minima that
+// depend upon the initial values", while the grid search guarantees the
+// global grid minimum.
+//
+// For datasets with rough CV surfaces (doppler, step), runs Brent from many
+// different sub-brackets, tabulates the distinct local minima it lands in,
+// and compares the worst/best against the grid-search answer. Also reports
+// the multistart mitigation's cost.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+
+namespace {
+
+using kreg::bench::Table;
+
+void analyze(const std::string& name, const kreg::data::Dataset& data) {
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, 200);
+  const auto objective = [&](double h) { return kreg::cv_score(data, h); };
+
+  // Grid search: the guaranteed global grid minimum.
+  const auto grid_result = kreg::SortedGridSelector().select(data, grid);
+
+  // Brent from 12 different initial brackets, as a user poking at
+  // optimize() with different starting intervals would.
+  const std::size_t starts = 12;
+  std::vector<kreg::OptimizeResult> finishes;
+  const double lo = grid.min();
+  const double hi = grid.max();
+  for (std::size_t s = 0; s < starts; ++s) {
+    const double a = lo + (hi - lo) * static_cast<double>(s) /
+                              static_cast<double>(starts);
+    const double b = lo + (hi - lo) * static_cast<double>(s + 4) /
+                              static_cast<double>(starts);
+    finishes.push_back(kreg::brent(objective, a, std::min(b, hi)));
+  }
+
+  double best = finishes[0].fx;
+  double worst = finishes[0].fx;
+  std::vector<double> distinct_minima;
+  for (const auto& f : finishes) {
+    best = std::min(best, f.fx);
+    worst = std::max(worst, f.fx);
+    const bool is_new =
+        std::none_of(distinct_minima.begin(), distinct_minima.end(),
+                     [&](double x) { return std::abs(x - f.x) < 1e-3; });
+    if (is_new) {
+      distinct_minima.push_back(f.x);
+    }
+  }
+
+  kreg::CvOptimizerSelector::Config multi_cfg;
+  multi_cfg.starts = 8;
+  const auto multi = kreg::CvOptimizerSelector(multi_cfg).select(data, grid);
+
+  Table table({"quantity", "value"}, 34);
+  table.add_row({"grid-search CV minimum", Table::fmt_double(grid_result.cv_score, 6)});
+  table.add_row({"grid-search bandwidth", Table::fmt_double(grid_result.bandwidth, 4)});
+  table.add_row({"optimizer distinct minima found", std::to_string(distinct_minima.size())});
+  table.add_row({"optimizer best CV across starts", Table::fmt_double(best, 6)});
+  table.add_row({"optimizer worst CV across starts", Table::fmt_double(worst, 6)});
+  table.add_row({"worst/global ratio", Table::fmt_double(worst / grid_result.cv_score, 3)});
+  table.add_row({"multistart(8) CV", Table::fmt_double(multi.cv_score, 6)});
+  table.add_row({"multistart(8) objective evals", std::to_string(multi.evaluations)});
+
+  kreg::bench::banner("OPTIMIZER STABILITY — " + name + " (n=" +
+                      std::to_string(data.size()) + ")");
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  kreg::rng::Stream stream(31415);
+  analyze("doppler DGP (rough CV surface)",
+          kreg::data::doppler_dgp(800, stream));
+  analyze("step DGP (discontinuous mean)", kreg::data::step_dgp(800, stream));
+  analyze("paper DGP (smooth surface — optimizer is fine here)",
+          kreg::data::paper_dgp(800, stream));
+  std::printf(
+      "Bracket-dependent finishes on the rough surfaces illustrate why the "
+      "paper prefers the\ngrid search; the smooth paper-DGP case shows the "
+      "optimizer is adequate when the surface\ncooperates, at the cost of "
+      "no global guarantee.\n\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Table II: run times by number of bandwidths calculated.
+// Panel A: the sequential sorting-based program (Program 3).
+// Panel B: the SPMD device program (Program 4).
+//
+// Expected shape (paper §V): for the sequential program the bandwidth count
+// matters at small n (the O(k) per-observation sweep tail is visible) but
+// is minor at large n where the O(n log n) sort dominates; the device
+// program shows no appreciable slowdown in k at any n. k never exceeds n,
+// and never exceeds the 2,048 constant-memory cap.
+#include <cstdio>
+#include <functional>
+
+#include "common/bench_util.hpp"
+#include "core/kreg.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::bench::Table;
+
+void run_panel(const char* title, const std::vector<std::size_t>& sizes,
+               const std::vector<std::size_t>& bandwidths, std::size_t reps,
+               const std::function<void(const kreg::data::Dataset&,
+                                        const kreg::BandwidthGrid&)>& run) {
+  kreg::bench::banner(title);
+
+  // One dataset per sample size, shared across the k sweep (as in the
+  // paper, where the data are fixed while k varies).
+  kreg::rng::Stream stream(404);
+  std::vector<kreg::data::Dataset> datasets;
+  datasets.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    datasets.push_back(kreg::data::paper_dgp(n, stream));
+  }
+
+  std::vector<std::string> headers = {"bandwidths"};
+  for (std::size_t n : sizes) {
+    headers.push_back("n=" + std::to_string(n));
+  }
+  Table table(headers, 12);
+
+  for (std::size_t k : bandwidths) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      if (k > sizes[s]) {
+        row.push_back("-");  // paper leaves k > n cells blank
+        continue;
+      }
+      const kreg::BandwidthGrid grid =
+          kreg::BandwidthGrid::default_for(datasets[s], k);
+      const double median = kreg::bench::time_median(
+          [&] { run(datasets[s], grid); }, reps);
+      row.push_back(Table::fmt_seconds(median));
+    }
+    table.add_row(row);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = kreg::bench::repetitions();
+  const std::vector<std::size_t> sizes = kreg::bench::sample_sizes();
+  const std::vector<std::size_t> bandwidths = kreg::bench::bandwidth_counts();
+
+  std::printf("reps=%zu (median reported)%s\n", reps,
+              kreg::bench::full_mode()
+                  ? ", FULL mode"
+                  : "; set KREG_BENCH_FULL=1 for n up to 20,000");
+
+  const kreg::SortedGridSelector program3(kreg::KernelType::kEpanechnikov,
+                                          kreg::Precision::kFloat);
+  run_panel("TABLE II PANEL A — Sequential sorted grid search (s)", sizes,
+            bandwidths, reps,
+            [&](const kreg::data::Dataset& d, const kreg::BandwidthGrid& g) {
+              (void)program3.select(d, g);
+            });
+
+  kreg::spmd::Device device;
+  kreg::SpmdSelectorConfig cfg;  // paper defaults: float, 512 tpb
+  const kreg::SpmdGridSelector program4(device, cfg);
+  run_panel("TABLE II PANEL B — SPMD device grid search (s)", sizes,
+            bandwidths, reps,
+            [&](const kreg::data::Dataset& d, const kreg::BandwidthGrid& g) {
+              (void)program4.select(d, g);
+            });
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "common/bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sort/introsort.hpp"
+
+namespace kreg::bench {
+
+double time_once(const std::function<void()>& f) {
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double time_median(const std::function<void()>& f, std::size_t reps) {
+  if (reps == 0) {
+    reps = 1;
+  }
+  std::vector<double> times;
+  times.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    times.push_back(time_once(f));
+  }
+  kreg::sort::introsort(std::span<double>(times));
+  return times[times.size() / 2];
+}
+
+bool full_mode() {
+  const char* env = std::getenv("KREG_BENCH_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::size_t repetitions() {
+  const char* env = std::getenv("KREG_BENCH_REPS");
+  if (env == nullptr) {
+    return 3;
+  }
+  const long v = std::strtol(env, nullptr, 10);
+  return v < 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t> sample_sizes() {
+  // Table I's axis. (The paper's text also mentions 500; Table I rows are
+  // 50, 100, 500, 1000, 2000, 10000, 20000 — we use the union with the
+  // Table II axis and cut at 5,000 unless full mode is on.)
+  std::vector<std::size_t> all = {50, 100, 500, 1000, 2000, 5000, 10000, 20000};
+  if (!full_mode()) {
+    std::erase_if(all, [](std::size_t n) { return n > 5000; });
+  }
+  return all;
+}
+
+std::vector<std::size_t> bandwidth_counts() {
+  return {5, 10, 50, 100, 500, 1000, 2000};
+}
+
+Table::Table(std::vector<std::string> headers, int width)
+    : headers_(std::move(headers)), width_(width) {}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void Table::print() const {
+  for (const std::string& h : headers_) {
+    std::printf("%*s", width_, h.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    for (int c = 0; c < width_; ++c) {
+      std::printf("-");
+    }
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (const std::string& cell : row) {
+      std::printf("%*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string Table::fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace kreg::bench

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// Shared harness for the table/figure reproduction binaries: wall-clock
+/// timing with repetition + median (the paper runs each configuration five
+/// times), fixed-width table printing in the paper's layout, and
+/// environment knobs:
+///
+///   KREG_BENCH_FULL=1   run the paper's full sample sizes (up to 20,000);
+///                       default caps at 5,000 so the whole suite finishes
+///                       in minutes on a small container.
+///   KREG_BENCH_REPS=N   repetitions per cell (default 3; paper used 5).
+namespace kreg::bench {
+
+/// Seconds elapsed while running f once.
+double time_once(const std::function<void()>& f);
+
+/// Median of `reps` timings of f (reps >= 1).
+double time_median(const std::function<void()>& f, std::size_t reps);
+
+/// True when KREG_BENCH_FULL is set to a nonzero value.
+bool full_mode();
+
+/// Repetitions per timed cell (KREG_BENCH_REPS, default 3, min 1).
+std::size_t repetitions();
+
+/// The paper's sample-size axis, truncated unless full_mode().
+std::vector<std::size_t> sample_sizes();
+
+/// The paper's bandwidth-count axis (Table II).
+std::vector<std::size_t> bandwidth_counts();
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14);
+
+  void add_row(const std::vector<std::string>& cells);
+  void print() const;
+
+  static std::string fmt_seconds(double s);
+  static std::string fmt_double(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+/// Prints a section banner.
+void banner(const std::string& title);
+
+}  // namespace kreg::bench

@@ -1,0 +1,59 @@
+// Confidence-interval extension (paper §II: "the estimation of
+// leave-one-out cross-validated confidence intervals for … kernel
+// regressions"). Selects the CV-optimal bandwidth on the doppler signal,
+// computes pointwise LOO-residual confidence bands, and reports empirical
+// coverage of the true mean.
+//
+//   $ ./confidence_bands [n]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/kreg.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2500;
+
+  kreg::rng::Stream stream(101);
+  const kreg::data::Dataset data = kreg::data::sine_dgp(n, stream, 0.25);
+
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, 250);
+  const auto choice = kreg::SortedGridSelector().select(data, grid);
+  std::printf("sine DGP, n = %zu; CV-optimal h = %.4f\n\n", n,
+              choice.bandwidth);
+
+  const auto band = kreg::nw_confidence_band(
+      data, choice.bandwidth, kreg::KernelType::kEpanechnikov, 60, 0.95);
+
+  std::printf("%8s %10s %10s %10s %10s %8s\n", "x", "fit", "lower", "upper",
+              "truth", "covered");
+  std::size_t covered = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < band.x.size(); i += 3) {
+    if (!std::isfinite(band.fit[i])) {
+      continue;
+    }
+    const double truth = kreg::data::sine_dgp_mean(band.x[i]);
+    const bool hit = truth >= band.lower[i] && truth <= band.upper[i];
+    std::printf("%8.3f %10.4f %10.4f %10.4f %10.4f %8s\n", band.x[i],
+                band.fit[i], band.lower[i], band.upper[i], truth,
+                hit ? "yes" : "NO");
+  }
+  for (std::size_t i = 0; i < band.x.size(); ++i) {
+    if (!std::isfinite(band.fit[i])) {
+      continue;
+    }
+    const double truth = kreg::data::sine_dgp_mean(band.x[i]);
+    ++counted;
+    covered += (truth >= band.lower[i] && truth <= band.upper[i]) ? 1 : 0;
+  }
+  std::printf("\npointwise 95%% band coverage of the true mean: %zu/%zu = "
+              "%.1f%%\n",
+              covered, counted,
+              100.0 * static_cast<double>(covered) /
+                  static_cast<double>(counted));
+  std::printf("(pointwise residual-based bands; smoothing bias is not "
+              "corrected, so coverage dips\n where the mean bends fastest)\n");
+  return 0;
+}

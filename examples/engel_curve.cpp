@@ -1,0 +1,132 @@
+// Econometric scenario from the paper's introduction: summarizing a
+// statistical relationship "with simple graphs" free of functional-form
+// assumptions. We build a synthetic Engel-curve dataset (food share falling
+// nonlinearly in log income, heteroskedastic noise), compare the parametric
+// regressions an economist might assume (linear, quadratic) against the
+// nonparametric fit at the CV-optimal bandwidth, and render the curves as
+// ASCII art.
+//
+//   $ ./engel_curve [n]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/kreg.hpp"
+#include "stats/metrics.hpp"
+#include "stats/ols.hpp"
+
+namespace {
+
+/// True Engel relationship: food budget share vs log income (Working-Leser
+/// with a satiation kink — deliberately not a polynomial).
+double true_share(double log_income) {
+  const double base = 0.62 - 0.11 * log_income;
+  const double satiation = 0.08 * std::exp(-2.0 * (log_income - 1.2) *
+                                           (log_income - 1.2));
+  return std::max(0.05, base + satiation);
+}
+
+kreg::data::Dataset make_engel_data(std::size_t n, kreg::rng::Stream& stream) {
+  kreg::data::Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double log_income = stream.uniform(0.0, 3.0);  // ~ $1 to $20 (000s)
+    const double noise_sd = 0.02 + 0.02 * log_income;    // heteroskedastic
+    d.x.push_back(log_income);
+    d.y.push_back(true_share(log_income) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+void ascii_plot(const std::vector<double>& xs,
+                const std::vector<std::vector<double>>& series,
+                const std::vector<char>& marks) {
+  const int rows = 18;
+  const int cols = static_cast<int>(xs.size());
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& s : series) {
+    for (double v : s) {
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = series[si][c];
+      if (!std::isfinite(v)) {
+        continue;
+      }
+      int r = static_cast<int>((hi - v) / (hi - lo) * (rows - 1) + 0.5);
+      r = std::clamp(r, 0, rows - 1);
+      canvas[r][c] = marks[si];
+    }
+  }
+  std::printf("  food share (%.2f at top, %.2f at bottom)\n", hi, lo);
+  for (const auto& line : canvas) {
+    std::printf("  |%s\n", line.c_str());
+  }
+  std::printf("  +%s\n   log income: %.1f%*s%.1f\n", std::string(cols, '-').c_str(),
+              xs.front(), cols - 6, "", xs.back());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  kreg::rng::Stream stream(7);
+  const kreg::data::Dataset data = make_engel_data(n, stream);
+
+  // Parametric baselines an applied economist might reach for.
+  const auto linear = kreg::stats::fit_linear(data.x, data.y);
+  const auto quadratic = kreg::stats::fit_polynomial(data.x, data.y, 2);
+
+  // Nonparametric: CV-optimal bandwidth via the fast grid search.
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, 300);
+  const auto choice = kreg::SortedGridSelector().select(data, grid);
+  const kreg::NadarayaWatson nw(data, choice.bandwidth);
+
+  std::printf("Engel curve, n = %zu\n", n);
+  std::printf("  linear fit:     share = %.3f %+.3f * log(income)   (R² = %.3f)\n",
+              linear.beta[0], linear.beta[1], linear.r2);
+  std::printf("  quadratic fit:  R² = %.3f\n", quadratic.r2);
+  std::printf("  kernel regression: h* = %.4f via %s (CV = %.6f)\n\n",
+              choice.bandwidth, choice.method.c_str(), choice.cv_score);
+
+  // Evaluate all three against the truth on a grid.
+  const int cols = 72;
+  std::vector<double> xs(cols);
+  std::vector<double> truth(cols);
+  std::vector<double> nw_curve(cols);
+  std::vector<double> lin_curve(cols);
+  for (int c = 0; c < cols; ++c) {
+    const double x = 0.05 + (2.95 - 0.05) * c / (cols - 1);
+    xs[c] = x;
+    truth[c] = true_share(x);
+    nw_curve[c] = nw(x);
+    lin_curve[c] = linear(x);
+  }
+  std::printf("  '*' = true relationship, 'k' = kernel regression, '.' = "
+              "linear fit\n");
+  ascii_plot(xs, {lin_curve, nw_curve, truth}, {'.', 'k', '*'});
+
+  const double mse_nw = kreg::stats::mse(nw_curve, truth);
+  const double mse_lin = kreg::stats::mse(lin_curve, truth);
+  std::vector<double> quad_curve(cols);
+  for (int c = 0; c < cols; ++c) {
+    quad_curve[c] = quadratic(xs[c]);
+  }
+  const double mse_quad = kreg::stats::mse(quad_curve, truth);
+  std::printf("\n  MSE against the true curve:  linear %.6f | quadratic %.6f "
+              "| kernel %.6f\n",
+              mse_lin, mse_quad, mse_nw);
+  std::printf("  The kernel regression recovers the satiation bump that both "
+              "parametric forms miss.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// KDE extension (paper §II: the least-squares cross-validation machinery
+// "can be applied to … optimal bandwidth selection for kernel density
+// estimation"). Draws from a bimodal mixture, selects the LSCV-optimal
+// bandwidth over a grid, and contrasts the resulting density with
+// oversmoothed/undersmoothed alternatives and the Silverman rule.
+//
+//   $ ./kde_bandwidth [n]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "core/kreg.hpp"
+
+namespace {
+
+double mixture_pdf(double x) {
+  const auto normal_pdf = [](double v, double mu, double sd) {
+    const double z = (v - mu) / sd;
+    return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * std::numbers::pi));
+  };
+  return 0.6 * normal_pdf(x, -1.5, 0.5) + 0.4 * normal_pdf(x, 1.0, 0.8);
+}
+
+void ascii_density(const kreg::KernelDensity& f, double lo, double hi,
+                   char mark) {
+  const int cols = 70;
+  const int rows = 10;
+  std::vector<double> vals(cols);
+  double peak = 0.0;
+  for (int c = 0; c < cols; ++c) {
+    vals[c] = f(lo + (hi - lo) * c / (cols - 1));
+    peak = std::max(peak, vals[c]);
+  }
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  for (int c = 0; c < cols; ++c) {
+    const int height = static_cast<int>(vals[c] / peak * (rows - 1) + 0.5);
+    for (int r = 0; r < height; ++r) {
+      canvas[rows - 1 - r][c] = mark;
+    }
+  }
+  for (const auto& line : canvas) {
+    std::printf("  |%s\n", line.c_str());
+  }
+  std::printf("  +%s\n", std::string(cols, '-').c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+
+  kreg::rng::Stream stream(2024);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = stream.uniform() < 0.6 ? stream.gaussian(-1.5, 0.5)
+                               : stream.gaussian(1.0, 0.8);
+  }
+
+  // LSCV bandwidth selection over a grid via the paper's sorting trick
+  // (kde_select_sweep): one sort per observation serves all 150 candidate
+  // bandwidths; kde_select_grid would pay O(n²) per candidate instead.
+  const kreg::BandwidthGrid grid(0.02, 1.5, 150);
+  const auto choice = kreg::kde_select_sweep(xs, grid);
+  std::printf("n = %zu draws from 0.6·N(-1.5,0.5²) + 0.4·N(1.0,0.8²)\n", n);
+  std::printf("LSCV-optimal h = %.4f (score %.6f)\n", choice.bandwidth,
+              choice.cv_score);
+  const double silverman =
+      kreg::silverman_bandwidth(xs, kreg::KernelType::kEpanechnikov);
+  std::printf("Silverman rule  h = %.4f (LSCV score %.6f)\n\n", silverman,
+              kreg::kde_lscv_score(xs, silverman));
+
+  std::printf("density at the LSCV-optimal bandwidth (h = %.3f):\n",
+              choice.bandwidth);
+  ascii_density(kreg::KernelDensity(xs, choice.bandwidth), -3.5, 3.5, '#');
+
+  std::printf("\novers moothed (h = 1.2): the two modes blur into one\n");
+  ascii_density(kreg::KernelDensity(xs, 1.2), -3.5, 3.5, '#');
+
+  std::printf("\nundersmoothed (h = 0.05): spurious wiggles\n");
+  ascii_density(kreg::KernelDensity(xs, 0.05), -3.5, 3.5, '#');
+
+  // Quantify against the true density.
+  const auto ise = [&](double h) {
+    kreg::KernelDensity f(xs, h);
+    double acc = 0.0;
+    const int steps = 2000;
+    for (int i = 0; i < steps; ++i) {
+      const double x = -4.0 + 8.0 * (i + 0.5) / steps;
+      const double e = f(x) - mixture_pdf(x);
+      acc += e * e;
+    }
+    return acc * 8.0 / steps;
+  };
+  std::printf("\nintegrated squared error vs the true mixture:\n");
+  std::printf("  LSCV h=%.3f : %.6f\n", choice.bandwidth,
+              ise(choice.bandwidth));
+  std::printf("  Silverman   : %.6f\n", ise(silverman));
+  std::printf("  h = 1.2     : %.6f\n", ise(1.2));
+  std::printf("  h = 0.05    : %.6f\n", ise(0.05));
+  return 0;
+}

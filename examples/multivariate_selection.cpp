@@ -1,0 +1,52 @@
+// Multivariate bandwidth selection (paper §III: "an evenly-spaced grid or
+// matrix in multivariate contexts"). Selects a per-dimension bandwidth
+// vector for a 2-D product-kernel regression by exhaustive Cartesian grid
+// search and by coordinate descent, and compares fits against the truth.
+//
+//   $ ./multivariate_selection [n]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/kreg.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+
+  kreg::rng::Stream stream(123);
+  const kreg::data::MDataset data =
+      kreg::data::multivariate_dgp(n, 2, stream, 0.2);
+  std::printf("additive DGP on [0,1]^2: Y = sin(2πx1) + 10·x2² + N(0,0.2)\n");
+  std::printf("n = %zu\n\n", n);
+
+  // Exhaustive Cartesian product of two 12-point grids (144 CV evaluations).
+  const auto grids = kreg::default_grids_for(data, 12);
+  const auto exhaustive = kreg::multi_grid_search(data, grids);
+  std::printf("exhaustive grid search (%zu cells):\n", exhaustive.evaluations);
+  std::printf("  h = (%.4f, %.4f), CV = %.6f\n", exhaustive.bandwidths[0],
+              exhaustive.bandwidths[1], exhaustive.cv_score);
+
+  // Coordinate descent on finer per-dimension grids.
+  const auto fine_grids = kreg::default_grids_for(data, 40);
+  const auto descent = kreg::multi_coordinate_descent(data, fine_grids);
+  std::printf("coordinate descent (40-pt grids, %zu CV evaluations):\n",
+              descent.evaluations);
+  std::printf("  h = (%.4f, %.4f), CV = %.6f\n\n", descent.bandwidths[0],
+              descent.bandwidths[1], descent.cv_score);
+
+  // The selected bandwidths reflect each dimension's curvature: the sine
+  // direction (x1) wants a narrower bandwidth than the smooth quadratic.
+  const kreg::NadarayaWatsonMulti fit(data, descent.bandwidths);
+  std::printf("%8s %8s %12s %12s %12s\n", "x1", "x2", "fitted", "true",
+              "error");
+  for (double x1 : {0.25, 0.5, 0.75}) {
+    for (double x2 : {0.25, 0.5, 0.75}) {
+      const std::vector<double> x = {x1, x2};
+      const double predicted = fit(x);
+      const double truth = kreg::data::multivariate_dgp_mean(x);
+      std::printf("%8.2f %8.2f %12.4f %12.4f %12.4f\n", x1, x2, predicted,
+                  truth, predicted - truth);
+    }
+  }
+  return 0;
+}

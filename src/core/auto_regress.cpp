@@ -1,0 +1,98 @@
+#include "core/auto_regress.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/dense_grid.hpp"
+#include "core/refine.hpp"
+
+namespace kreg {
+
+FittedRegression::FittedRegression(data::Dataset data,
+                                   SelectionResult selection,
+                                   KernelType kernel)
+    : data_(std::move(data)),
+      selection_(std::move(selection)),
+      fit_(data_, selection_.bandwidth, kernel) {}
+
+ConfidenceBand FittedRegression::confidence_band(std::size_t points,
+                                                 double level) const {
+  return nw_confidence_band(data_, selection_.bandwidth, fit_.kernel(),
+                            points, level);
+}
+
+namespace {
+
+/// The paper's §V crossover: sequential programs win below n ≈ 1,000.
+constexpr std::size_t kParallelCrossover = 1000;
+
+std::unique_ptr<Selector> pick_selector(const data::Dataset& data,
+                                        const AutoOptions& options) {
+  using Backend = AutoOptions::Backend;
+  Backend backend = options.backend;
+  if (backend == Backend::kDevice && options.device == nullptr) {
+    throw std::invalid_argument("auto_regress: Backend::kDevice needs device");
+  }
+  if (backend == Backend::kAuto) {
+    if (data.size() < kParallelCrossover) {
+      backend = Backend::kSequential;
+    } else if (options.device != nullptr &&
+               is_sweepable(options.kernel)) {
+      backend = Backend::kDevice;
+    } else {
+      backend = Backend::kParallel;
+    }
+  }
+
+  // Non-sweepable kernels (Gaussian, Cosine) fall back to the dense
+  // one-pass search on host backends.
+  if (!is_sweepable(options.kernel)) {
+    if (backend == Backend::kDevice) {
+      throw std::invalid_argument(
+          "auto_regress: kernel not supported by the device sweep");
+    }
+    return std::make_unique<DenseGridSelector>(
+        options.kernel, nullptr, backend == Backend::kParallel);
+  }
+
+  switch (backend) {
+    case Backend::kSequential:
+      return std::make_unique<SortedGridSelector>(options.kernel);
+    case Backend::kParallel:
+      return std::make_unique<ParallelSortedGridSelector>(options.kernel);
+    case Backend::kDevice: {
+      SpmdSelectorConfig cfg;
+      cfg.kernel = options.kernel;
+      return std::make_unique<SpmdGridSelector>(*options.device, cfg);
+    }
+    case Backend::kAuto:
+      break;  // resolved above
+  }
+  throw std::logic_error("auto_regress: unreachable backend");
+}
+
+}  // namespace
+
+FittedRegression auto_regress(const data::Dataset& data,
+                              const AutoOptions& options) {
+  data.validate();
+  if (data.size() < 2) {
+    throw std::invalid_argument("auto_regress: need at least 2 observations");
+  }
+  if (options.grid_size == 0) {
+    throw std::invalid_argument("auto_regress: grid_size must be >= 1");
+  }
+  const BandwidthGrid grid =
+      BandwidthGrid::default_for(data, options.grid_size);
+  const std::unique_ptr<Selector> selector = pick_selector(data, options);
+
+  SelectionResult selection;
+  if (options.refine) {
+    selection = refine_select(*selector, data, grid);
+  } else {
+    selection = selector->select(data, grid);
+  }
+  return FittedRegression(data, std::move(selection), options.kernel);
+}
+
+}  // namespace kreg

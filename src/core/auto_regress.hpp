@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+
+#include "core/confidence.hpp"
+#include "core/nadaraya_watson.hpp"
+#include "core/selectors.hpp"
+#include "core/spmd_selector.hpp"
+
+namespace kreg {
+
+/// One-call facade in the spirit of R's `npreg(y ~ x)` — the usage the
+/// paper targets for applied researchers. Picks the bandwidth by LOO-CV
+/// grid search (paper-default grid), fits the Nadaraya–Watson estimator,
+/// and exposes curves and confidence bands.
+struct AutoOptions {
+  KernelType kernel = KernelType::kEpanechnikov;
+  std::size_t grid_size = 200;
+  /// Apply 3 zoom rounds after the grid search for extra resolution.
+  bool refine = false;
+
+  /// Execution backend.
+  enum class Backend {
+    /// Paper-informed heuristic: the sequential and parallel programs cross
+    /// near n ≈ 1,000 (§V), so use the sequential sweep below that and the
+    /// host-parallel sweep above; a provided device takes precedence for
+    /// large samples.
+    kAuto,
+    kSequential,  ///< Program 3
+    kParallel,    ///< host-parallel Program 3
+    kDevice,      ///< Program 4 (requires `device`)
+  };
+  Backend backend = Backend::kAuto;
+  spmd::Device* device = nullptr;
+};
+
+/// A fitted kernel regression: the selection diagnostics plus the
+/// estimator, ready to evaluate.
+class FittedRegression {
+ public:
+  FittedRegression(data::Dataset data, SelectionResult selection,
+                   KernelType kernel);
+
+  /// ĝ(x) at the selected bandwidth.
+  double operator()(double x) const { return fit_(x); }
+
+  const SelectionResult& selection() const noexcept { return selection_; }
+  double bandwidth() const noexcept { return selection_.bandwidth; }
+  const NadarayaWatson& estimator() const noexcept { return fit_; }
+
+  /// Fitted curve over `points` evenly spaced x values.
+  NadarayaWatson::Curve curve(std::size_t points = 100) const {
+    return fit_.curve(points);
+  }
+
+  /// Pointwise LOO-residual confidence band at the selected bandwidth.
+  ConfidenceBand confidence_band(std::size_t points = 100,
+                                 double level = 0.95) const;
+
+ private:
+  data::Dataset data_;
+  SelectionResult selection_;
+  NadarayaWatson fit_;
+};
+
+/// Selects, fits, returns. Throws on invalid data, a non-sweepable kernel
+/// with a device backend, or Backend::kDevice without a device.
+FittedRegression auto_regress(const data::Dataset& data,
+                              const AutoOptions& options = {});
+
+}  // namespace kreg

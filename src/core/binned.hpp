@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/kernels.hpp"
+#include "core/types.hpp"
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// Linear binning and binned kernel regression (Fan & Marron 1994, "Fast
+/// implementations of nonparametric curve estimators").
+///
+/// The literature's *other* classic answer to the cost problem the paper
+/// attacks with sorting and a GPU: replace the n observations by G ≪ n
+/// weighted pseudo-observations on an equispaced grid, after which every
+/// kernel sum costs O(G·support/step) instead of O(n). Included both as a
+/// baseline to benchmark the exact selectors against (accuracy-for-speed
+/// trade-off, `bench_binned`) and as a practical tool for n far beyond
+/// 20,000.
+///
+/// Linear binning assigns each observation's unit mass to its two
+/// neighbouring grid points in proportion to proximity, which preserves
+/// the sample's total mass and first moment exactly.
+struct BinnedSample {
+  double lo = 0.0;    ///< first grid point
+  double step = 0.0;  ///< grid spacing
+  std::vector<double> mass;     ///< Σ of binned observation masses per node
+  std::vector<double> y_mass;   ///< Σ of binned Y·mass per node
+  std::vector<double> y2_mass;  ///< Σ of binned Y²·mass (within-bin noise)
+  std::size_t n = 0;            ///< original sample size
+
+  std::size_t bins() const noexcept { return mass.size(); }
+  double node(std::size_t j) const noexcept {
+    return lo + step * static_cast<double>(j);
+  }
+  /// Bin-mean response s_j / c_j (0 where the bin is empty).
+  double bin_mean(std::size_t j) const noexcept {
+    return mass[j] > 0.0 ? y_mass[j] / mass[j] : 0.0;
+  }
+};
+
+/// Bins a dataset onto `bins` equispaced nodes spanning [min(X), max(X)].
+/// Requires bins >= 2 and a non-degenerate X domain.
+BinnedSample linear_bin(const data::Dataset& data, std::size_t bins);
+
+/// Nadaraya–Watson estimate evaluated from binned data:
+/// ĝ(x) ≈ Σ_j y_mass[j] K((x − g_j)/h) / Σ_j mass[j] K((x − g_j)/h).
+/// NaN where the binned support is empty.
+double binned_nw_evaluate(const BinnedSample& binned, double x, double h,
+                          KernelType kernel = KernelType::kEpanechnikov);
+
+/// Approximate CV profile from binned data. Every observation binned to
+/// node j shares the node's leave-own-bin-out prediction ĝ₋j(g_j), so
+///
+///   Σ_{i∈j} (y_i − ĝ₋j)² = Σ y_i² − 2 ĝ₋j Σ y_i + c_j ĝ₋j²
+///                        = y2_mass[j] − 2 ĝ₋j y_mass[j] + mass[j] ĝ₋j²,
+///
+/// which keeps the within-bin noise the bin means would otherwise average
+/// away — the CV *level* approximates the exact criterion, not just the
+/// argmin. O(G²) per bandwidth, independent of n after the O(n) binning.
+std::vector<double> binned_cv_profile(
+    const BinnedSample& binned, std::span<const double> grid,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+/// Grid selection on the binned approximation. `bins` trades accuracy for
+/// speed; a few hundred nodes typically land within one grid cell of the
+/// exact selector's choice (see binned_test and bench_binned).
+SelectionResult binned_select(const data::Dataset& data,
+                              const BandwidthGrid& grid, std::size_t bins,
+                              KernelType kernel = KernelType::kEpanechnikov);
+
+}  // namespace kreg

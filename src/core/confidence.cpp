@@ -1,0 +1,89 @@
+#include "core/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/loocv.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normal.hpp"
+
+namespace kreg {
+
+ConfidenceBand nw_confidence_band(const data::Dataset& data, double h,
+                                  KernelType kernel, std::size_t points,
+                                  double level) {
+  data.validate();
+  if (data.empty()) {
+    throw std::invalid_argument("nw_confidence_band: empty dataset");
+  }
+  if (!(h > 0.0)) {
+    throw std::invalid_argument("nw_confidence_band: bandwidth must be > 0");
+  }
+  if (points < 2) {
+    throw std::invalid_argument("nw_confidence_band: need >= 2 points");
+  }
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("nw_confidence_band: level must be in (0,1)");
+  }
+
+  const std::size_t n = data.size();
+  const double z = stats::normal_quantile(0.5 + level / 2.0);
+
+  // Leave-one-out squared residuals at the working bandwidth. Observations
+  // with M(X_i) = 0 get a NaN marker and are skipped in the variance sums.
+  const std::vector<LooPrediction> loo = loo_predict_all(data, h, kernel);
+  std::vector<double> sq_resid(n, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (loo[i].valid) {
+      const double e = data.y[i] - loo[i].value;
+      sq_resid[i] = e * e;
+    }
+  }
+
+  ConfidenceBand band;
+  band.bandwidth = h;
+  band.level = level;
+  band.x.reserve(points);
+  band.fit.reserve(points);
+  band.lower.reserve(points);
+  band.upper.reserve(points);
+
+  const double lo = stats::min(data.x);
+  const double hi = stats::max(data.x);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+
+  for (std::size_t p = 0; p < points; ++p) {
+    const double x = lo + step * static_cast<double>(p);
+    double w_sum = 0.0;
+    double wy_sum = 0.0;
+    double w2e2_sum = 0.0;
+    for (std::size_t l = 0; l < n; ++l) {
+      const double w = kernel_value(kernel, (x - data.x[l]) / h);
+      if (w == 0.0) {
+        continue;
+      }
+      w_sum += w;
+      wy_sum += w * data.y[l];
+      if (!std::isnan(sq_resid[l])) {
+        w2e2_sum += w * w * sq_resid[l];
+      }
+    }
+    band.x.push_back(x);
+    if (w_sum == 0.0) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      band.fit.push_back(nan);
+      band.lower.push_back(nan);
+      band.upper.push_back(nan);
+      continue;
+    }
+    const double fit = wy_sum / w_sum;
+    const double se = std::sqrt(w2e2_sum) / w_sum;
+    band.fit.push_back(fit);
+    band.lower.push_back(fit - z * se);
+    band.upper.push_back(fit + z * se);
+  }
+  return band;
+}
+
+}  // namespace kreg

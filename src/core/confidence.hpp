@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// Pointwise confidence band for a Nadaraya–Watson regression — the
+/// paper's second listed extension ("estimation of leave-one-out
+/// cross-validated confidence intervals for … kernel regressions").
+///
+/// Construction: leave-one-out residuals ê_i = Y_i − ĝ₋ᵢ(X_i) at the
+/// selected bandwidth estimate the local noise; at each evaluation point x
+/// the variance of the weighted mean is the heteroskedasticity-robust
+/// sandwich  V̂(x) = Σ_l w_l(x)² ê_l² / (Σ_l w_l(x))², giving the band
+/// ĝ(x) ± z_{(1+level)/2} √V̂(x). Points where M(x) = 0 (no support) or
+/// where an observation's own LOO prediction was undefined are handled by
+/// dropping the corresponding terms.
+struct ConfidenceBand {
+  std::vector<double> x;      ///< evaluation points
+  std::vector<double> fit;    ///< ĝ(x) (NaN where undefined)
+  std::vector<double> lower;  ///< lower band edge
+  std::vector<double> upper;  ///< upper band edge
+  double bandwidth = 0.0;
+  double level = 0.0;
+};
+
+/// Computes the band over `points` evenly spaced evaluation points spanning
+/// the X range. Requires 0 < level < 1, h > 0, points >= 2.
+ConfidenceBand nw_confidence_band(const data::Dataset& data, double h,
+                                  KernelType kernel = KernelType::kEpanechnikov,
+                                  std::size_t points = 100,
+                                  double level = 0.95);
+
+}  // namespace kreg

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/kernels.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg::detail {
+
+/// The body of the paper's main device kernel for one thread, shared by the
+/// single-device selector (Program 4) and the multi-device selector.
+///
+/// For observation `obs`: fills the caller-provided distance/Y rows from
+/// the full X/Y arrays, sorts them with the iterative quicksort (Y as the
+/// auxiliary payload), sweeps the ascending bandwidth grid accumulating the
+/// moment sums, writes the two bandwidth-specific sums (self term
+/// included), then performs the second bandwidth loop — self-term
+/// exclusion, M guard, squared residual — handing each residual to
+/// `write(b, value)` so the caller controls the output layout
+/// (bandwidth-major, observation-major, sliced, …).
+template <class Scalar, class WriteResid>
+inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
+                         std::span<const Scalar> hs,
+                         const SweepPolynomial& poly, std::size_t obs,
+                         std::span<Scalar> dist, std::span<Scalar> yrow,
+                         std::span<Scalar> sum_y, std::span<Scalar> sum_w,
+                         WriteResid&& write) {
+  const std::size_t n = xs.size();
+  const std::size_t k = hs.size();
+  const std::size_t terms = poly.max_power + 1;
+  const auto c0 = static_cast<Scalar>(poly.coeff[0]);
+
+  // Fill this thread's rows (paper §IV-B: "Each thread j fills in n values
+  // of the abs(X_i − X_j) and Y_i matrices").
+  const Scalar xj = xs[obs];
+  for (std::size_t l = 0; l < n; ++l) {
+    const Scalar d = xs[l] - xj;
+    dist[l] = d < Scalar{0} ? -d : d;
+    yrow[l] = ys[l];
+  }
+
+  // Per-thread iterative quicksort, Y as the auxiliary variable.
+  sort::iterative_quicksort_kv(dist, yrow);
+
+  // Single sweep over the ascending grid, extending the moment sums with
+  // exactly the newly admitted observations per bandwidth.
+  Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+  Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+  std::size_t p = 0;
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar h = hs[b];
+    while (p < n && dist[p] <= h) {
+      Scalar pw = Scalar{1};
+      for (std::size_t m = 0; m < terms; ++m) {
+        s_m[m] += pw;
+        t_m[m] += yrow[p] * pw;
+        pw *= dist[p];
+      }
+      ++p;
+    }
+    // Recombine: Σ_m c_m h^(−m) T_m and Σ_m c_m h^(−m) S_m.
+    Scalar num = Scalar{0};
+    Scalar den = Scalar{0};
+    const Scalar inv_h = Scalar{1} / h;
+    Scalar inv_pow = Scalar{1};
+    for (std::size_t m = 0; m < terms; ++m) {
+      const auto c = static_cast<Scalar>(poly.coeff[m]);
+      if (c != Scalar{0}) {
+        num += c * t_m[m] * inv_pow;
+        den += c * s_m[m] * inv_pow;
+      }
+      inv_pow *= inv_h;
+    }
+    sum_y[b] = num;
+    sum_w[b] = den;
+  }
+
+  // Second bandwidth loop: exclude the observation's own K(0) = c0 term,
+  // apply M(X_j), and emit squared residuals.
+  const Scalar yj = ys[obs];
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar den = sum_w[b] - c0;
+    Scalar sq = Scalar{0};
+    if (den > Scalar{0}) {
+      const Scalar e = yj - (sum_y[b] - c0 * yj) / den;
+      sq = e * e;
+    }
+    write(b, sq);
+  }
+}
+
+}  // namespace kreg::detail

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "core/kernels.hpp"
+
+namespace kreg::detail {
+
+/// Polynomial in |u| with compact support [0, support_scale] (in h units):
+/// the shared representation of K (support 1) and K̄ = K*K (support 2) used
+/// by the host and device KDE sweeps.
+struct SupportPolynomial {
+  std::array<double, 6> coeff{};  ///< coeff[m] multiplies |u|^m
+  std::size_t max_power = 0;
+  double support_scale = 1.0;  ///< admitted when |Δ| <= support_scale * h
+};
+
+/// K as a support polynomial. Only valid for KDE-sweepable kernels
+/// (Epanechnikov, Uniform).
+inline SupportPolynomial kde_kernel_poly(KernelType kernel) {
+  SupportPolynomial p;
+  p.support_scale = 1.0;
+  if (kernel == KernelType::kEpanechnikov) {
+    p.coeff[0] = 0.75;
+    p.coeff[2] = -0.75;
+    p.max_power = 2;
+  } else {  // Uniform
+    p.coeff[0] = 0.5;
+    p.max_power = 0;
+  }
+  return p;
+}
+
+/// K̄ = K*K as a support polynomial.
+inline SupportPolynomial kde_convolution_poly(KernelType kernel) {
+  SupportPolynomial p;
+  p.support_scale = 2.0;
+  if (kernel == KernelType::kEpanechnikov) {
+    // (K*K)(u) = 3/160 (2−|u|)³(u² + 6|u| + 4)
+    //          = 0.6 − 0.75u² + 0.375|u|³ − (3/160)|u|⁵  on [0, 2].
+    p.coeff[0] = 0.6;
+    p.coeff[2] = -0.75;
+    p.coeff[3] = 0.375;
+    p.coeff[5] = -3.0 / 160.0;
+    p.max_power = 5;
+  } else {  // Uniform: the triangle (2 − |u|)/4.
+    p.coeff[0] = 0.5;
+    p.coeff[1] = -0.25;
+    p.max_power = 1;
+  }
+  return p;
+}
+
+inline constexpr std::size_t kKdeMaxMoment = 5;
+
+/// Running moment sums Σ|Δ|^m over an admitted prefix of a sorted distance
+/// row, extended lazily as its pointer advances.
+struct MomentSweep {
+  std::array<double, kKdeMaxMoment + 1> sums{};
+  std::size_t pointer = 0;
+
+  void admit_through(std::span<const double> sorted, double limit,
+                     std::size_t max_power) {
+    while (pointer < sorted.size() && sorted[pointer] <= limit) {
+      const double a = sorted[pointer];
+      double pw = 1.0;
+      for (std::size_t m = 0; m <= max_power; ++m) {
+        sums[m] += pw;
+        pw *= a;
+      }
+      ++pointer;
+    }
+  }
+
+  /// Σ_m coeff[m] h^(−m) (sums[m] − self_m): the self term (distance 0,
+  /// always admitted) contributes 1 to moment 0 only.
+  double combine(const SupportPolynomial& poly, double h) const {
+    double acc = 0.0;
+    const double inv_h = 1.0 / h;
+    double inv_pow = 1.0;
+    for (std::size_t m = 0; m <= poly.max_power; ++m) {
+      if (poly.coeff[m] != 0.0) {
+        const double moment = m == 0 ? sums[m] - 1.0 : sums[m];
+        acc += poly.coeff[m] * moment * inv_pow;
+      }
+      inv_pow *= inv_h;
+    }
+    return acc;
+  }
+};
+
+/// Assembles LSCV(h) from the per-bandwidth totals of the two pair sums:
+/// LSCV = R(K)/(nh) + conv/(n²h) − 2·loo/(n(n−1)h).
+inline double assemble_lscv(double roughness_value, double conv_total,
+                            double loo_total, std::size_t n, double h) {
+  const double dn = static_cast<double>(n);
+  return roughness_value / (dn * h) + conv_total / (dn * dn * h) -
+         2.0 * loo_total / (dn * (dn - 1.0) * h);
+}
+
+}  // namespace kreg::detail

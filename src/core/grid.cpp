@@ -1,0 +1,50 @@
+#include "core/grid.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace kreg {
+
+BandwidthGrid::BandwidthGrid(double min_h, double max_h, std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("BandwidthGrid: k must be at least 1");
+  }
+  if (!(min_h > 0.0)) {
+    throw std::invalid_argument(
+        "BandwidthGrid: minimum bandwidth must be positive, got " +
+        std::to_string(min_h));
+  }
+  if (min_h > max_h) {
+    throw std::invalid_argument("BandwidthGrid: min " + std::to_string(min_h) +
+                                " exceeds max " + std::to_string(max_h));
+  }
+  values_.reserve(k);
+  if (k == 1) {
+    values_.push_back(max_h);
+    return;
+  }
+  const double step = (max_h - min_h) / static_cast<double>(k - 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    values_.push_back(min_h + step * static_cast<double>(i));
+  }
+  values_.back() = max_h;  // guard against accumulation drift
+}
+
+BandwidthGrid BandwidthGrid::default_for(const data::Dataset& dataset,
+                                         std::size_t k) {
+  const double domain = dataset.x_domain();
+  if (!(domain > 0.0)) {
+    throw std::invalid_argument(
+        "BandwidthGrid::default_for: X domain is degenerate");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("BandwidthGrid::default_for: k must be >= 1");
+  }
+  return BandwidthGrid(domain / static_cast<double>(k), domain, k);
+}
+
+BandwidthGrid BandwidthGrid::zoomed(double lo, double hi, std::size_t k) const {
+  return BandwidthGrid(lo, hi, k);
+}
+
+}  // namespace kreg

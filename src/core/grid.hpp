@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// The number of candidate bandwidths the paper's device can hold: 8 KB of
+/// constant-cache working set / 4 bytes per single-precision value (§IV-A).
+inline constexpr std::size_t kDeviceMaxBandwidths = 2048;
+
+/// An evenly spaced, strictly increasing grid of candidate bandwidths.
+///
+/// Paper defaults (§IV): the maximum bandwidth is the domain of X (max −
+/// min) and the minimum is that domain divided by the number of candidates,
+/// so the grid is { domain·1/k, domain·2/k, …, domain }. Invariants: k ≥ 1,
+/// 0 < min ≤ max, values ascending. Grids destined for the SPMD device must
+/// additionally satisfy k ≤ kDeviceMaxBandwidths (checked at upload, and by
+/// `fits_device()` here).
+class BandwidthGrid {
+ public:
+  /// Explicit range: k values evenly spaced on [min_h, max_h], endpoints
+  /// included (k == 1 yields {max_h}). Throws std::invalid_argument on
+  /// k == 0, non-positive min_h, or min_h > max_h.
+  BandwidthGrid(double min_h, double max_h, std::size_t k);
+
+  /// Paper default for a dataset: max = domain of X, min = domain / k.
+  /// Throws std::invalid_argument when the X domain is degenerate (zero
+  /// width) or the dataset is empty.
+  static BandwidthGrid default_for(const data::Dataset& dataset,
+                                   std::size_t k);
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  double min() const noexcept { return values_.front(); }
+  double max() const noexcept { return values_.back(); }
+  double operator[](std::size_t i) const noexcept { return values_[i]; }
+
+  /// True when the grid fits the device's constant-memory cap.
+  bool fits_device() const noexcept {
+    return values_.size() <= kDeviceMaxBandwidths;
+  }
+
+  /// A sub-grid of k values spanning [lo, hi] — the paper's refinement
+  /// step: "run the optimization code multiple times with progressively
+  /// smaller ranges of possible bandwidths".
+  BandwidthGrid zoomed(double lo, double hi, std::size_t k) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace kreg

@@ -1,0 +1,182 @@
+#include "core/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "stats/descriptive.hpp"
+#include "stats/normal.hpp"
+
+namespace kreg {
+
+KernelDensity::KernelDensity(std::vector<double> xs, double bandwidth,
+                             KernelType kernel)
+    : xs_(std::move(xs)), bandwidth_(bandwidth), kernel_(kernel) {
+  if (xs_.empty()) {
+    throw std::invalid_argument("KernelDensity: empty sample");
+  }
+  if (!(bandwidth_ > 0.0)) {
+    throw std::invalid_argument("KernelDensity: bandwidth must be > 0");
+  }
+}
+
+double KernelDensity::operator()(double x) const {
+  double acc = 0.0;
+  for (double xl : xs_) {
+    acc += kernel_value(kernel_, (x - xl) / bandwidth_);
+  }
+  return acc / (static_cast<double>(xs_.size()) * bandwidth_);
+}
+
+KernelDensity::Curve KernelDensity::curve(std::size_t points) const {
+  if (points < 2) {
+    throw std::invalid_argument("KernelDensity::curve: need >= 2 points");
+  }
+  Curve c;
+  const double lo = stats::min(xs_) - bandwidth_;
+  const double hi = stats::max(xs_) + bandwidth_;
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  c.x.reserve(points);
+  c.density.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    c.x.push_back(x);
+    c.density.push_back((*this)(x));
+  }
+  return c;
+}
+
+bool has_self_convolution(KernelType kernel) noexcept {
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+    case KernelType::kUniform:
+    case KernelType::kGaussian:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double kernel_self_convolution(KernelType kernel, double u) {
+  const double a = std::abs(u);
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      // (K*K)(u) = 3/160 (2−|u|)³ (u² + 6|u| + 4) on |u| ≤ 2;
+      // (K*K)(0) = 3/5 = R(K) as required.
+      if (a >= 2.0) return 0.0;
+      {
+        const double w = 2.0 - a;
+        return (3.0 / 160.0) * w * w * w * (a * a + 6.0 * a + 4.0);
+      }
+    case KernelType::kUniform:
+      // Convolution of two boxes: the triangle (2 − |u|)/4 on |u| ≤ 2.
+      return a >= 2.0 ? 0.0 : (2.0 - a) / 4.0;
+    case KernelType::kGaussian:
+      // N(0,1)*N(0,1) = N(0,2).
+      return std::exp(-0.25 * u * u) /
+             (2.0 * std::sqrt(std::numbers::pi));
+    default:
+      throw std::invalid_argument(
+          "kernel_self_convolution: no closed form implemented for '" +
+          std::string(to_string(kernel)) + "'");
+  }
+}
+
+double kde_lscv_score(std::span<const double> xs, double h,
+                      KernelType kernel) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("kde_lscv_score: need at least 2 points");
+  }
+  if (!(h > 0.0)) {
+    throw std::invalid_argument("kde_lscv_score: bandwidth must be > 0");
+  }
+  const double n = static_cast<double>(xs.size());
+
+  // Pairwise sums over i < l, doubled (both kernels are symmetric).
+  double conv_sum = 0.0;  // Σ_{i≠l} K̄((X_i−X_l)/h)
+  double loo_sum = 0.0;   // Σ_{i≠l} K((X_i−X_l)/h)
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t l = i + 1; l < xs.size(); ++l) {
+      const double u = (xs[i] - xs[l]) / h;
+      conv_sum += 2.0 * kernel_self_convolution(kernel, u);
+      loo_sum += 2.0 * kernel_value(kernel, u);
+    }
+  }
+
+  const double integral_term =
+      roughness(kernel) / (n * h) + conv_sum / (n * n * h);
+  const double loo_term = 2.0 * loo_sum / (n * (n - 1.0) * h);
+  return integral_term - loo_term;
+}
+
+SelectionResult kde_select_grid(std::span<const double> xs,
+                                const BandwidthGrid& grid,
+                                KernelType kernel) {
+  std::vector<double> scores;
+  scores.reserve(grid.size());
+  for (double h : grid.values()) {
+    scores.push_back(kde_lscv_score(xs, h, kernel));
+  }
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < scores.size(); ++b) {
+    if (scores[b] < scores[best]) {
+      best = b;
+    }
+  }
+  SelectionResult result;
+  result.bandwidth = grid[best];
+  result.cv_score = scores[best];
+  result.grid = grid.values();
+  result.scores = std::move(scores);
+  result.evaluations = result.grid.size();
+  result.method = "kde-lscv-grid(" + std::string(to_string(kernel)) + ")";
+  return result;
+}
+
+DensityBand kde_confidence_band(std::span<const double> xs, double h,
+                                KernelType kernel, std::size_t points,
+                                double level) {
+  if (xs.empty()) {
+    throw std::invalid_argument("kde_confidence_band: empty sample");
+  }
+  if (!(h > 0.0)) {
+    throw std::invalid_argument("kde_confidence_band: bandwidth must be > 0");
+  }
+  if (points < 2) {
+    throw std::invalid_argument("kde_confidence_band: need >= 2 points");
+  }
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("kde_confidence_band: level must be in (0,1)");
+  }
+
+  const KernelDensity density(std::vector<double>(xs.begin(), xs.end()), h,
+                              kernel);
+  const double z = stats::normal_quantile(0.5 + level / 2.0);
+  const double r = roughness(kernel);
+  const double n = static_cast<double>(xs.size());
+
+  DensityBand band;
+  band.bandwidth = h;
+  band.level = level;
+  const double lo = stats::min(xs) - h;
+  const double hi = stats::max(xs) + h;
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  band.x.reserve(points);
+  band.density.reserve(points);
+  band.lower.reserve(points);
+  band.upper.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double x = lo + step * static_cast<double>(p);
+    const double f = density(x);
+    const double se = std::sqrt(f * r / (n * h));
+    band.x.push_back(x);
+    band.density.push_back(f);
+    band.lower.push_back(std::max(0.0, f - z * se));
+    band.upper.push_back(f + z * se);
+  }
+  return band;
+}
+
+}  // namespace kreg

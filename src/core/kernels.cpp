@@ -1,0 +1,160 @@
+#include "core/kernels.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace kreg {
+
+std::string_view to_string(KernelType kernel) noexcept {
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kUniform:
+      return "uniform";
+    case KernelType::kTriangular:
+      return "triangular";
+    case KernelType::kBiweight:
+      return "biweight";
+    case KernelType::kTriweight:
+      return "triweight";
+    case KernelType::kCosine:
+      return "cosine";
+    case KernelType::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+double kernel_value(KernelType kernel, double u) noexcept {
+  const double a = std::abs(u);
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      return a <= 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
+    case KernelType::kUniform:
+      return a <= 1.0 ? 0.5 : 0.0;
+    case KernelType::kTriangular:
+      return a <= 1.0 ? 1.0 - a : 0.0;
+    case KernelType::kBiweight:
+      if (a > 1.0) return 0.0;
+      {
+        const double w = 1.0 - u * u;
+        return (15.0 / 16.0) * w * w;
+      }
+    case KernelType::kTriweight:
+      if (a > 1.0) return 0.0;
+      {
+        const double w = 1.0 - u * u;
+        return (35.0 / 32.0) * w * w * w;
+      }
+    case KernelType::kCosine:
+      return a <= 1.0
+                 ? (std::numbers::pi / 4.0) *
+                       std::cos(std::numbers::pi * u / 2.0)
+                 : 0.0;
+    case KernelType::kGaussian:
+      return std::exp(-0.5 * u * u) / std::sqrt(2.0 * std::numbers::pi);
+  }
+  return 0.0;
+}
+
+bool is_compact(KernelType kernel) noexcept {
+  return kernel != KernelType::kGaussian;
+}
+
+double roughness(KernelType kernel) noexcept {
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      return 3.0 / 5.0;
+    case KernelType::kUniform:
+      return 1.0 / 2.0;
+    case KernelType::kTriangular:
+      return 2.0 / 3.0;
+    case KernelType::kBiweight:
+      return 5.0 / 7.0;
+    case KernelType::kTriweight:
+      return 350.0 / 429.0;
+    case KernelType::kCosine:
+      return std::numbers::pi * std::numbers::pi / 16.0;
+    case KernelType::kGaussian:
+      return 1.0 / (2.0 * std::sqrt(std::numbers::pi));
+  }
+  return 0.0;
+}
+
+double second_moment(KernelType kernel) noexcept {
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      return 1.0 / 5.0;
+    case KernelType::kUniform:
+      return 1.0 / 3.0;
+    case KernelType::kTriangular:
+      return 1.0 / 6.0;
+    case KernelType::kBiweight:
+      return 1.0 / 7.0;
+    case KernelType::kTriweight:
+      return 1.0 / 9.0;
+    case KernelType::kCosine:
+      return 1.0 - 8.0 / (std::numbers::pi * std::numbers::pi);
+    case KernelType::kGaussian:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+bool is_sweepable(KernelType kernel) noexcept {
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+    case KernelType::kUniform:
+    case KernelType::kTriangular:
+    case KernelType::kBiweight:
+    case KernelType::kTriweight:
+      return true;
+    case KernelType::kCosine:    // compact but not polynomial in |u|
+    case KernelType::kGaussian:  // unbounded support; no sort needed at all
+      return false;
+  }
+  return false;
+}
+
+SweepPolynomial sweep_polynomial(KernelType kernel) {
+  SweepPolynomial p;
+  switch (kernel) {
+    case KernelType::kEpanechnikov:
+      p.coeff[0] = 0.75;
+      p.coeff[2] = -0.75;
+      p.max_power = 2;
+      return p;
+    case KernelType::kUniform:
+      p.coeff[0] = 0.5;
+      p.max_power = 0;
+      return p;
+    case KernelType::kTriangular:
+      p.coeff[0] = 1.0;
+      p.coeff[1] = -1.0;
+      p.max_power = 1;
+      return p;
+    case KernelType::kBiweight:
+      p.coeff[0] = 15.0 / 16.0;
+      p.coeff[2] = -15.0 / 8.0;
+      p.coeff[4] = 15.0 / 16.0;
+      p.max_power = 4;
+      return p;
+    case KernelType::kTriweight:
+      p.coeff[0] = 35.0 / 32.0;
+      p.coeff[2] = -105.0 / 32.0;
+      p.coeff[4] = 105.0 / 32.0;
+      p.coeff[6] = -35.0 / 32.0;
+      p.max_power = 6;
+      return p;
+    case KernelType::kCosine:
+    case KernelType::kGaussian:
+      break;
+  }
+  throw std::invalid_argument("sweep_polynomial: kernel '" +
+                              std::string(to_string(kernel)) +
+                              "' is not sweepable");
+}
+
+}  // namespace kreg

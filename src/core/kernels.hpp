@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace kreg {
+
+/// Kernel weighting functions for nonparametric estimation.
+///
+/// The paper implements Epanechnikov only and notes (§II, footnote 1) that
+/// adding others is straightforward; this library provides the standard
+/// second-order family. Footnote 1's observation is encoded in the traits:
+/// the sorting-based grid sweep applies to every compactly supported kernel
+/// expressible as a polynomial in |u| on [0, 1] (Epanechnikov, Uniform,
+/// Triangular, Biweight, Triweight), while the Gaussian has unbounded
+/// support — no indicator excludes observations, so no sort is needed and
+/// only the naive path applies. The Cosine kernel is compact but not
+/// polynomial, so it also uses the naive path.
+enum class KernelType {
+  kEpanechnikov,
+  kUniform,
+  kTriangular,
+  kBiweight,
+  kTriweight,
+  kCosine,
+  kGaussian,
+};
+
+/// All kernels, for parameterized tests and sweeps.
+inline constexpr std::array<KernelType, 7> kAllKernels = {
+    KernelType::kEpanechnikov, KernelType::kUniform,
+    KernelType::kTriangular,   KernelType::kBiweight,
+    KernelType::kTriweight,    KernelType::kCosine,
+    KernelType::kGaussian,
+};
+
+std::string_view to_string(KernelType kernel) noexcept;
+
+/// K(u): the kernel weight at standardized distance u = (x - X_l)/h.
+/// Compact kernels use the closed-support convention 1{|u| <= 1}, matching
+/// the paper's "(X_i - X_l) <= h" inclusion rule.
+double kernel_value(KernelType kernel, double u) noexcept;
+
+/// True when K has support [-1, 1] (an indicator excludes observations, so
+/// the sorting strategy of §III can skip the excluded tail).
+bool is_compact(KernelType kernel) noexcept;
+
+/// Roughness R(K) = ∫ K(u)² du, used by rule-of-thumb bandwidths.
+double roughness(KernelType kernel) noexcept;
+
+/// Second moment κ₂(K) = ∫ u² K(u) du.
+double second_moment(KernelType kernel) noexcept;
+
+/// Polynomial-in-|u| representation of a compact kernel:
+/// K(u) = Σ_m coeff[m] · |u|^m on |u| ≤ 1, coeff[m] = 0 for m > max_power.
+///
+/// This generalizes the paper's Epanechnikov-specific sums: the sorted
+/// sweep accumulates the moments S_m = Σ |d|^m and T_m = Σ Y·|d|^m once per
+/// observation, and every bandwidth's numerator/denominator follow by
+/// rescaling with h^(-m) (the paper's "divided by h²" step is the m = 2
+/// case). Epanechnikov: 0.75 − 0.75u²; Triangular: 1 − |u|; Biweight and
+/// Triweight extend to powers 4 and 6.
+struct SweepPolynomial {
+  static constexpr std::size_t kMaxPower = 6;
+  std::array<double, kMaxPower + 1> coeff{};  ///< coeff[m] multiplies |u|^m
+  std::size_t max_power = 0;                  ///< highest nonzero power
+};
+
+/// True when the sorting-based sweep supports this kernel (compact and
+/// polynomial in |u|).
+bool is_sweepable(KernelType kernel) noexcept;
+
+/// The sweep representation. Requires is_sweepable(kernel).
+SweepPolynomial sweep_polynomial(KernelType kernel);
+
+}  // namespace kreg

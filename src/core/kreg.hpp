@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file kreg.hpp
+/// Umbrella header for the kreg library: optimal bandwidth selection for
+/// Nadaraya–Watson kernel regression via the fast sorted grid search and a
+/// simulated SPMD device, reproducing Rohlfs & Zahran (IPPS 2017).
+///
+/// Typical use:
+///
+///   kreg::rng::Stream stream(42);
+///   kreg::data::Dataset data = kreg::data::paper_dgp(5000, stream);
+///   kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(data, 50);
+///   kreg::SortedGridSelector selector;                 // Program 3
+///   kreg::SelectionResult r = selector.select(data, grid);
+///   kreg::NadarayaWatson fit(data, r.bandwidth);
+///   double y_hat = fit(0.5);
+
+#include "core/auto_regress.hpp"
+#include "core/binned.hpp"
+#include "core/confidence.hpp"
+#include "core/dense_grid.hpp"
+#include "core/grid.hpp"
+#include "core/kde.hpp"
+#include "core/kde_sweep.hpp"
+#include "core/kernels.hpp"
+#include "core/local_linear_cv.hpp"
+#include "core/loocv.hpp"
+#include "core/multi_device_selector.hpp"
+#include "core/multivariate.hpp"
+#include "core/multivariate_sweep.hpp"
+#include "core/nadaraya_watson.hpp"
+#include "core/optimizers.hpp"
+#include "core/refine.hpp"
+#include "core/rule_of_thumb.hpp"
+#include "core/selectors.hpp"
+#include "core/sorted_sweep.hpp"
+#include "core/spmd_kde.hpp"
+#include "core/spmd_selector.hpp"
+#include "core/types.hpp"
+#include "core/version.hpp"
+#include "core/weighted.hpp"
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/dgp.hpp"
+#include "data/mdataset.hpp"
+#include "rng/stream.hpp"

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "core/selectors.hpp"
+
+namespace kreg {
+
+/// Leave-one-out prediction at X_i from the local-linear estimator fitted
+/// without observation i. Mirrors loo_predict() for the local-constant
+/// case; falls back to the weighted mean when the local design is
+/// degenerate.
+LooPrediction loo_predict_local_linear(
+    const data::Dataset& data, std::size_t i, double h,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+/// CV_ll(h): the least-squares LOO-CV criterion with the local-linear
+/// smoother in place of Nadaraya–Watson (Li & Racine's CV for the local
+/// linear estimator). O(n²) per bandwidth; the sorting trick does not apply
+/// directly because the weighted moments involve signed distances.
+double cv_score_local_linear(const data::Dataset& data, double h,
+                             KernelType kernel = KernelType::kEpanechnikov);
+
+/// Grid search over CV_ll — bandwidth selection for the local-linear
+/// estimator (extension: the paper fixes the estimator to Nadaraya–Watson).
+class LocalLinearGridSelector final : public Selector {
+ public:
+  explicit LocalLinearGridSelector(
+      KernelType kernel = KernelType::kEpanechnikov,
+      parallel::ThreadPool* pool = nullptr, bool parallel = false)
+      : kernel_(kernel), pool_(pool), parallel_(parallel) {}
+
+  SelectionResult select(const data::Dataset& data,
+                         const BandwidthGrid& grid) const override;
+  std::string name() const override;
+
+ private:
+  KernelType kernel_;
+  parallel::ThreadPool* pool_;
+  bool parallel_;
+};
+
+}  // namespace kreg

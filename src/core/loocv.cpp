@@ -1,0 +1,88 @@
+#include "core/loocv.hpp"
+
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace kreg {
+
+namespace {
+
+void check_bandwidth(double h) {
+  if (!(h > 0.0)) {
+    throw std::invalid_argument("cv_score: bandwidth must be positive");
+  }
+}
+
+/// Squared LOO residual of observation i, or 0 when M(X_i) = 0.
+double squared_residual(const data::Dataset& data, std::size_t i, double h,
+                        KernelType kernel) {
+  const LooPrediction p = loo_predict(data, i, h, kernel);
+  if (!p.valid) {
+    return 0.0;
+  }
+  const double e = data.y[i] - p.value;
+  return e * e;
+}
+
+}  // namespace
+
+LooPrediction loo_predict(const data::Dataset& data, std::size_t i, double h,
+                          KernelType kernel) {
+  const std::size_t n = data.size();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    if (l == i) {
+      continue;  // leave-one-out
+    }
+    const double w = kernel_value(kernel, (data.x[i] - data.x[l]) / h);
+    numerator += data.y[l] * w;
+    denominator += w;
+  }
+  LooPrediction out;
+  if (denominator != 0.0) {
+    out.value = numerator / denominator;
+    out.valid = true;
+  }
+  return out;
+}
+
+std::vector<LooPrediction> loo_predict_all(const data::Dataset& data, double h,
+                                           KernelType kernel) {
+  check_bandwidth(h);
+  std::vector<LooPrediction> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = loo_predict(data, i, h, kernel);
+  }
+  return out;
+}
+
+double cv_score(const data::Dataset& data, double h, KernelType kernel) {
+  check_bandwidth(h);
+  const std::size_t n = data.size();
+  if (n == 0) {
+    throw std::invalid_argument("cv_score: empty dataset");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += squared_residual(data, i, h, kernel);
+  }
+  return acc / static_cast<double>(n);
+}
+
+double cv_score_parallel(const data::Dataset& data, double h,
+                         KernelType kernel, parallel::ThreadPool* pool) {
+  check_bandwidth(h);
+  const std::size_t n = data.size();
+  if (n == 0) {
+    throw std::invalid_argument("cv_score_parallel: empty dataset");
+  }
+  const double total = parallel::parallel_reduce<double>(
+      n, 0.0,
+      [&](std::size_t i) { return squared_residual(data, i, h, kernel); },
+      [](double a, double b) { return a + b; }, pool);
+  return total / static_cast<double>(n);
+}
+
+}  // namespace kreg

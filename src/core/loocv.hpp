@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "data/dataset.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kreg {
+
+/// Least-squares cross-validation objective CV_lc(h) (paper Eq. 1):
+///
+///   CV_lc(h) = n⁻¹ Σ_i (Y_i − ĝ₋ᵢ(X_i))² M(X_i)
+///
+/// where ĝ₋ᵢ is the leave-one-out Nadaraya–Watson estimator (Eq. 2) and
+/// M(X_i) = 1{denominator ≠ 0} drops observations with no neighbour inside
+/// the bandwidth. Direct O(n²) evaluation — this is the objective the
+/// numerical-optimizer baselines (Programs 1–2) call repeatedly, and the
+/// ground truth the fast selectors are tested against.
+///
+/// Requires h > 0 and a validated dataset.
+double cv_score(const data::Dataset& data, double h,
+                KernelType kernel = KernelType::kEpanechnikov);
+
+/// Same objective with the outer Σ_i evaluated across a thread pool
+/// (deterministic: partials combine in slice order). nullptr = global pool.
+double cv_score_parallel(const data::Dataset& data, double h,
+                         KernelType kernel = KernelType::kEpanechnikov,
+                         parallel::ThreadPool* pool = nullptr);
+
+/// The leave-one-out prediction ĝ₋ᵢ(X_i) for one observation, plus its
+/// M(X_i) indicator. Exposed for tests and the confidence-band module.
+struct LooPrediction {
+  double value = 0.0;  ///< ĝ₋ᵢ(X_i); meaningless when valid == false
+  bool valid = false;  ///< M(X_i): denominator nonzero
+};
+LooPrediction loo_predict(const data::Dataset& data, std::size_t i, double h,
+                          KernelType kernel = KernelType::kEpanechnikov);
+
+/// All leave-one-out predictions at one bandwidth (one O(n²) pass).
+std::vector<LooPrediction> loo_predict_all(
+    const data::Dataset& data, double h,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+}  // namespace kreg

@@ -1,0 +1,249 @@
+#include "core/multivariate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace kreg {
+
+double product_kernel_weight(KernelType kernel, std::span<const double> u) {
+  double w = 1.0;
+  for (double uj : u) {
+    w *= kernel_value(kernel, uj);
+    if (w == 0.0) {
+      return 0.0;  // compact kernel excluded this observation
+    }
+  }
+  return w;
+}
+
+namespace {
+
+void check_bandwidths(const data::MDataset& data,
+                      std::span<const double> bandwidths) {
+  if (bandwidths.size() != data.dim) {
+    throw std::invalid_argument(
+        "multivariate: bandwidth count != regressor dimension");
+  }
+  for (double h : bandwidths) {
+    if (!(h > 0.0)) {
+      throw std::invalid_argument("multivariate: bandwidths must be > 0");
+    }
+  }
+}
+
+/// Product weight between observation l and the point x.
+double weight_at(const data::MDataset& data, std::size_t l,
+                 std::span<const double> x, std::span<const double> bandwidths,
+                 KernelType kernel) {
+  double w = 1.0;
+  const std::span<const double> xl = data.row(l);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    w *= kernel_value(kernel, (x[j] - xl[j]) / bandwidths[j]);
+    if (w == 0.0) {
+      return 0.0;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+NadarayaWatsonMulti::NadarayaWatsonMulti(data::MDataset data,
+                                         std::vector<double> bandwidths,
+                                         KernelType kernel)
+    : data_(std::move(data)),
+      bandwidths_(std::move(bandwidths)),
+      kernel_(kernel) {
+  data_.validate();
+  if (data_.size() == 0) {
+    throw std::invalid_argument("NadarayaWatsonMulti: empty dataset");
+  }
+  check_bandwidths(data_, bandwidths_);
+}
+
+double NadarayaWatsonMulti::operator()(std::span<const double> x) const {
+  if (x.size() != data_.dim) {
+    throw std::invalid_argument(
+        "NadarayaWatsonMulti: evaluation point dimension mismatch");
+  }
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t l = 0; l < data_.size(); ++l) {
+    const double w = weight_at(data_, l, x, bandwidths_, kernel_);
+    numerator += data_.y[l] * w;
+    denominator += w;
+  }
+  if (denominator == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return numerator / denominator;
+}
+
+LooPrediction loo_predict_multi(const data::MDataset& data, std::size_t i,
+                                std::span<const double> bandwidths,
+                                KernelType kernel) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  const std::span<const double> xi = data.row(i);
+  for (std::size_t l = 0; l < data.size(); ++l) {
+    if (l == i) {
+      continue;
+    }
+    const double w = weight_at(data, l, xi, bandwidths, kernel);
+    numerator += data.y[l] * w;
+    denominator += w;
+  }
+  LooPrediction out;
+  if (denominator != 0.0) {
+    out.value = numerator / denominator;
+    out.valid = true;
+  }
+  return out;
+}
+
+double cv_score_multi(const data::MDataset& data,
+                      std::span<const double> bandwidths, KernelType kernel,
+                      parallel::ThreadPool* pool) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("cv_score_multi: empty dataset");
+  }
+  check_bandwidths(data, bandwidths);
+  const double total = parallel::parallel_reduce<double>(
+      data.size(), 0.0,
+      [&](std::size_t i) {
+        const LooPrediction p = loo_predict_multi(data, i, bandwidths, kernel);
+        if (!p.valid) {
+          return 0.0;
+        }
+        const double e = data.y[i] - p.value;
+        return e * e;
+      },
+      [](double a, double b) { return a + b; }, pool);
+  return total / static_cast<double>(data.size());
+}
+
+std::vector<BandwidthGrid> default_grids_for(const data::MDataset& data,
+                                             std::size_t k) {
+  data.validate();
+  std::vector<BandwidthGrid> grids;
+  grids.reserve(data.dim);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    const double domain = data.domain(j);
+    if (!(domain > 0.0)) {
+      throw std::invalid_argument(
+          "default_grids_for: degenerate domain in dimension " +
+          std::to_string(j));
+    }
+    grids.emplace_back(domain / static_cast<double>(k), domain, k);
+  }
+  return grids;
+}
+
+MultiSelectionResult multi_grid_search(const data::MDataset& data,
+                                       const std::vector<BandwidthGrid>& grids,
+                                       KernelType kernel,
+                                       parallel::ThreadPool* pool) {
+  data.validate();
+  if (grids.size() != data.dim) {
+    throw std::invalid_argument("multi_grid_search: need one grid per dim");
+  }
+  // Total number of cells in the Cartesian product.
+  std::size_t cells = 1;
+  for (const BandwidthGrid& g : grids) {
+    cells *= g.size();
+  }
+  if (cells == 0) {
+    throw std::invalid_argument("multi_grid_search: empty grid");
+  }
+
+  // Decode cell index -> per-dimension bandwidth vector (row-major order:
+  // the last dimension varies fastest, so ties break lexicographically).
+  const auto decode = [&](std::size_t cell) {
+    std::vector<double> h(data.dim);
+    for (std::size_t j = data.dim; j-- > 0;) {
+      const std::size_t kj = grids[j].size();
+      h[j] = grids[j][cell % kj];
+      cell /= kj;
+    }
+    return h;
+  };
+
+  std::vector<double> scores(cells);
+  parallel::parallel_for(
+      cells,
+      [&](std::size_t cell) {
+        const std::vector<double> h = decode(cell);
+        // Inner CV runs serially; the cell loop provides the parallelism.
+        scores[cell] = cv_score_multi(data, h, kernel, nullptr);
+      },
+      pool,
+      parallel::Schedule::kDynamic, /*chunk=*/1);
+
+  std::size_t best = 0;
+  for (std::size_t cell = 1; cell < cells; ++cell) {
+    if (scores[cell] < scores[best]) {
+      best = cell;
+    }
+  }
+  MultiSelectionResult result;
+  result.bandwidths = decode(best);
+  result.cv_score = scores[best];
+  result.evaluations = cells;
+  result.method = "multi-grid(" + std::string(to_string(kernel)) + ")";
+  return result;
+}
+
+MultiSelectionResult multi_coordinate_descent(
+    const data::MDataset& data, const std::vector<BandwidthGrid>& grids,
+    KernelType kernel, std::size_t max_cycles, parallel::ThreadPool* pool) {
+  data.validate();
+  if (grids.size() != data.dim) {
+    throw std::invalid_argument(
+        "multi_coordinate_descent: need one grid per dim");
+  }
+  if (max_cycles == 0) {
+    throw std::invalid_argument("multi_coordinate_descent: max_cycles == 0");
+  }
+
+  // Initialize at each grid's midpoint.
+  std::vector<double> current(data.dim);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    current[j] = grids[j][grids[j].size() / 2];
+  }
+  double current_score = cv_score_multi(data, current, kernel, pool);
+  std::size_t evaluations = 1;
+
+  for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
+    bool improved = false;
+    for (std::size_t j = 0; j < data.dim; ++j) {
+      // Sweep dimension j's grid with the other coordinates held fixed.
+      std::vector<double> trial = current;
+      for (std::size_t b = 0; b < grids[j].size(); ++b) {
+        trial[j] = grids[j][b];
+        const double score = cv_score_multi(data, trial, kernel, pool);
+        ++evaluations;
+        if (score < current_score) {
+          current_score = score;
+          current[j] = trial[j];
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  MultiSelectionResult result;
+  result.bandwidths = current;
+  result.cv_score = current_score;
+  result.evaluations = evaluations;
+  result.method =
+      "multi-coordinate-descent(" + std::string(to_string(kernel)) + ")";
+  return result;
+}
+
+}  // namespace kreg

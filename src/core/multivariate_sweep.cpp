@@ -1,0 +1,264 @@
+#include "core/multivariate_sweep.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/parallel_for.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg {
+
+namespace {
+
+/// Degree cap for the 1/c polynomial: dimensions × highest kernel power.
+constexpr std::size_t kMaxDegree = 24;
+
+struct RayContext {
+  SweepPolynomial kernel_poly;
+  std::size_t dim = 0;
+  std::size_t degree = 0;  ///< dim * kernel_poly.max_power
+  double c0_pow_dim = 0.0; ///< K(0)^dim — the self term's power-0 weight
+};
+
+RayContext make_context(const data::MDataset& data, KernelType kernel) {
+  RayContext ctx;
+  ctx.kernel_poly = sweep_polynomial(kernel);
+  ctx.dim = data.dim;
+  ctx.degree = ctx.dim * ctx.kernel_poly.max_power;
+  if (ctx.degree > kMaxDegree) {
+    throw std::invalid_argument(
+        "multi_ray: dimension x kernel degree exceeds the supported cap");
+  }
+  ctx.c0_pow_dim = 1.0;
+  for (std::size_t j = 0; j < ctx.dim; ++j) {
+    ctx.c0_pow_dim *= ctx.kernel_poly.coeff[0];
+  }
+  return ctx;
+}
+
+void check_inputs(const data::MDataset& data, std::span<const double> ratios,
+                  std::span<const double> scales, KernelType kernel) {
+  data.validate();
+  if (data.size() == 0) {
+    throw std::invalid_argument("multi_ray: empty dataset");
+  }
+  if (!is_sweepable(kernel)) {
+    throw std::invalid_argument("multi_ray: kernel '" +
+                                std::string(to_string(kernel)) +
+                                "' is not sweepable");
+  }
+  if (ratios.size() != data.dim) {
+    throw std::invalid_argument("multi_ray: need one ratio per dimension");
+  }
+  for (double r : ratios) {
+    if (!(r > 0.0)) {
+      throw std::invalid_argument("multi_ray: ratios must be positive");
+    }
+  }
+  if (scales.empty() || !(scales.front() > 0.0)) {
+    throw std::invalid_argument("multi_ray: scales must be positive");
+  }
+  for (std::size_t b = 1; b < scales.size(); ++b) {
+    if (scales[b] < scales[b - 1]) {
+      throw std::invalid_argument("multi_ray: scales must be ascending");
+    }
+  }
+}
+
+/// Coefficient vector (powers of 1/c) of Π_j K(ρ_j / c) for one pair:
+/// the convolution across dimensions of v_j[m] = c_m ρ_j^m.
+void pair_coefficients(const RayContext& ctx, std::span<const double> xi,
+                       std::span<const double> xl,
+                       std::span<const double> ratios,
+                       std::array<double, kMaxDegree + 1>& out) {
+  const std::size_t kp = ctx.kernel_poly.max_power;
+  std::array<double, kMaxDegree + 1> acc{};
+  std::array<double, SweepPolynomial::kMaxPower + 1> dim_vec{};
+  acc[0] = 1.0;
+  std::size_t acc_degree = 0;
+
+  for (std::size_t j = 0; j < ctx.dim; ++j) {
+    const double rho = std::abs(xi[j] - xl[j]) / ratios[j];
+    double pw = 1.0;
+    for (std::size_t m = 0; m <= kp; ++m) {
+      dim_vec[m] = ctx.kernel_poly.coeff[m] * pw;
+      pw *= rho;
+    }
+    // acc = acc (*) dim_vec  (polynomial product in powers of 1/c).
+    std::array<double, kMaxDegree + 1> next{};
+    for (std::size_t a = 0; a <= acc_degree; ++a) {
+      if (acc[a] == 0.0) {
+        continue;
+      }
+      for (std::size_t m = 0; m <= kp; ++m) {
+        next[a + m] += acc[a] * dim_vec[m];
+      }
+    }
+    acc = next;
+    acc_degree += kp;
+  }
+  out = acc;
+}
+
+/// One observation's contribution to the squared-residual totals across all
+/// scales (paper §III structure: sort once, sweep once).
+void sweep_observation_ray(const data::MDataset& data, const RayContext& ctx,
+                           std::span<const double> ratios,
+                           std::span<const double> scales, std::size_t i,
+                           std::vector<double>& rho_scratch,
+                           std::vector<std::size_t>& idx_scratch,
+                           std::span<double> totals) {
+  const std::size_t n = data.size();
+  const std::size_t k = scales.size();
+  rho_scratch.resize(n);
+  idx_scratch.resize(n);
+  const std::span<const double> xi = data.row(i);
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::span<const double> xl = data.row(l);
+    double rho = 0.0;
+    for (std::size_t j = 0; j < ctx.dim; ++j) {
+      rho = std::max(rho, std::abs(xi[j] - xl[j]) / ratios[j]);
+    }
+    rho_scratch[l] = rho;
+    idx_scratch[l] = l;
+  }
+  sort::iterative_quicksort_kv(std::span<double>(rho_scratch),
+                               std::span<std::size_t>(idx_scratch));
+
+  std::array<double, kMaxDegree + 1> s_m{};  // Σ pair coefficients
+  std::array<double, kMaxDegree + 1> t_m{};  // Σ Y_l · pair coefficients
+  std::array<double, kMaxDegree + 1> w{};
+  std::size_t p = 0;
+  const double yi = data.y[i];
+
+  for (std::size_t b = 0; b < k; ++b) {
+    const double c = scales[b];
+    while (p < n && rho_scratch[p] <= c) {
+      const std::size_t l = idx_scratch[p];
+      pair_coefficients(ctx, xi, data.row(l), ratios, w);
+      const double yl = data.y[l];
+      for (std::size_t m = 0; m <= ctx.degree; ++m) {
+        s_m[m] += w[m];
+        t_m[m] += yl * w[m];
+      }
+      ++p;
+    }
+    // Evaluate the 1/c polynomial; subtract the self term (K(0)^p at
+    // power 0, weighting Y_i).
+    double num = 0.0;
+    double den = 0.0;
+    const double inv_c = 1.0 / c;
+    double inv_pow = 1.0;
+    for (std::size_t m = 0; m <= ctx.degree; ++m) {
+      num += t_m[m] * inv_pow;
+      den += s_m[m] * inv_pow;
+      inv_pow *= inv_c;
+    }
+    num -= ctx.c0_pow_dim * yi;
+    den -= ctx.c0_pow_dim;
+    if (den > 0.0) {
+      const double e = yi - num / den;
+      totals[b] += e * e;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> default_ray_ratios(const data::MDataset& data) {
+  data.validate();
+  std::vector<double> ratios(data.dim);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    ratios[j] = data.domain(j);
+    if (!(ratios[j] > 0.0)) {
+      throw std::invalid_argument(
+          "default_ray_ratios: degenerate domain in dimension " +
+          std::to_string(j));
+    }
+  }
+  return ratios;
+}
+
+std::vector<double> multi_ray_cv_profile(const data::MDataset& data,
+                                         std::span<const double> ratios,
+                                         std::span<const double> scales,
+                                         KernelType kernel) {
+  check_inputs(data, ratios, scales, kernel);
+  const RayContext ctx = make_context(data, kernel);
+  std::vector<double> totals(scales.size(), 0.0);
+  std::vector<double> rho_scratch;
+  std::vector<std::size_t> idx_scratch;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sweep_observation_ray(data, ctx, ratios, scales, i, rho_scratch,
+                          idx_scratch, totals);
+  }
+  for (double& t : totals) {
+    t /= static_cast<double>(data.size());
+  }
+  return totals;
+}
+
+std::vector<double> multi_ray_cv_profile_parallel(
+    const data::MDataset& data, std::span<const double> ratios,
+    std::span<const double> scales, KernelType kernel,
+    parallel::ThreadPool* pool) {
+  check_inputs(data, ratios, scales, kernel);
+  const RayContext ctx = make_context(data, kernel);
+  if (pool == nullptr) {
+    pool = &parallel::ThreadPool::global();
+  }
+  const std::vector<parallel::BlockedRange> slices =
+      parallel::partition_evenly(data.size(), pool->size());
+  std::vector<std::vector<double>> parts(
+      slices.size(), std::vector<double>(scales.size(), 0.0));
+
+  parallel::parallel_for(
+      slices.size(),
+      [&](std::size_t s) {
+        std::vector<double> rho_scratch;
+        std::vector<std::size_t> idx_scratch;
+        for (std::size_t i = slices[s].begin; i < slices[s].end; ++i) {
+          sweep_observation_ray(data, ctx, ratios, scales, i, rho_scratch,
+                                idx_scratch, parts[s]);
+        }
+      },
+      pool);
+
+  std::vector<double> totals(scales.size(), 0.0);
+  for (const auto& part : parts) {
+    for (std::size_t b = 0; b < totals.size(); ++b) {
+      totals[b] += part[b];
+    }
+  }
+  for (double& t : totals) {
+    t /= static_cast<double>(data.size());
+  }
+  return totals;
+}
+
+MultiSelectionResult multi_ray_select(const data::MDataset& data,
+                                      std::span<const double> ratios,
+                                      const BandwidthGrid& scales,
+                                      KernelType kernel) {
+  const std::vector<double> profile =
+      multi_ray_cv_profile(data, ratios, scales.values(), kernel);
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < profile.size(); ++b) {
+    if (profile[b] < profile[best]) {
+      best = b;
+    }
+  }
+  MultiSelectionResult result;
+  result.bandwidths.resize(data.dim);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    result.bandwidths[j] = scales[best] * ratios[j];
+  }
+  result.cv_score = profile[best];
+  result.evaluations = scales.size();
+  result.method = "multi-ray-sweep(" + std::string(to_string(kernel)) + ")";
+  return result;
+}
+
+}  // namespace kreg

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/kernels.hpp"
+#include "core/multivariate.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kreg {
+
+/// The paper's sorting-based sweep generalized to multivariate product
+/// kernels along a bandwidth *ray* — the natural multivariate reading of
+/// §III's "evenly-spaced grid or matrix in multivariate contexts".
+///
+/// Fix a positive per-dimension ratio vector r and search bandwidths
+/// h(c) = c·r over an ascending grid of scales c. A product kernel admits
+/// observation l at scale c iff |d_j| ≤ c·r_j for every j, i.e. iff the
+/// scaled Chebyshev distance ρ = max_j |d_j|/r_j satisfies ρ ≤ c — so the
+/// admitted sets are *nested in c* exactly as in the univariate case, and
+/// one sort of each observation's ρ row serves every scale.
+///
+/// The weight itself is a polynomial in 1/c: with ρ_j = |d_j|/r_j and the
+/// univariate kernel K(u) = Σ_m c_m |u|^m,
+///
+///   Π_j K(ρ_j/c) = Π_j Σ_m c_m ρ_j^m c^(−m)
+///
+/// is the convolution of the per-dimension coefficient vectors — a degree
+/// ≤ p·max_power polynomial in c⁻¹ whose pairwise coefficients are
+/// accumulated into moment sums at admission time. The self term reduces to
+/// K(0)^p = c₀^p at power 0, subtracted analytically. Cost per observation:
+/// O(n log n + n·p·deg² + k·deg) for all k scales.
+///
+/// Ray search complements the Cartesian search in multivariate.hpp: the ray
+/// fixes relative smoothing across dimensions (e.g. proportional to each
+/// dimension's domain — `default_ray_ratios`) and optimizes the overall
+/// scale with univariate-grid-search cost.
+
+/// Default ratios: r_j = domain of dimension j, so scales c play the role
+/// the bandwidth plays in the univariate default grid (c = 1 spans each
+/// dimension's full range).
+std::vector<double> default_ray_ratios(const data::MDataset& data);
+
+/// CV profile over the ascending scale grid for h(c) = c·r.
+/// Requires a sweepable kernel, positive ratios (one per dimension), and a
+/// positive ascending scale grid.
+std::vector<double> multi_ray_cv_profile(const data::MDataset& data,
+                                         std::span<const double> ratios,
+                                         std::span<const double> scales,
+                                         KernelType kernel);
+
+/// Parallel variant (observations across the pool; deterministic).
+std::vector<double> multi_ray_cv_profile_parallel(
+    const data::MDataset& data, std::span<const double> ratios,
+    std::span<const double> scales, KernelType kernel,
+    parallel::ThreadPool* pool = nullptr);
+
+/// Selects the best scale on the ray and returns the bandwidth vector.
+MultiSelectionResult multi_ray_select(
+    const data::MDataset& data, std::span<const double> ratios,
+    const BandwidthGrid& scales,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+}  // namespace kreg

@@ -1,0 +1,138 @@
+#include "core/nadaraya_watson.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace kreg {
+
+namespace {
+
+void check_inputs(const data::Dataset& data, double bandwidth) {
+  data.validate();
+  if (data.empty()) {
+    throw std::invalid_argument("kernel regression: empty dataset");
+  }
+  if (!(bandwidth > 0.0)) {
+    throw std::invalid_argument("kernel regression: bandwidth must be > 0");
+  }
+}
+
+}  // namespace
+
+NadarayaWatson::NadarayaWatson(data::Dataset data, double bandwidth,
+                               KernelType kernel)
+    : data_(std::move(data)), bandwidth_(bandwidth), kernel_(kernel) {
+  check_inputs(data_, bandwidth_);
+}
+
+double NadarayaWatson::operator()(double x) const {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t l = 0; l < data_.size(); ++l) {
+    const double w = kernel_value(kernel_, (x - data_.x[l]) / bandwidth_);
+    numerator += data_.y[l] * w;
+    denominator += w;
+  }
+  if (denominator == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return numerator / denominator;
+}
+
+std::vector<double> NadarayaWatson::evaluate(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back((*this)(x));
+  }
+  return out;
+}
+
+NadarayaWatson::Curve NadarayaWatson::curve(std::size_t points) const {
+  if (points < 2) {
+    throw std::invalid_argument("NadarayaWatson::curve: need >= 2 points");
+  }
+  Curve c;
+  const double lo = stats::min(data_.x);
+  const double hi = stats::max(data_.x);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  c.x.reserve(points);
+  c.y.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    c.x.push_back(x);
+    c.y.push_back((*this)(x));
+  }
+  return c;
+}
+
+bool NadarayaWatson::defined_at(double x) const {
+  for (std::size_t l = 0; l < data_.size(); ++l) {
+    if (kernel_value(kernel_, (x - data_.x[l]) / bandwidth_) != 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LocalLinear::LocalLinear(data::Dataset data, double bandwidth,
+                         KernelType kernel)
+    : data_(std::move(data)), bandwidth_(bandwidth), kernel_(kernel) {
+  check_inputs(data_, bandwidth_);
+}
+
+double LocalLinear::operator()(double x) const {
+  // Weighted least squares of Y on (1, X - x); the intercept estimates g(x).
+  // Closed form via the weighted moments
+  //   s0 = Σw, s1 = Σw·d, s2 = Σw·d², t0 = Σw·Y, t1 = Σw·Y·d,  d = X_l − x.
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  for (std::size_t l = 0; l < data_.size(); ++l) {
+    const double d = data_.x[l] - x;
+    const double w = kernel_value(kernel_, d / bandwidth_);
+    if (w == 0.0) {
+      continue;
+    }
+    s0 += w;
+    s1 += w * d;
+    s2 += w * d * d;
+    t0 += w * data_.y[l];
+    t1 += w * data_.y[l] * d;
+  }
+  if (s0 == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double det = s0 * s2 - s1 * s1;
+  // Degenerate design (all weighted mass at one X): local-constant fallback.
+  const double scale = s0 * (s2 / s0);  // ~ magnitude of det's terms
+  if (std::abs(det) <= 1e-12 * std::max(scale, 1e-300)) {
+    return t0 / s0;
+  }
+  return (s2 * t0 - s1 * t1) / det;
+}
+
+std::vector<double> LocalLinear::evaluate(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back((*this)(x));
+  }
+  return out;
+}
+
+bool LocalLinear::defined_at(double x) const {
+  for (std::size_t l = 0; l < data_.size(); ++l) {
+    if (kernel_value(kernel_, (x - data_.x[l]) / bandwidth_) != 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kreg

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// Nadaraya–Watson local-constant kernel regression estimator:
+///
+///   ĝ(x) = Σ_l Y_l K((x − X_l)/h) / Σ_l K((x − X_l)/h)
+///
+/// the paper's estimator of choice ("the most commonly used kernel
+/// regression estimator and the default in the common R package np").
+/// The object is cheap to copy: it stores the sample plus the two tuning
+/// choices (bandwidth, kernel).
+class NadarayaWatson {
+ public:
+  /// Throws std::invalid_argument on empty data, length mismatch, or
+  /// non-positive bandwidth.
+  NadarayaWatson(data::Dataset data, double bandwidth,
+                 KernelType kernel = KernelType::kEpanechnikov);
+
+  /// ĝ(x). Returns NaN when no observation falls within the kernel support
+  /// at x (the M(x) = 0 case); `defined_at(x)` distinguishes it cheaply.
+  double operator()(double x) const;
+
+  /// Batch evaluation at many points.
+  std::vector<double> evaluate(std::span<const double> xs) const;
+
+  /// Evaluation over an evenly spaced grid of `points` on the sample's X
+  /// range — the "simple graph" use case from the paper's introduction.
+  struct Curve {
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  Curve curve(std::size_t points) const;
+
+  /// True when at least one observation lies within the kernel support.
+  bool defined_at(double x) const;
+
+  double bandwidth() const noexcept { return bandwidth_; }
+  KernelType kernel() const noexcept { return kernel_; }
+  const data::Dataset& data() const noexcept { return data_; }
+
+ private:
+  data::Dataset data_;
+  double bandwidth_;
+  KernelType kernel_;
+};
+
+/// Local-linear kernel regression (extension; the paper restricts itself to
+/// the local-constant estimator). Fits a weighted line at each evaluation
+/// point, removing the NW estimator's boundary bias:
+///
+///   ĝ(x) = ê₀ from min over (a,b) of Σ_l K((x−X_l)/h)(Y_l − a − b(X_l−x))²
+///
+/// Falls back to the local-constant value when the weighted X variance at x
+/// is numerically zero.
+class LocalLinear {
+ public:
+  LocalLinear(data::Dataset data, double bandwidth,
+              KernelType kernel = KernelType::kEpanechnikov);
+
+  double operator()(double x) const;
+  std::vector<double> evaluate(std::span<const double> xs) const;
+  bool defined_at(double x) const;
+
+  double bandwidth() const noexcept { return bandwidth_; }
+  KernelType kernel() const noexcept { return kernel_; }
+
+ private:
+  data::Dataset data_;
+  double bandwidth_;
+  KernelType kernel_;
+};
+
+}  // namespace kreg

@@ -1,0 +1,192 @@
+#include "core/optimizers.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kreg {
+
+namespace {
+
+void check_bracket(double lo, double hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("optimizer: bracket requires lo < hi");
+  }
+}
+
+constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+
+}  // namespace
+
+OptimizeResult golden_section(const std::function<double(double)>& f,
+                              double lo, double hi,
+                              const OptimizeOptions& options) {
+  check_bracket(lo, hi);
+  OptimizeResult result;
+
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  result.evaluations = 2;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (b - a <= options.x_tol) {
+      result.converged = true;
+      break;
+    }
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++result.evaluations;
+  }
+  if (f1 <= f2) {
+    result.x = x1;
+    result.fx = f1;
+  } else {
+    result.x = x2;
+    result.fx = f2;
+  }
+  return result;
+}
+
+OptimizeResult brent(const std::function<double(double)>& f, double lo,
+                     double hi, const OptimizeOptions& options) {
+  check_bracket(lo, hi);
+  OptimizeResult result;
+
+  // Brent (1973), as in R's optimize(): track the best point x, the
+  // second-best w, and the previous w (v); try parabolic interpolation
+  // through (x, w, v), falling back to golden section when the parabola
+  // step is unacceptable.
+  const double eps = std::sqrt(std::numeric_limits<double>::epsilon());
+  double a = lo;
+  double b = hi;
+  double x = a + kInvPhi * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  result.evaluations = 1;
+  double d = 0.0;  // last step
+  double e = 0.0;  // step before last
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (a + b);
+    const double tol1 = eps * std::abs(x) + options.x_tol / 3.0;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - mid) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      break;
+    }
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabola through x, w, v.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) {
+        p = -p;
+      }
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u_try = x + d;
+        if (u_try - a < tol2 || b - u_try < tol2) {
+          d = x < mid ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = x < mid ? b - x : a - x;
+      d = (1.0 - kInvPhi) * e;
+    }
+
+    const double u =
+        std::abs(d) >= tol1 ? x + d : x + (d > 0.0 ? tol1 : -tol1);
+    const double fu = f(u);
+    ++result.evaluations;
+
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+
+  result.x = x;
+  result.fx = fx;
+  return result;
+}
+
+OptimizeResult multistart(
+    const std::function<double(double)>& f, double lo, double hi,
+    std::size_t starts,
+    const std::function<OptimizeResult(const std::function<double(double)>&,
+                                       double, double,
+                                       const OptimizeOptions&)>& method,
+    const OptimizeOptions& options) {
+  check_bracket(lo, hi);
+  if (starts == 0) {
+    throw std::invalid_argument("multistart: need at least one start");
+  }
+  OptimizeResult best;
+  best.fx = std::numeric_limits<double>::infinity();
+  const double width = (hi - lo) / static_cast<double>(starts);
+  for (std::size_t s = 0; s < starts; ++s) {
+    const double sub_lo = lo + width * static_cast<double>(s);
+    const double sub_hi = s + 1 == starts ? hi : sub_lo + width;
+    const OptimizeResult r = method(f, sub_lo, sub_hi, options);
+    best.evaluations += r.evaluations;
+    if (r.fx < best.fx) {
+      best.x = r.x;
+      best.fx = r.fx;
+      best.converged = r.converged;
+    }
+  }
+  return best;
+}
+
+}  // namespace kreg

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace kreg {
+
+/// Result of a one-dimensional scalar minimization.
+struct OptimizeResult {
+  double x = 0.0;              ///< minimizer found
+  double fx = 0.0;             ///< objective at x
+  std::size_t evaluations = 0; ///< number of objective calls
+  bool converged = false;      ///< tolerance met within the iteration budget
+};
+
+/// Options shared by the scalar minimizers.
+struct OptimizeOptions {
+  double x_tol = 1e-6;          ///< absolute tolerance on the bracket width
+  std::size_t max_iterations = 200;
+};
+
+/// Golden-section search for a minimum of f on [lo, hi].
+///
+/// Derivative-free bracketing method: guaranteed to converge to *a* local
+/// minimum inside the bracket, but — as the paper stresses for the CV
+/// objective, which "is not necessarily concave" (unimodal) — the result
+/// may be a non-global minimum. This is the behaviour of the numerical-
+/// optimization baselines (Programs 1–2). Requires lo < hi.
+OptimizeResult golden_section(const std::function<double(double)>& f,
+                              double lo, double hi,
+                              const OptimizeOptions& options = {});
+
+/// Brent's method (golden section + successive parabolic interpolation) on
+/// [lo, hi]: the classic R `optimize()` algorithm, which the R baselines in
+/// the paper rely on. Faster than pure golden section on smooth objectives;
+/// same local-minimum caveat. Requires lo < hi.
+OptimizeResult brent(const std::function<double(double)>& f, double lo,
+                     double hi, const OptimizeOptions& options = {});
+
+/// Multistart wrapper: splits [lo, hi] into `starts` sub-brackets, runs the
+/// given minimizer in each, and returns the best result (evaluations are
+/// summed). This is the mitigation the np authors themselves suggest —
+/// "run the algorithm multiple times with different initial values to
+/// ensure that one obtains a global solution" — at a `starts`-fold cost.
+OptimizeResult multistart(const std::function<double(double)>& f, double lo,
+                          double hi, std::size_t starts,
+                          const std::function<OptimizeResult(
+                              const std::function<double(double)>&, double,
+                              double, const OptimizeOptions&)>& method,
+                          const OptimizeOptions& options = {});
+
+}  // namespace kreg

@@ -1,0 +1,51 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kreg {
+
+SelectionResult refine_select(const Selector& selector,
+                              const data::Dataset& data,
+                              const BandwidthGrid& initial,
+                              const RefineOptions& options) {
+  if (options.rounds == 0 || options.k_per_round < 2) {
+    throw std::invalid_argument(
+        "refine_select: need rounds >= 1 and k_per_round >= 2");
+  }
+  if (!(options.shrink > 0.0 && options.shrink < 1.0)) {
+    throw std::invalid_argument("refine_select: shrink must be in (0, 1)");
+  }
+
+  const double floor_h = initial.min();
+  const double ceil_h = initial.max();
+
+  BandwidthGrid grid(floor_h, ceil_h, options.k_per_round);
+  SelectionResult best = selector.select(data, grid);
+  std::size_t total_evaluations = best.evaluations;
+  double range = ceil_h - floor_h;
+
+  for (std::size_t round = 1; round < options.rounds; ++round) {
+    range *= options.shrink;
+    if (range <= 0.0) {
+      break;
+    }
+    double lo = std::max(floor_h, best.bandwidth - range / 2.0);
+    double hi = std::min(ceil_h, lo + range);
+    lo = std::max(floor_h, hi - range);  // keep the window width if clamped
+    if (!(lo < hi)) {
+      break;
+    }
+    grid = BandwidthGrid(lo, hi, options.k_per_round);
+    SelectionResult round_result = selector.select(data, grid);
+    total_evaluations += round_result.evaluations;
+    if (round_result.cv_score <= best.cv_score) {
+      best = std::move(round_result);
+    }
+  }
+  best.evaluations = total_evaluations;
+  best.method += "+refine";
+  return best;
+}
+
+}  // namespace kreg

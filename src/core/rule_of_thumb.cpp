@@ -1,0 +1,76 @@
+#include "core/rule_of_thumb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/loocv.hpp"
+#include "stats/descriptive.hpp"
+
+namespace kreg {
+
+namespace {
+
+/// Canonical bandwidth (delta_0 in Marron & Nolan 1988): the kernel-
+/// specific scale factor (R(K)/κ₂(K)²)^(1/5) that makes bandwidths
+/// comparable across kernels. Rules of thumb are stated for the Gaussian;
+/// multiplying by delta(K)/delta(Gaussian) transfers them.
+double canonical_delta(KernelType kernel) {
+  const double r = roughness(kernel);
+  const double k2 = second_moment(kernel);
+  return std::pow(r / (k2 * k2), 0.2);
+}
+
+double kernel_factor(KernelType kernel) {
+  return canonical_delta(kernel) / canonical_delta(KernelType::kGaussian);
+}
+
+void check_sample(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("rule of thumb: need at least 2 observations");
+  }
+}
+
+}  // namespace
+
+double silverman_bandwidth(std::span<const double> xs, KernelType kernel) {
+  check_sample(xs);
+  const double sd = stats::stddev(xs);
+  const double iqr_scaled = stats::iqr(xs) / 1.349;
+  double spread = std::min(sd, iqr_scaled);
+  if (spread <= 0.0) {
+    spread = std::max(sd, iqr_scaled);  // degenerate IQR (heavy ties)
+  }
+  if (spread <= 0.0) {
+    throw std::invalid_argument("silverman_bandwidth: zero-spread sample");
+  }
+  const double n = static_cast<double>(xs.size());
+  return 0.9 * spread * std::pow(n, -0.2) * kernel_factor(kernel);
+}
+
+double scott_bandwidth(std::span<const double> xs, KernelType kernel) {
+  check_sample(xs);
+  const double sd = stats::stddev(xs);
+  if (sd <= 0.0) {
+    throw std::invalid_argument("scott_bandwidth: zero-variance sample");
+  }
+  const double n = static_cast<double>(xs.size());
+  return 1.06 * sd * std::pow(n, -0.2) * kernel_factor(kernel);
+}
+
+SelectionResult rule_of_thumb_select(const data::Dataset& data,
+                                     ThumbRule rule, KernelType kernel) {
+  data.validate();
+  const double h = rule == ThumbRule::kSilverman
+                       ? silverman_bandwidth(data.x, kernel)
+                       : scott_bandwidth(data.x, kernel);
+  SelectionResult result;
+  result.bandwidth = h;
+  result.cv_score = cv_score(data, h, kernel);
+  result.evaluations = 1;
+  result.method = rule == ThumbRule::kSilverman
+                      ? "rule-of-thumb(silverman)"
+                      : "rule-of-thumb(scott)";
+  return result;
+}
+
+}  // namespace kreg

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "core/kernels.hpp"
+#include "core/types.hpp"
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// Rule-of-thumb bandwidth selectors — the ad hoc shortcuts the paper's
+/// introduction says practitioners fall back on "in place of the optimal
+/// bandwidth" because cross-validation is expensive. Provided both as
+/// honest baselines for the examples/benches and as cheap initializers for
+/// the grid-refinement loop. All run in O(n log n) (one sort for the IQR).
+
+/// Silverman's (1986) rule for kernel *density* estimation:
+///   h = 0.9 · min(σ̂, IQR/1.349) · n^(−1/5),
+/// rescaled to the target kernel via the canonical-bandwidth ratio so that,
+/// e.g., the Epanechnikov value is comparable to the Gaussian one.
+double silverman_bandwidth(std::span<const double> xs,
+                           KernelType kernel = KernelType::kGaussian);
+
+/// Scott's (1992) rule: h = 1.06 · σ̂ · n^(−1/5), same kernel rescaling.
+double scott_bandwidth(std::span<const double> xs,
+                       KernelType kernel = KernelType::kGaussian);
+
+/// Rule-of-thumb selector for *regression*: applies the chosen density rule
+/// to the X sample. This is exactly the kind of proxy the paper warns
+/// about — it ignores Y entirely — but it is what much applied work uses.
+enum class ThumbRule { kSilverman, kScott };
+
+SelectionResult rule_of_thumb_select(
+    const data::Dataset& data, ThumbRule rule = ThumbRule::kSilverman,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+}  // namespace kreg

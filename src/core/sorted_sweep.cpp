@@ -1,0 +1,219 @@
+#include "core/sorted_sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/parallel_for.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg {
+
+std::string_view to_string(Precision precision) noexcept {
+  return precision == Precision::kFloat ? "float" : "double";
+}
+
+template <class Scalar>
+void sweep_observation(std::span<const double> x, std::span<const double> y,
+                       std::size_t i, std::span<const double> grid,
+                       const SweepPolynomial& poly,
+                       SweepWorkspace<Scalar>& workspace,
+                       std::span<Scalar> out_sq_residuals) {
+  const std::size_t n = x.size();
+  const std::size_t k = grid.size();
+  workspace.resize(n);
+  std::span<Scalar> dist(workspace.dist);
+  std::span<Scalar> yrow(workspace.yrow);
+
+  // Fill this thread's row of the distance and Y "matrices" (paper §IV-B:
+  // "Each thread j fills in n values of the abs(X_i − X_j) and Y_i
+  // matrices").
+  const Scalar xi = static_cast<Scalar>(x[i]);
+  for (std::size_t l = 0; l < n; ++l) {
+    dist[l] = std::abs(static_cast<Scalar>(x[l]) - xi);
+    yrow[l] = static_cast<Scalar>(y[l]);
+  }
+
+  // "Next, it sorts both of these matrices in order of abs(X_i − X_j)" —
+  // the iterative quicksort with Y as the auxiliary variable.
+  sort::iterative_quicksort_kv(dist, yrow);
+
+  // Incremental moment accumulation across the ascending grid.
+  const std::size_t terms = poly.max_power + 1;
+  Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};  // Σ |d|^m over admitted l
+  Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};  // Σ Y_l |d|^m
+  const Scalar yi = static_cast<Scalar>(y[i]);
+
+  std::size_t p = 0;  // observations admitted so far (dist[0..p) <= h)
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar h = static_cast<Scalar>(grid[b]);
+    while (p < n && dist[p] <= h) {
+      // Powers |d|^m accumulated incrementally: pw steps 1, |d|, |d|², …
+      Scalar pw = Scalar{1};
+      for (std::size_t m = 0; m < terms; ++m) {
+        s_m[m] += pw;
+        t_m[m] += yrow[p] * pw;
+        pw *= dist[p];
+      }
+      ++p;
+    }
+
+    // Recombine moments into the LOO numerator/denominator. The self term
+    // sits at distance 0 (always admitted): it contributes 1 to S_0 and
+    // Y_i to T_0 and nothing to higher moments, so subtracting it is exact.
+    Scalar numerator = Scalar{0};
+    Scalar denominator = Scalar{0};
+    const Scalar inv_h = Scalar{1} / h;
+    Scalar inv_pow = Scalar{1};  // h^(−m)
+    for (std::size_t m = 0; m < terms; ++m) {
+      const auto c = static_cast<Scalar>(poly.coeff[m]);
+      if (c != Scalar{0}) {
+        const Scalar s_excl = m == 0 ? s_m[m] - Scalar{1} : s_m[m];
+        const Scalar t_excl = m == 0 ? t_m[m] - yi : t_m[m];
+        numerator += c * t_excl * inv_pow;
+        denominator += c * s_excl * inv_pow;
+      }
+      inv_pow *= inv_h;
+    }
+
+    if (denominator > Scalar{0}) {
+      const Scalar e = yi - numerator / denominator;
+      out_sq_residuals[b] = e * e;
+    } else {
+      out_sq_residuals[b] = Scalar{0};  // M(X_i) = 0: no valid neighbour
+    }
+  }
+}
+
+template void sweep_observation<float>(std::span<const double>,
+                                       std::span<const double>, std::size_t,
+                                       std::span<const double>,
+                                       const SweepPolynomial&,
+                                       SweepWorkspace<float>&,
+                                       std::span<float>);
+template void sweep_observation<double>(std::span<const double>,
+                                        std::span<const double>, std::size_t,
+                                        std::span<const double>,
+                                        const SweepPolynomial&,
+                                        SweepWorkspace<double>&,
+                                        std::span<double>);
+
+namespace {
+
+void check_profile_inputs(const data::Dataset& data,
+                          std::span<const double> grid, KernelType kernel) {
+  if (data.empty()) {
+    throw std::invalid_argument("sweep_cv_profile: empty dataset");
+  }
+  if (grid.empty()) {
+    throw std::invalid_argument("sweep_cv_profile: empty bandwidth grid");
+  }
+  if (!(grid.front() > 0.0)) {
+    throw std::invalid_argument("sweep_cv_profile: bandwidths must be > 0");
+  }
+  for (std::size_t b = 1; b < grid.size(); ++b) {
+    if (grid[b] < grid[b - 1]) {
+      throw std::invalid_argument("sweep_cv_profile: grid must be ascending");
+    }
+  }
+  if (!is_sweepable(kernel)) {
+    throw std::invalid_argument(
+        "sweep_cv_profile: kernel '" + std::string(to_string(kernel)) +
+        "' is not supported by the sorting-based sweep; use the naive path");
+  }
+}
+
+template <class Scalar>
+std::vector<double> profile_sequential(const data::Dataset& data,
+                                       std::span<const double> grid,
+                                       KernelType kernel) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const SweepPolynomial poly = sweep_polynomial(kernel);
+
+  std::vector<double> totals(k, 0.0);
+  SweepWorkspace<Scalar> workspace;
+  std::vector<Scalar> residuals(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    sweep_observation<Scalar>(data.x, data.y, i, grid, poly, workspace,
+                              residuals);
+    for (std::size_t b = 0; b < k; ++b) {
+      totals[b] += static_cast<double>(residuals[b]);
+    }
+  }
+  for (double& total : totals) {
+    total /= static_cast<double>(n);
+  }
+  return totals;
+}
+
+template <class Scalar>
+std::vector<double> profile_parallel(const data::Dataset& data,
+                                     std::span<const double> grid,
+                                     KernelType kernel,
+                                     parallel::ThreadPool* pool) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const SweepPolynomial poly = sweep_polynomial(kernel);
+  if (pool == nullptr) {
+    pool = &parallel::ThreadPool::global();
+  }
+
+  // One private accumulator per worker slice; combined in slice order so
+  // the result is independent of scheduling.
+  const std::vector<parallel::BlockedRange> slices =
+      parallel::partition_evenly(n, pool->size());
+  std::vector<std::vector<double>> partials(slices.size(),
+                                            std::vector<double>(k, 0.0));
+
+  parallel::parallel_for(
+      slices.size(),
+      [&](std::size_t s) {
+        SweepWorkspace<Scalar> workspace;
+        std::vector<Scalar> residuals(k);
+        std::vector<double>& acc = partials[s];
+        for (std::size_t i = slices[s].begin; i < slices[s].end; ++i) {
+          sweep_observation<Scalar>(data.x, data.y, i, grid, poly, workspace,
+                                    residuals);
+          for (std::size_t b = 0; b < k; ++b) {
+            acc[b] += static_cast<double>(residuals[b]);
+          }
+        }
+      },
+      pool);
+
+  std::vector<double> totals(k, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t b = 0; b < k; ++b) {
+      totals[b] += partial[b];
+    }
+  }
+  for (double& total : totals) {
+    total /= static_cast<double>(n);
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<double> sweep_cv_profile(const data::Dataset& data,
+                                     std::span<const double> grid,
+                                     KernelType kernel, Precision precision) {
+  check_profile_inputs(data, grid, kernel);
+  return precision == Precision::kFloat
+             ? profile_sequential<float>(data, grid, kernel)
+             : profile_sequential<double>(data, grid, kernel);
+}
+
+std::vector<double> sweep_cv_profile_parallel(const data::Dataset& data,
+                                              std::span<const double> grid,
+                                              KernelType kernel,
+                                              Precision precision,
+                                              parallel::ThreadPool* pool) {
+  check_profile_inputs(data, grid, kernel);
+  return precision == Precision::kFloat
+             ? profile_parallel<float>(data, grid, kernel, pool)
+             : profile_parallel<double>(data, grid, kernel, pool);
+}
+
+}  // namespace kreg

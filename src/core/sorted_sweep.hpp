@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "data/dataset.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kreg {
+
+/// Floating-point width of the sweep computation. The paper computes in
+/// single precision ("only single-precision floating point numbers are
+/// used") for memory and device-compatibility reasons; double precision is
+/// this library's extension (and its default on the host paths).
+enum class Precision { kFloat, kDouble };
+
+std::string_view to_string(Precision precision) noexcept;
+
+/// Reusable scratch for one observation's sweep: the distance row, the
+/// permuted-Y row, and the moment accumulators. One instance per worker;
+/// re-used across observations so the inner loop allocates nothing.
+template <class Scalar>
+struct SweepWorkspace {
+  std::vector<Scalar> dist;  ///< |X_i − X_l| for all l (self included)
+  std::vector<Scalar> yrow;  ///< Y_l permuted alongside dist
+
+  void resize(std::size_t n) {
+    dist.resize(n);
+    yrow.resize(n);
+  }
+};
+
+/// The paper's §III algorithm for a single observation i.
+///
+/// Builds the row of absolute distances |X_i − X_l| (all l, self included),
+/// sorts it with the iterative quicksort carrying Y as payload, then sweeps
+/// the ascending bandwidth grid once: each bandwidth extends the running
+/// moment sums S_m = Σ |d|^m and T_m = Σ Y·|d|^m with exactly the newly
+/// admitted observations ("once the summations are complete for the first
+/// bandwidth value h₁, we use the same summations for bandwidth h₂ and add
+/// the terms for the remaining observations"). Numerator and denominator of
+/// the leave-one-out estimator follow from the moments via the kernel's
+/// polynomial coefficients rescaled by h^(−m); the self term (distance 0)
+/// is subtracted analytically, and M(X_i) = 0 cases produce a 0 residual.
+///
+/// Writes the squared LOO residual for every grid value into
+/// `out_sq_residuals` (size == grid.size(); grid must be ascending and
+/// positive). Cost: O(n log n) for the sort + O(n + k) for the sweep.
+template <class Scalar>
+void sweep_observation(std::span<const double> x, std::span<const double> y,
+                       std::size_t i, std::span<const double> grid,
+                       const SweepPolynomial& poly,
+                       SweepWorkspace<Scalar>& workspace,
+                       std::span<Scalar> out_sq_residuals);
+
+extern template void sweep_observation<float>(
+    std::span<const double>, std::span<const double>, std::size_t,
+    std::span<const double>, const SweepPolynomial&, SweepWorkspace<float>&,
+    std::span<float>);
+extern template void sweep_observation<double>(
+    std::span<const double>, std::span<const double>, std::size_t,
+    std::span<const double>, const SweepPolynomial&, SweepWorkspace<double>&,
+    std::span<double>);
+
+/// Full CV profile CV_lc(h) for every h in the (ascending) grid, computed
+/// with the sorted sweep, sequentially over observations — the numerical
+/// core of Program 3. Requires a sweepable kernel.
+std::vector<double> sweep_cv_profile(const data::Dataset& data,
+                                     std::span<const double> grid,
+                                     KernelType kernel,
+                                     Precision precision = Precision::kDouble);
+
+/// Same profile with observations distributed across a thread pool
+/// (deterministic combination order). nullptr = global pool.
+std::vector<double> sweep_cv_profile_parallel(
+    const data::Dataset& data, std::span<const double> grid, KernelType kernel,
+    Precision precision = Precision::kDouble,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace kreg

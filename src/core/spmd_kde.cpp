@@ -1,0 +1,115 @@
+#include "core/spmd_kde.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/detail/kde_polynomials.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg {
+
+SpmdKdeSelector::SpmdKdeSelector(spmd::Device& device, SpmdKdeConfig config)
+    : device_(device), config_(config) {
+  if (config_.threads_per_block == 0) {
+    throw std::invalid_argument("SpmdKdeSelector: threads_per_block == 0");
+  }
+}
+
+SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
+                                        const BandwidthGrid& grid) const {
+  if (!is_kde_sweepable(config_.kernel)) {
+    throw std::invalid_argument(
+        "SpmdKdeSelector: kernel '" + std::string(to_string(config_.kernel)) +
+        "' lacks a single-polynomial self-convolution");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("SpmdKdeSelector: need >= 2 observations");
+  }
+  const std::size_t n = xs.size();
+  const std::size_t k = grid.size();
+  const std::size_t tpb = std::min(config_.threads_per_block,
+                                   device_.properties().max_threads_per_block);
+  const detail::SupportPolynomial kpoly =
+      detail::kde_kernel_poly(config_.kernel);
+  const detail::SupportPolynomial cpoly =
+      detail::kde_convolution_poly(config_.kernel);
+  const double roughness_value = roughness(config_.kernel);
+
+  // Device memory plan: X, the |Δ| row matrix, two n×k contribution
+  // matrices (bandwidth-major), per-bandwidth sums, scores.
+  std::vector<double> host_grid(grid.values());
+  spmd::ConstantBuffer<double> c_grid =
+      device_.upload_constant<double>(host_grid);
+  spmd::DeviceBuffer<double> d_x = device_.alloc_global<double>(n);
+  device_.copy_to_device(d_x, xs);
+  spmd::DeviceBuffer<double> d_rows = device_.alloc_global<double>(n * n);
+  spmd::DeviceBuffer<double> d_conv = device_.alloc_global<double>(n * k);
+  spmd::DeviceBuffer<double> d_loo = device_.alloc_global<double>(n * k);
+  spmd::DeviceBuffer<double> d_scores = device_.alloc_global<double>(k);
+
+  std::span<const double> dxs = d_x.span();
+  std::span<const double> hs = c_grid.span();
+  std::span<double> rows = d_rows.span();
+  std::span<double> conv_all = d_conv.span();
+  std::span<double> loo_all = d_loo.span();
+
+  // Main kernel: per-thread sort + double-pointer sweep.
+  const std::size_t max_power = std::max(kpoly.max_power, cpoly.max_power);
+  device_.launch(
+      spmd::LaunchConfig::cover(n, tpb), [&, n, k](const spmd::ThreadCtx& t) {
+        const std::size_t i = t.global_idx();
+        if (i >= n) {
+          return;
+        }
+        std::span<double> row = rows.subspan(i * n, n);
+        const double xi = dxs[i];
+        for (std::size_t l = 0; l < n; ++l) {
+          const double d = dxs[l] - xi;
+          row[l] = d < 0.0 ? -d : d;
+        }
+        sort::iterative_quicksort(row);
+
+        detail::MomentSweep conv_sweep;
+        detail::MomentSweep loo_sweep;
+        for (std::size_t b = 0; b < k; ++b) {
+          const double h = hs[b];
+          conv_sweep.admit_through(row, cpoly.support_scale * h, max_power);
+          loo_sweep.admit_through(row, kpoly.support_scale * h, max_power);
+          // Bandwidth-major for contiguous per-bandwidth reductions.
+          conv_all[b * n + i] = conv_sweep.combine(cpoly, h);
+          loo_all[b * n + i] = loo_sweep.combine(kpoly, h);
+        }
+      });
+
+  // 2k single-block reductions, then assemble the LSCV scores.
+  std::span<double> scores = d_scores.span();
+  for (std::size_t b = 0; b < k; ++b) {
+    const double conv_total = spmd::reduce_sum<double>(
+        device_, conv_all.subspan(b * n, n), tpb, config_.reduce_variant);
+    const double loo_total = spmd::reduce_sum<double>(
+        device_, loo_all.subspan(b * n, n), tpb, config_.reduce_variant);
+    scores[b] =
+        detail::assemble_lscv(roughness_value, conv_total, loo_total, n,
+                              grid[b]);
+  }
+  const spmd::ArgminResult<double> best = spmd::reduce_argmin<double>(
+      device_, std::span<const double>(scores), tpb);
+
+  SelectionResult result;
+  result.bandwidth = grid[best.index];
+  result.cv_score = best.value;
+  result.grid = grid.values();
+  result.scores.assign(scores.begin(), scores.end());
+  result.evaluations = k;
+  result.method = name();
+  return result;
+}
+
+std::string SpmdKdeSelector::name() const {
+  return "spmd-kde-lscv(" + std::string(to_string(config_.kernel)) +
+         ",tpb=" + std::to_string(config_.threads_per_block) + ")";
+}
+
+}  // namespace kreg

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/kde_sweep.hpp"
+#include "core/types.hpp"
+#include "spmd/device.hpp"
+#include "spmd/reduce.hpp"
+
+namespace kreg {
+
+/// Configuration for the device KDE selector (subset of the regression
+/// selector's knobs; the paper's defaults again).
+struct SpmdKdeConfig {
+  KernelType kernel = KernelType::kEpanechnikov;
+  std::size_t threads_per_block = 512;
+  spmd::ReduceVariant reduce_variant = spmd::ReduceVariant::kSequential;
+};
+
+/// KDE LSCV bandwidth selection on the simulated SPMD device — the paper's
+/// §II extension ("optimal bandwidth selection for kernel density
+/// estimation") executed with the paper's own GPU recipe:
+///
+///   1. X and two n×k contribution matrices in global memory; the
+///      bandwidth grid in constant memory (same 8 KB / 2,048-value cap).
+///   2. Main kernel, one thread per observation: sort the thread's |Δ| row
+///      (iterative quicksort), then sweep the ascending grid with two
+///      admission pointers (supports h and 2h), writing per-(i, h) leave-
+///      one-out and convolution sums, bandwidth-major.
+///   3. 2k single-block Harris reductions produce Σ_i of both matrices;
+///      the LSCV scores assemble on the host and one argmin reduction
+///      picks the bandwidth.
+///
+/// Only double precision is offered (LSCV subtracts two near-equal O(1)
+/// terms, where float's 7 digits are marginal). Requires
+/// is_kde_sweepable(kernel).
+class SpmdKdeSelector {
+ public:
+  explicit SpmdKdeSelector(spmd::Device& device, SpmdKdeConfig config = {});
+
+  SelectionResult select(std::span<const double> xs,
+                         const BandwidthGrid& grid) const;
+  std::string name() const;
+
+ private:
+  spmd::Device& device_;
+  SpmdKdeConfig config_;
+};
+
+}  // namespace kreg

@@ -1,0 +1,245 @@
+#include "core/spmd_selector.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/detail/device_sweep.hpp"
+
+namespace kreg {
+
+std::string_view to_string(ResidualLayout layout) noexcept {
+  switch (layout) {
+    case ResidualLayout::kObservationMajor:
+      return "observation-major";
+    case ResidualLayout::kBandwidthMajor:
+      return "bandwidth-major";
+  }
+  return "unknown";
+}
+
+SpmdGridSelector::SpmdGridSelector(spmd::Device& device,
+                                   SpmdSelectorConfig config)
+    : device_(device), config_(config) {
+  if (config_.threads_per_block == 0) {
+    throw std::invalid_argument("SpmdGridSelector: threads_per_block == 0");
+  }
+}
+
+std::size_t SpmdGridSelector::estimated_bytes(std::size_t n, std::size_t k,
+                                              Precision precision,
+                                              bool streaming) {
+  const std::size_t elem =
+      precision == Precision::kFloat ? sizeof(float) : sizeof(double);
+  // x + y + scores + two n×k sum matrices + n×k residual matrix …
+  std::size_t elems = 2 * n + k + 3 * n * k;
+  // … plus the two n×n matrices unless streaming.
+  if (!streaming) {
+    elems += 2 * n * n;
+  }
+  return elems * elem;
+}
+
+namespace {
+
+template <class Scalar>
+SelectionResult run_device_selection(spmd::Device& device,
+                                     const SpmdSelectorConfig& config,
+                                     const data::Dataset& data,
+                                     const BandwidthGrid& grid,
+                                     std::string method_name) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  // The paper used the device maximum (512); clamp the request the same way
+  // so one selector config runs on any device.
+  const std::size_t tpb = std::min(config.threads_per_block,
+                                   device.properties().max_threads_per_block);
+  const SweepPolynomial poly = sweep_polynomial(config.kernel);
+
+  // --- Host-side staging -------------------------------------------------
+  std::vector<Scalar> host_x(n);
+  std::vector<Scalar> host_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    host_x[i] = static_cast<Scalar>(data.x[i]);
+    host_y[i] = static_cast<Scalar>(data.y[i]);
+  }
+  std::vector<Scalar> host_grid(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    host_grid[b] = static_cast<Scalar>(grid[b]);
+  }
+
+  // --- Device memory plan (paper §IV-A) -----------------------------------
+  // Bandwidths live in constant memory; the 8 KB working set caps k.
+  spmd::ConstantBuffer<Scalar> c_grid =
+      device.upload_constant<Scalar>(host_grid);
+
+  spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n);
+  spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n);
+  device.copy_to_device(d_x, std::span<const Scalar>(host_x));
+  device.copy_to_device(d_y, std::span<const Scalar>(host_y));
+
+  // Two n×n matrices for the per-thread sorted rows (skipped in streaming
+  // mode, the paper's future-work extension).
+  spmd::DeviceBuffer<Scalar> d_dist;
+  spmd::DeviceBuffer<Scalar> d_ymat;
+  if (!config.streaming) {
+    d_dist = device.alloc_global<Scalar>(n * n);
+    d_ymat = device.alloc_global<Scalar>(n * n);
+  }
+
+  // Two n×k matrices of bandwidth-specific sums, and the n×k squared
+  // residual matrix.
+  spmd::DeviceBuffer<Scalar> d_sum_y = device.alloc_global<Scalar>(n * k);
+  spmd::DeviceBuffer<Scalar> d_sum_w = device.alloc_global<Scalar>(n * k);
+  spmd::DeviceBuffer<Scalar> d_resid = device.alloc_global<Scalar>(n * k);
+  spmd::DeviceBuffer<Scalar> d_scores = device.alloc_global<Scalar>(k);
+
+  std::span<const Scalar> xs = d_x.span();
+  std::span<const Scalar> ys = d_y.span();
+  std::span<const Scalar> hs = c_grid.span();
+  std::span<Scalar> dist_all = d_dist.span();
+  std::span<Scalar> ymat_all = d_ymat.span();
+  std::span<Scalar> sum_y_all = d_sum_y.span();
+  std::span<Scalar> sum_w_all = d_sum_w.span();
+  std::span<Scalar> resid_all = d_resid.span();
+  const bool bandwidth_major = config.layout == ResidualLayout::kBandwidthMajor;
+  const bool streaming = config.streaming;
+
+  // --- Main kernel (paper §IV-B) ------------------------------------------
+  // One thread per observation; no shared memory or cross-thread
+  // coordination, so an independent launch.
+  const spmd::LaunchConfig main_cfg =
+      spmd::LaunchConfig::cover(n, tpb);
+  device.launch(main_cfg, [&, n, k](const spmd::ThreadCtx& t) {
+    const std::size_t j = t.global_idx();
+    if (j >= n) {
+      return;  // padding thread in the last block
+    }
+
+    // Thread j's rows of the distance and Y matrices. In streaming mode the
+    // rows live in thread-local scratch ("local memory") instead of the
+    // global-memory matrices.
+    std::vector<Scalar> local_dist;
+    std::vector<Scalar> local_y;
+    std::span<Scalar> dist;
+    std::span<Scalar> yrow;
+    if (streaming) {
+      local_dist.resize(n);
+      local_y.resize(n);
+      dist = local_dist;
+      yrow = local_y;
+    } else {
+      dist = dist_all.subspan(j * n, n);
+      yrow = ymat_all.subspan(j * n, n);
+    }
+
+    // Fill + sort + sweep + residual loop (shared kernel body); residuals
+    // land with the indices switched to bandwidth-major when configured —
+    // "to facilitate efficient caching… the array is indexed as k separate
+    // groups of n".
+    detail::sweep_thread<Scalar>(
+        xs, ys, hs, poly, j, dist, yrow, sum_y_all.subspan(j * k, k),
+        sum_w_all.subspan(j * k, k), [&](std::size_t b, Scalar sq) {
+          resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
+        });
+  });
+
+  // --- Reductions (paper §IV-B) --------------------------------------------
+  // One single-block sum reduction per bandwidth. Bandwidth-major layout
+  // reads a contiguous run; observation-major reads with stride k.
+  std::span<Scalar> scores = d_scores.span();
+  const std::size_t block_dim = spmd::detail::reduction_block_dim(
+      device, tpb);
+  for (std::size_t b = 0; b < k; ++b) {
+    if (bandwidth_major) {
+      scores[b] = spmd::reduce_sum<Scalar>(
+          device, resid_all.subspan(b * n, n), tpb,
+          config.reduce_variant);
+    } else {
+      // Strided single-block reduction over resid[j*k + b].
+      Scalar total{};
+      device.launch_cooperative(
+          spmd::LaunchConfig{1, block_dim}, block_dim * sizeof(Scalar),
+          [&](spmd::BlockCtx& ctx) {
+            std::span<Scalar> shared = ctx.template shared_as<Scalar>(block_dim);
+            ctx.for_each_thread([&](std::size_t tid) {
+              Scalar acc{};
+              for (std::size_t j = tid; j < n; j += block_dim) {
+                acc += resid_all[j * k + b];
+              }
+              shared[tid] = acc;
+            });
+            for (std::size_t stride = block_dim / 2; stride > 0; stride /= 2) {
+              ctx.for_each_thread([&](std::size_t tid) {
+                if (tid < stride) {
+                  shared[tid] += shared[tid + stride];
+                }
+              });
+            }
+            total = shared[0];
+          });
+      scores[b] = total;
+    }
+  }
+
+  // Argmin reduction over the k scores (2T shared elements: values +
+  // payload, per the paper; index payload per its footnote 2).
+  const spmd::ArgminResult<Scalar> best = spmd::reduce_argmin<Scalar>(
+      device, std::span<const Scalar>(scores), tpb);
+
+  // --- Assemble the result --------------------------------------------------
+  std::vector<Scalar> host_scores(k);
+  device.copy_to_host(std::span<Scalar>(host_scores), d_scores);
+  std::vector<double> cv(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    // Normalize the paper's raw sums to CV_lc's n⁻¹ scale.
+    cv[b] = static_cast<double>(host_scores[b]) / static_cast<double>(n);
+  }
+
+  SelectionResult result;
+  result.bandwidth = grid[best.index];
+  result.cv_score = cv[best.index];
+  result.grid = grid.values();
+  result.scores = std::move(cv);
+  result.evaluations = k;
+  result.method = std::move(method_name);
+  return result;
+}
+
+}  // namespace
+
+SelectionResult SpmdGridSelector::select(const data::Dataset& data,
+                                         const BandwidthGrid& grid) const {
+  data.validate();
+  if (data.empty()) {
+    throw std::invalid_argument("SpmdGridSelector: empty dataset");
+  }
+  if (!is_sweepable(config_.kernel)) {
+    throw std::invalid_argument(
+        "SpmdGridSelector: kernel '" +
+        std::string(to_string(config_.kernel)) +
+        "' is not supported by the device sweep");
+  }
+  return config_.precision == Precision::kFloat
+             ? run_device_selection<float>(device_, config_, data, grid,
+                                           name())
+             : run_device_selection<double>(device_, config_, data, grid,
+                                            name());
+}
+
+std::string SpmdGridSelector::name() const {
+  std::string n = "spmd-grid(";
+  n += to_string(config_.kernel);
+  n += ",";
+  n += to_string(config_.precision);
+  n += ",tpb=" + std::to_string(config_.threads_per_block);
+  n += ",";
+  n += to_string(config_.layout);
+  if (config_.streaming) {
+    n += ",streaming";
+  }
+  n += ")";
+  return n;
+}
+
+}  // namespace kreg

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/selectors.hpp"
+#include "spmd/device.hpp"
+#include "spmd/reduce.hpp"
+
+namespace kreg {
+
+/// Memory layout of the squared-residual matrix (paper §IV-B).
+enum class ResidualLayout {
+  /// n groups of k: natural for the per-thread bandwidth loop that writes.
+  kObservationMajor,
+  /// k groups of n — the paper's choice: "the matrix indices are switched
+  /// at this stage… the array is indexed as k separate groups of n" so each
+  /// per-bandwidth reduction reads a contiguous run.
+  kBandwidthMajor,
+};
+std::string_view to_string(ResidualLayout layout) noexcept;
+
+/// Configuration of the SPMD (device) grid selector.
+struct SpmdSelectorConfig {
+  KernelType kernel = KernelType::kEpanechnikov;
+  /// The paper computes in single precision; kDouble is this library's
+  /// extension. Note the constant-memory cap halves for doubles
+  /// (1,024 bandwidths instead of 2,048).
+  Precision precision = Precision::kFloat;
+  /// Paper: "the fastest performance was found with threads per block set
+  /// to 512, the maximum possible on the GPU being used".
+  std::size_t threads_per_block = 512;
+  ResidualLayout layout = ResidualLayout::kBandwidthMajor;
+  spmd::ReduceVariant reduce_variant = spmd::ReduceVariant::kSequential;
+  /// Extension (the paper's stated future work): stream each observation's
+  /// distance row through thread-local scratch instead of materializing the
+  /// two n×n global-memory matrices, lifting the n ≤ 20,000 limit.
+  bool streaming = false;
+};
+
+/// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the
+/// simulated SPMD device.
+///
+/// Faithful (non-streaming) mode reproduces the paper's §IV memory plan and
+/// kernel sequence exactly:
+///   1. X, Y and two n×n matrices (|X_i − X_l| and Y) in global memory; the
+///      bandwidth grid in constant memory (≤ 8 KB ⇒ k ≤ 2,048 floats).
+///   2. Main kernel, one thread per observation, 512 threads/block: fill
+///      the thread's rows, sort them with the iterative quicksort (Y as the
+///      auxiliary variable), sweep the ascending grid accumulating the
+///      bandwidth-specific sums into two n×k matrices, then loop over the k
+///      bandwidths computing (Y_j − ĝ₋ⱼ(X_j))²·M(X_j) into an n×k residual
+///      matrix with transposed (bandwidth-major) indexing.
+///   3. k single-block Harris-style sum reductions (one per bandwidth)
+///      produce the CV scores; one argmin reduction with index payload
+///      picks the winner.
+///
+/// Because the device charges every allocation against its 4 GB ledger,
+/// the paper's capacity cliff reproduces: with float matrices the largest
+/// feasible sample is ≈ 20,000 observations, and larger n throws
+/// spmd::DeviceAllocError (catchable; see bench_memory_limit). Streaming
+/// mode removes the n×n matrices and the limit.
+class SpmdGridSelector final : public Selector {
+ public:
+  /// The device must outlive the selector.
+  explicit SpmdGridSelector(spmd::Device& device,
+                            SpmdSelectorConfig config = {});
+
+  SelectionResult select(const data::Dataset& data,
+                         const BandwidthGrid& grid) const override;
+  std::string name() const override;
+
+  const SpmdSelectorConfig& config() const noexcept { return config_; }
+
+  /// Predicted device-memory footprint of a (n, k) problem in bytes —
+  /// what select() will ask the ledger for. Used by the memory-limit bench
+  /// to chart the paper's n > 20,000 failure.
+  static std::size_t estimated_bytes(std::size_t n, std::size_t k,
+                                     Precision precision, bool streaming);
+
+ private:
+  spmd::Device& device_;
+  SpmdSelectorConfig config_;
+};
+
+}  // namespace kreg

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kreg {
+
+/// Outcome of a bandwidth selection.
+///
+/// Grid-based selectors fill `grid`/`scores` with the whole cross-validation
+/// profile (same length, aligned); optimizer-based selectors leave them
+/// empty and report the trajectory length in `evaluations` instead.
+struct SelectionResult {
+  double bandwidth = 0.0;   ///< selected h (argmin of the CV criterion)
+  double cv_score = 0.0;    ///< CV_lc at the selected bandwidth
+  std::vector<double> grid;    ///< candidate bandwidths evaluated (may be empty)
+  std::vector<double> scores;  ///< CV_lc per candidate (aligned with grid)
+  std::size_t evaluations = 0;  ///< number of CV-objective evaluations
+  std::string method;           ///< selector name, for reports
+};
+
+}  // namespace kreg

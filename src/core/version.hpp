@@ -1,0 +1,12 @@
+#pragma once
+
+namespace kreg {
+
+/// Library version, semantic. 1.0.0 corresponds to the full reproduction of
+/// Rohlfs & Zahran (IPPS 2017) plus the extensions listed in DESIGN.md §7.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace kreg

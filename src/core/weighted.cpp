@@ -1,0 +1,204 @@
+#include "core/weighted.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/selectors.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg {
+
+namespace {
+
+void check_weights(const data::Dataset& data,
+                   std::span<const double> weights) {
+  if (weights.size() != data.size()) {
+    throw std::invalid_argument("weighted: weights.size() != data.size()");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "weighted: weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("weighted: total weight must be positive");
+  }
+}
+
+void check_bandwidth(double h) {
+  if (!(h > 0.0)) {
+    throw std::invalid_argument("weighted: bandwidth must be positive");
+  }
+}
+
+}  // namespace
+
+double weighted_nw_evaluate(const data::Dataset& data,
+                            std::span<const double> weights, double x,
+                            double h, KernelType kernel) {
+  data.validate();
+  check_weights(data, weights);
+  check_bandwidth(h);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t l = 0; l < data.size(); ++l) {
+    const double w =
+        weights[l] * kernel_value(kernel, (x - data.x[l]) / h);
+    numerator += data.y[l] * w;
+    denominator += w;
+  }
+  if (denominator == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return numerator / denominator;
+}
+
+LooPrediction weighted_loo_predict(const data::Dataset& data,
+                                   std::span<const double> weights,
+                                   std::size_t i, double h,
+                                   KernelType kernel) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t l = 0; l < data.size(); ++l) {
+    if (l == i) {
+      continue;
+    }
+    const double w =
+        weights[l] * kernel_value(kernel, (data.x[i] - data.x[l]) / h);
+    numerator += data.y[l] * w;
+    denominator += w;
+  }
+  LooPrediction out;
+  if (denominator > 0.0) {
+    out.value = numerator / denominator;
+    out.valid = true;
+  }
+  return out;
+}
+
+double weighted_cv_score(const data::Dataset& data,
+                         std::span<const double> weights, double h,
+                         KernelType kernel) {
+  data.validate();
+  check_weights(data, weights);
+  check_bandwidth(h);
+  double acc = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    weight_total += weights[i];
+    if (weights[i] == 0.0) {
+      continue;
+    }
+    const LooPrediction p = weighted_loo_predict(data, weights, i, h, kernel);
+    if (p.valid) {
+      const double e = data.y[i] - p.value;
+      acc += weights[i] * e * e;
+    }
+  }
+  return acc / weight_total;
+}
+
+std::vector<double> weighted_sweep_cv_profile(const data::Dataset& data,
+                                              std::span<const double> weights,
+                                              std::span<const double> grid,
+                                              KernelType kernel) {
+  data.validate();
+  check_weights(data, weights);
+  if (grid.empty() || !(grid.front() > 0.0)) {
+    throw std::invalid_argument("weighted sweep: grid must be positive");
+  }
+  for (std::size_t b = 1; b < grid.size(); ++b) {
+    if (grid[b] < grid[b - 1]) {
+      throw std::invalid_argument("weighted sweep: grid must be ascending");
+    }
+  }
+  const SweepPolynomial poly = sweep_polynomial(kernel);  // throws if not sweepable
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const std::size_t terms = poly.max_power + 1;
+
+  double weight_total = 0.0;
+  for (double w : weights) {
+    weight_total += w;
+  }
+
+  std::vector<double> totals(k, 0.0);
+  // Row scratch: distances plus a (w, w·y) payload pair per entry.
+  std::vector<double> dist(n);
+  struct Payload {
+    double w;
+    double wy;
+  };
+  std::vector<Payload> payload(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) {
+      continue;  // zero-weight observations contribute nothing to CV_w
+    }
+    for (std::size_t l = 0; l < n; ++l) {
+      dist[l] = std::abs(data.x[i] - data.x[l]);
+      payload[l] = {weights[l], weights[l] * data.y[l]};
+    }
+    sort::iterative_quicksort_kv(std::span<double>(dist),
+                                 std::span<Payload>(payload));
+
+    double s_m[SweepPolynomial::kMaxPower + 1] = {};
+    double t_m[SweepPolynomial::kMaxPower + 1] = {};
+    std::size_t p = 0;
+    const double yi = data.y[i];
+    const double wi = weights[i];
+    for (std::size_t b = 0; b < k; ++b) {
+      const double h = grid[b];
+      while (p < n && dist[p] <= h) {
+        double pw = 1.0;
+        for (std::size_t m = 0; m < terms; ++m) {
+          s_m[m] += payload[p].w * pw;
+          t_m[m] += payload[p].wy * pw;
+          pw *= dist[p];
+        }
+        ++p;
+      }
+      double num = 0.0;
+      double den = 0.0;
+      const double inv_h = 1.0 / h;
+      double inv_pow = 1.0;
+      for (std::size_t m = 0; m < terms; ++m) {
+        const double c = poly.coeff[m];
+        if (c != 0.0) {
+          // Self term (distance 0): w_i at power 0 in S, w_i·y_i in T.
+          const double s_excl = m == 0 ? s_m[m] - wi : s_m[m];
+          const double t_excl = m == 0 ? t_m[m] - wi * yi : t_m[m];
+          num += c * t_excl * inv_pow;
+          den += c * s_excl * inv_pow;
+        }
+        inv_pow *= inv_h;
+      }
+      if (den > 0.0) {
+        const double e = yi - num / den;
+        totals[b] += wi * e * e;
+      }
+    }
+  }
+  for (double& t : totals) {
+    t /= weight_total;
+  }
+  return totals;
+}
+
+SelectionResult weighted_select(const data::Dataset& data,
+                                std::span<const double> weights,
+                                const BandwidthGrid& grid,
+                                KernelType kernel) {
+  std::vector<double> scores =
+      weighted_sweep_cv_profile(data, weights, grid.values(), kernel);
+  return selection_from_profile(
+      grid, std::move(scores),
+      "weighted-sorted-grid(" + std::string(to_string(kernel)) + ")");
+}
+
+}  // namespace kreg

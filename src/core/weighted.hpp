@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/kernels.hpp"
+#include "core/loocv.hpp"
+#include "core/types.hpp"
+#include "data/dataset.hpp"
+
+namespace kreg {
+
+/// Observation-weighted kernel regression — survey weights, replication
+/// weights, or frequency weights, the bread and butter of the applied
+/// econometrics audience the paper addresses. Weight w_l scales
+/// observation l's kernel contribution everywhere:
+///
+///   ĝ(x) = Σ_l w_l Y_l K((x−X_l)/h) / Σ_l w_l K((x−X_l)/h)
+///   CV_w(h) = Σ_i w_i (Y_i − ĝ₋ᵢ(X_i))² M(X_i) / Σ_i w_i
+///
+/// Frequency semantics hold exactly: doubling w_l is equivalent to
+/// duplicating observation l (tested), and unit weights recover the
+/// unweighted criterion. The §III sorting trick extends verbatim — the
+/// sweep's moments become S_m = Σ w_l |d|^m, T_m = Σ w_l Y_l |d|^m and the
+/// self term subtracts (w_i, w_i·Y_i) at power 0 — so the weighted grid
+/// search keeps the O(n² log n) cost.
+///
+/// All functions require weights.size() == data.size() and every w_l >= 0
+/// with a positive total.
+
+/// Weighted Nadaraya–Watson estimate at x (NaN where unsupported).
+double weighted_nw_evaluate(const data::Dataset& data,
+                            std::span<const double> weights, double x,
+                            double h,
+                            KernelType kernel = KernelType::kEpanechnikov);
+
+/// Weighted leave-one-out prediction for observation i.
+LooPrediction weighted_loo_predict(
+    const data::Dataset& data, std::span<const double> weights, std::size_t i,
+    double h, KernelType kernel = KernelType::kEpanechnikov);
+
+/// Weighted CV criterion, direct O(n²) evaluation.
+double weighted_cv_score(const data::Dataset& data,
+                         std::span<const double> weights, double h,
+                         KernelType kernel = KernelType::kEpanechnikov);
+
+/// Weighted CV profile over an ascending grid via the sorted sweep
+/// (O(n² log n) for all k bandwidths). Requires a sweepable kernel.
+std::vector<double> weighted_sweep_cv_profile(
+    const data::Dataset& data, std::span<const double> weights,
+    std::span<const double> grid,
+    KernelType kernel = KernelType::kEpanechnikov);
+
+/// Weighted grid selection via the sweep.
+SelectionResult weighted_select(const data::Dataset& data,
+                                std::span<const double> weights,
+                                const BandwidthGrid& grid,
+                                KernelType kernel = KernelType::kEpanechnikov);
+
+}  // namespace kreg

@@ -1,0 +1,88 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace kreg::data {
+
+namespace {
+
+/// Parses "a,b" into two doubles; returns false on any malformed field.
+bool parse_line(std::string_view line, double& a, double& b) {
+  const std::size_t comma = line.find(',');
+  if (comma == std::string_view::npos) {
+    return false;
+  }
+  const std::string_view first = line.substr(0, comma);
+  std::string_view second = line.substr(comma + 1);
+  // Tolerate a trailing carriage return from CRLF files.
+  if (!second.empty() && second.back() == '\r') {
+    second.remove_suffix(1);
+  }
+  const auto ra = std::from_chars(first.data(), first.data() + first.size(), a);
+  if (ra.ec != std::errc{} || ra.ptr != first.data() + first.size()) {
+    return false;
+  }
+  const auto rb =
+      std::from_chars(second.data(), second.data() + second.size(), b);
+  return rb.ec == std::errc{} && rb.ptr == second.data() + second.size();
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Dataset& dataset) {
+  out << "x,y\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out << dataset.x[i] << ',' << dataset.y[i] << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_csv_file: cannot open " + path);
+  }
+  write_csv(out, dataset);
+}
+
+Dataset read_csv(std::istream& in) {
+  Dataset d;
+  std::string line;
+  std::size_t line_no = 0;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") {
+      continue;
+    }
+    double x = 0.0;
+    double y = 0.0;
+    if (!parse_line(line, x, y)) {
+      if (first_content_line) {
+        first_content_line = false;  // header row
+        continue;
+      }
+      throw std::runtime_error("read_csv: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    first_content_line = false;
+    d.x.push_back(x);
+    d.y.push_back(y);
+  }
+  return d;
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_csv_file: cannot open " + path);
+  }
+  return read_csv(in);
+}
+
+}  // namespace kreg::data

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace kreg::data {
+
+/// Writes a dataset as two-column CSV with an "x,y" header.
+void write_csv(std::ostream& out, const Dataset& dataset);
+void write_csv_file(const std::string& path, const Dataset& dataset);
+
+/// Reads a two-column CSV. A first line that fails to parse as two numbers
+/// is treated as a header and skipped; afterwards every line must contain
+/// exactly two comma-separated numeric fields (blank lines are ignored).
+/// Throws std::runtime_error on malformed input, naming the line number.
+Dataset read_csv(std::istream& in);
+Dataset read_csv_file(const std::string& path);
+
+}  // namespace kreg::data

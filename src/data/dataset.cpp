@@ -1,0 +1,60 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace kreg::data {
+
+double Dataset::x_domain() const {
+  if (x.empty()) {
+    throw std::invalid_argument("Dataset::x_domain: empty sample");
+  }
+  return stats::range(x);
+}
+
+void Dataset::validate() const {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(
+        "Dataset::validate: x and y lengths differ (" +
+        std::to_string(x.size()) + " vs " + std::to_string(y.size()) + ")");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      throw std::invalid_argument("Dataset::validate: x[" +
+                                  std::to_string(i) + "] is not finite");
+    }
+    if (!std::isfinite(y[i])) {
+      throw std::invalid_argument("Dataset::validate: y[" +
+                                  std::to_string(i) + "] is not finite");
+    }
+  }
+}
+
+Split split_at(const Dataset& full, std::size_t train_count) {
+  if (train_count > full.size()) {
+    throw std::invalid_argument("split_at: train_count exceeds sample size");
+  }
+  Split out;
+  out.train.x.assign(full.x.begin(), full.x.begin() + train_count);
+  out.train.y.assign(full.y.begin(), full.y.begin() + train_count);
+  out.test.x.assign(full.x.begin() + train_count, full.x.end());
+  out.test.y.assign(full.y.begin() + train_count, full.y.end());
+  return out;
+}
+
+Dataset permute(const Dataset& full, std::span<const std::size_t> perm) {
+  assert(perm.size() == full.size());
+  Dataset out;
+  out.x.reserve(perm.size());
+  out.y.reserve(perm.size());
+  for (std::size_t idx : perm) {
+    out.x.push_back(full.x[idx]);
+    out.y.push_back(full.y[idx]);
+  }
+  return out;
+}
+
+}  // namespace kreg::data

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kreg::data {
+
+/// A bivariate regression sample: n paired observations (X_i, Y_i).
+///
+/// This is the input type of every bandwidth selector and estimator in
+/// `src/core/`. Invariant (checked by `validate()`): x and y have equal
+/// length and contain only finite values.
+struct Dataset {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  std::size_t size() const noexcept { return x.size(); }
+  bool empty() const noexcept { return x.empty(); }
+
+  std::span<const double> xs() const noexcept { return x; }
+  std::span<const double> ys() const noexcept { return y; }
+
+  /// max(X) - min(X): the paper's default maximum candidate bandwidth.
+  /// Requires a non-empty sample.
+  double x_domain() const;
+
+  /// Throws std::invalid_argument when the invariant is violated; the
+  /// message names the first offending index.
+  void validate() const;
+};
+
+/// Splits a dataset into train/test parts: the first `train_count`
+/// observations go to train, the rest to test (shuffle beforehand for a
+/// random split). Requires train_count <= size().
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split split_at(const Dataset& full, std::size_t train_count);
+
+/// Applies one permutation to both columns.
+Dataset permute(const Dataset& full, std::span<const std::size_t> perm);
+
+}  // namespace kreg::data

@@ -1,0 +1,116 @@
+#include "data/dgp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace kreg::data {
+
+Dataset paper_dgp(std::size_t n, rng::Stream& stream) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    const double u = stream.uniform(0.0, 0.5);
+    d.x.push_back(x);
+    d.y.push_back(0.5 * x + 10.0 * x * x + u);
+  }
+  return d;
+}
+
+double paper_dgp_mean(double x) {
+  // E[u] = 0.25 for u ~ U(0, 0.5).
+  return 0.5 * x + 10.0 * x * x + 0.25;
+}
+
+Dataset sine_dgp(std::size_t n, rng::Stream& stream, double noise_sd) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    d.x.push_back(x);
+    d.y.push_back(sine_dgp_mean(x) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+double sine_dgp_mean(double x) {
+  return std::sin(4.0 * std::numbers::pi * x);
+}
+
+Dataset doppler_dgp(std::size_t n, rng::Stream& stream, double noise_sd) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    d.x.push_back(x);
+    d.y.push_back(doppler_dgp_mean(x) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+double doppler_dgp_mean(double x) {
+  const double eps = 0.05;
+  return std::sqrt(x * (1.0 - x)) *
+         std::sin(2.0 * std::numbers::pi * (1.0 + eps) / (x + eps));
+}
+
+Dataset step_dgp(std::size_t n, rng::Stream& stream, double noise_sd) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    d.x.push_back(x);
+    d.y.push_back(step_dgp_mean(x) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+double step_dgp_mean(double x) {
+  if (x < 0.25) return 0.0;
+  if (x < 0.5) return 1.0;
+  if (x < 0.75) return -0.5;
+  return 0.75;
+}
+
+Dataset heteroskedastic_dgp(std::size_t n, rng::Stream& stream, double base_sd,
+                            double slope_sd) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    const double sd = base_sd + slope_sd * x;
+    d.x.push_back(x);
+    d.y.push_back(heteroskedastic_dgp_mean(x) + stream.gaussian(0.0, sd));
+  }
+  return d;
+}
+
+double heteroskedastic_dgp_mean(double x) { return 0.5 * x + 10.0 * x * x; }
+
+const std::vector<NamedDgp>& all_dgps() {
+  static const std::vector<NamedDgp> registry = {
+      {"paper",
+       [](std::size_t n, rng::Stream& s) { return paper_dgp(n, s); },
+       paper_dgp_mean},
+      {"sine",
+       [](std::size_t n, rng::Stream& s) { return sine_dgp(n, s); },
+       sine_dgp_mean},
+      {"doppler",
+       [](std::size_t n, rng::Stream& s) { return doppler_dgp(n, s); },
+       doppler_dgp_mean},
+      {"step",
+       [](std::size_t n, rng::Stream& s) { return step_dgp(n, s); },
+       step_dgp_mean},
+      {"heteroskedastic",
+       [](std::size_t n, rng::Stream& s) { return heteroskedastic_dgp(n, s); },
+       heteroskedastic_dgp_mean},
+  };
+  return registry;
+}
+
+}  // namespace kreg::data

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/stream.hpp"
+
+namespace kreg::data {
+
+/// The paper's data generating process (§IV): X ~ U(0,1),
+/// Y = 0.5 X + 10 X² + u with u ~ U(0, 0.5). The conditional mean is
+/// E[Y|X=x] = 0.5x + 10x² + 0.25.
+Dataset paper_dgp(std::size_t n, rng::Stream& stream);
+
+/// True conditional mean of the paper DGP, for oracle comparisons in tests
+/// and examples.
+double paper_dgp_mean(double x);
+
+/// Smooth sine curve with Gaussian noise:
+/// Y = sin(4πX) + N(0, sd), X ~ U(0,1). Multimodal CV surfaces arise here,
+/// exercising the paper's claim that numerical optimizers can miss the
+/// global minimum.
+Dataset sine_dgp(std::size_t n, rng::Stream& stream, double noise_sd = 0.3);
+double sine_dgp_mean(double x);
+
+/// Donoho–Johnstone "doppler" signal: smoothness varies sharply with x, a
+/// classic stress test for global-bandwidth methods.
+Dataset doppler_dgp(std::size_t n, rng::Stream& stream, double noise_sd = 0.1);
+double doppler_dgp_mean(double x);
+
+/// Piecewise-constant step function: discontinuous mean, where small
+/// bandwidths win.
+Dataset step_dgp(std::size_t n, rng::Stream& stream, double noise_sd = 0.2);
+double step_dgp_mean(double x);
+
+/// Heteroskedastic variant of the paper DGP: noise sd grows linearly in x.
+Dataset heteroskedastic_dgp(std::size_t n, rng::Stream& stream,
+                            double base_sd = 0.05, double slope_sd = 0.5);
+double heteroskedastic_dgp_mean(double x);
+
+/// Named registry of all DGPs (used by parameterized tests and example
+/// sweeps): each entry generates a dataset and reports the true mean.
+struct NamedDgp {
+  std::string name;
+  std::function<Dataset(std::size_t, rng::Stream&)> generate;
+  std::function<double(double)> true_mean;
+};
+const std::vector<NamedDgp>& all_dgps();
+
+}  // namespace kreg::data

@@ -1,0 +1,101 @@
+#include "data/mdataset.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace kreg::data {
+
+double MDataset::domain(std::size_t j) const {
+  if (size() == 0 || j >= dim) {
+    throw std::invalid_argument("MDataset::domain: empty sample or bad axis");
+  }
+  double lo = x[j];
+  double hi = x[j];
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double v = x[i * dim + j];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi - lo;
+}
+
+void MDataset::validate() const {
+  if (dim == 0) {
+    throw std::invalid_argument("MDataset::validate: dim == 0");
+  }
+  if (x.size() % dim != 0) {
+    throw std::invalid_argument(
+        "MDataset::validate: x length not a multiple of dim");
+  }
+  if (x.size() / dim != y.size()) {
+    throw std::invalid_argument("MDataset::validate: x rows (" +
+                                std::to_string(x.size() / dim) +
+                                ") != y length (" + std::to_string(y.size()) +
+                                ")");
+  }
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("MDataset::validate: non-finite x value");
+    }
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("MDataset::validate: non-finite y value");
+    }
+  }
+}
+
+double multivariate_dgp_mean(std::span<const double> x) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    switch (j) {
+      case 0:
+        acc += std::sin(2.0 * std::numbers::pi * x[j]);
+        break;
+      case 1:
+        acc += 10.0 * x[j] * x[j];
+        break;
+      case 2:
+        acc += std::abs(2.0 * x[j] - 1.0);
+        break;
+      default:
+        acc += 0.5 * x[j];
+        break;
+    }
+  }
+  return acc;
+}
+
+MDataset multivariate_dgp(std::size_t n, std::size_t dim, rng::Stream& stream,
+                          double noise_sd) {
+  if (dim == 0) {
+    throw std::invalid_argument("multivariate_dgp: dim must be >= 1");
+  }
+  MDataset d;
+  d.dim = dim;
+  d.x.reserve(n * dim);
+  d.y.reserve(n);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = stream.uniform();
+      d.x.push_back(row[j]);
+    }
+    d.y.push_back(multivariate_dgp_mean(row) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+MDataset to_multivariate(const Dataset& data) {
+  MDataset m;
+  m.dim = 1;
+  m.x = data.x;
+  m.y = data.y;
+  return m;
+}
+
+}  // namespace kreg::data

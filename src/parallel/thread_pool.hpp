@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kreg::parallel {
+
+/// Fixed-size worker thread pool.
+///
+/// This is the host-side parallel substrate: it plays the role of the
+/// paper's "Multicore R" backend (Program 2) and executes the blocks of the
+/// simulated SPMD device (`src/spmd/`). Tasks are plain `void()` callables
+/// dispatched FIFO from a single shared queue; `wait_idle()` blocks until
+/// every submitted task has finished, which is the completion barrier the
+/// kernel launcher relies on.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide shared pool, sized to the hardware. Most library entry
+  /// points that accept a `ThreadPool*` fall back to this instance when
+  /// given nullptr.
+  static ThreadPool& global();
+
+  /// The pool whose worker is executing the calling thread, or nullptr when
+  /// called from a non-worker thread. parallel_for / parallel_reduce use
+  /// this to run nested parallelism serially instead of deadlocking: a
+  /// worker that blocked waiting for subtasks would occupy the very slot
+  /// those subtasks need.
+  static ThreadPool* current() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace kreg::parallel

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace kreg::rng {
+
+/// Maps one 64-bit draw to a double in [0, 1) with 53 random bits.
+template <class Engine>
+double canonical(Engine& eng) {
+  const std::uint64_t bits = static_cast<std::uint64_t>(eng()) &
+                             ((std::uint64_t{1} << 53) - 1);
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+/// Uniform draw on [lo, hi). Requires lo < hi.
+template <class Engine>
+double uniform_real(Engine& eng, double lo, double hi) {
+  return lo + (hi - lo) * canonical(eng);
+}
+
+/// Unbiased uniform integer on [0, bound) via Lemire's multiply-shift
+/// rejection method. Requires bound > 0.
+template <class Engine>
+std::uint64_t uniform_index(Engine& eng, std::uint64_t bound) {
+  std::uint64_t x = eng();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = eng();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Standard normal draw via the Marsaglia polar method (no trig calls,
+/// branch-predictable on average: acceptance rate pi/4).
+template <class Engine>
+double standard_normal(Engine& eng) {
+  for (;;) {
+    const double u = 2.0 * canonical(eng) - 1.0;
+    const double v = 2.0 * canonical(eng) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+/// Normal draw with the given mean and standard deviation (sd >= 0).
+template <class Engine>
+double normal(Engine& eng, double mean, double sd) {
+  return mean + sd * standard_normal(eng);
+}
+
+/// Exponential draw with the given rate (rate > 0).
+template <class Engine>
+double exponential(Engine& eng, double rate) {
+  // 1 - canonical() is in (0, 1], keeping the log argument nonzero.
+  return -std::log(1.0 - canonical(eng)) / rate;
+}
+
+}  // namespace kreg::rng

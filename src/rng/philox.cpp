@@ -1,0 +1,82 @@
+#include "rng/philox.hpp"
+
+namespace kreg::rng {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+/// 32x32 -> 64 multiply, returning (hi, lo) words.
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) noexcept {
+  const std::uint64_t product = std::uint64_t{a} * std::uint64_t{b};
+  hi = static_cast<std::uint32_t>(product >> 32);
+  lo = static_cast<std::uint32_t>(product);
+}
+
+}  // namespace
+
+Philox4x32::Philox4x32(std::uint64_t seed) noexcept
+    : key_{static_cast<std::uint32_t>(seed),
+           static_cast<std::uint32_t>(seed >> 32)},
+      counter_{0, 0, 0, 0} {}
+
+Philox4x32::Philox4x32(key_type key, counter_type counter) noexcept
+    : key_(key), counter_(counter) {}
+
+void Philox4x32::round(counter_type& ctr, const key_type& key) noexcept {
+  std::uint32_t hi0;
+  std::uint32_t lo0;
+  std::uint32_t hi1;
+  std::uint32_t lo1;
+  mulhilo(kPhiloxM0, ctr[0], hi0, lo0);
+  mulhilo(kPhiloxM1, ctr[2], hi1, lo1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+void Philox4x32::bump_key(key_type& key) noexcept {
+  key[0] += kWeyl0;
+  key[1] += kWeyl1;
+}
+
+Philox4x32::counter_type Philox4x32::block(key_type key,
+                                           counter_type counter) noexcept {
+  // Ten rounds is the recommended Crush-resistant configuration.
+  for (int r = 0; r < 9; ++r) {
+    round(counter, key);
+    bump_key(key);
+  }
+  round(counter, key);
+  return counter;
+}
+
+void Philox4x32::refill() noexcept {
+  buffer_ = block(key_, counter_);
+  buffered_ = 4;
+  increment_counter();
+}
+
+void Philox4x32::increment_counter() noexcept {
+  for (auto& word : counter_) {
+    if (++word != 0) {
+      break;  // no carry
+    }
+  }
+}
+
+Philox4x32::result_type Philox4x32::operator()() noexcept {
+  if (buffered_ == 0) {
+    refill();
+  }
+  return buffer_[4 - buffered_--];
+}
+
+void Philox4x32::set_counter(counter_type counter) noexcept {
+  counter_ = counter;
+  buffered_ = 0;
+}
+
+}  // namespace kreg::rng

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace kreg::rng {
+
+/// Philox4x32-10 counter-based pseudo-random generator
+/// (Salmon, Moraes, Dror & Shaw, SC'11).
+///
+/// Counter-based generators are the standard choice for SPMD/GPU-style code:
+/// output block i is a pure function of (key, counter=i), so every simulated
+/// device thread can generate its own stream with no shared state and no
+/// sequential dependency — exactly the access pattern used by the SPMD
+/// substrate in `src/spmd/`. Satisfies UniformRandomBitGenerator by
+/// buffering one 4x32 block at a time.
+class Philox4x32 {
+ public:
+  using result_type = std::uint32_t;
+  using counter_type = std::array<std::uint32_t, 4>;
+  using key_type = std::array<std::uint32_t, 2>;
+
+  /// Constructs with a 64-bit key (split into the two 32-bit key words) and
+  /// a zero counter.
+  explicit Philox4x32(std::uint64_t seed = 0) noexcept;
+
+  /// Constructs from an explicit key/counter pair (fully deterministic
+  /// random-access positioning).
+  Philox4x32(key_type key, counter_type counter) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint32_t{0}; }
+
+  /// Returns the next 32-bit output, generating a new block every 4 calls.
+  result_type operator()() noexcept;
+
+  /// Pure function: the 4x32 output block for (key, counter). This is the
+  /// stateless entry point used by device threads.
+  static counter_type block(key_type key, counter_type counter) noexcept;
+
+  /// Positions the generator at an arbitrary 128-bit counter value.
+  void set_counter(counter_type counter) noexcept;
+
+  const counter_type& counter() const noexcept { return counter_; }
+  const key_type& key() const noexcept { return key_; }
+
+ private:
+  static void round(counter_type& ctr, const key_type& key) noexcept;
+  static void bump_key(key_type& key) noexcept;
+  void refill() noexcept;
+  void increment_counter() noexcept;
+
+  key_type key_;
+  counter_type counter_;
+  counter_type buffer_{};
+  int buffered_ = 0;  // outputs remaining in buffer_
+};
+
+}  // namespace kreg::rng

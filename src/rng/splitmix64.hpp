@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kreg::rng {
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// A tiny, fast 64-bit generator whose primary role in this library is
+/// seeding: it expands a single 64-bit seed into the larger state vectors
+/// required by Xoshiro256++ and Philox without the correlations that naive
+/// seed-splatting would introduce. It satisfies the C++ named requirement
+/// UniformRandomBitGenerator, so it can also be used directly.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Advances the state and returns the next 64-bit output.
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace kreg::rng

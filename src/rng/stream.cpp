@@ -1,0 +1,21 @@
+#include "rng/stream.hpp"
+
+namespace kreg::rng {
+
+std::vector<double> Stream::uniforms(std::size_t n, double lo, double hi) {
+  std::vector<double> out(n);
+  for (auto& value : out) {
+    value = uniform(lo, hi);
+  }
+  return out;
+}
+
+Stream Stream::substream(std::size_t i) const {
+  Xoshiro256pp child = engine_;
+  for (std::size_t j = 0; j <= i; ++j) {
+    child.jump();
+  }
+  return Stream(child);
+}
+
+}  // namespace kreg::rng

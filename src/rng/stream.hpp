@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace kreg::rng {
+
+/// A seeded random stream bundling an engine with the distribution helpers.
+///
+/// This is the front door most of the library uses: data generators take a
+/// `Stream&`, tests construct one from a fixed seed, and parallel code calls
+/// `substream(i)` to obtain the i-th non-overlapping worker stream.
+class Stream {
+ public:
+  explicit Stream(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+  explicit Stream(Xoshiro256pp engine) : engine_(engine) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return canonical(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return uniform_real(engine_, lo, hi);
+  }
+
+  /// Unbiased uniform integer in [0, bound).
+  std::uint64_t index(std::uint64_t bound) {
+    return uniform_index(engine_, bound);
+  }
+
+  /// Standard normal draw.
+  double gaussian() { return standard_normal(engine_); }
+
+  /// Normal draw with mean/sd.
+  double gaussian(double mean, double sd) { return normal(engine_, mean, sd); }
+
+  /// Exponential draw with the given rate.
+  double exp(double rate) { return exponential(engine_, rate); }
+
+  /// Vector of n uniform draws on [lo, hi).
+  std::vector<double> uniforms(std::size_t n, double lo = 0.0, double hi = 1.0);
+
+  /// The i-th independent substream: the engine jumped i+1 times, giving
+  /// 2^128 outputs of separation between workers.
+  Stream substream(std::size_t i) const;
+
+  /// In-place Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      using std::swap;
+      swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  Xoshiro256pp& engine() { return engine_; }
+
+ private:
+  Xoshiro256pp engine_;
+};
+
+}  // namespace kreg::rng

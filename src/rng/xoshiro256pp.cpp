@@ -1,0 +1,55 @@
+#include "rng/xoshiro256pp.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace kreg::rng {
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm();
+  }
+}
+
+Xoshiro256pp::Xoshiro256pp(const std::array<std::uint64_t, 4>& state) noexcept
+    : s_(state) {
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    // The all-zero state is the one fixed point of the transition function;
+    // remap it so the engine still produces a full-period stream.
+    SplitMix64 sm(0x2545f4914f6cdd1dULL);
+    for (auto& word : s_) {
+      word = sm();
+    }
+  }
+}
+
+void Xoshiro256pp::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  std::uint64_t s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+Xoshiro256pp Xoshiro256pp::split() noexcept {
+  Xoshiro256pp child = *this;
+  jump();
+  return child;
+}
+
+}  // namespace kreg::rng

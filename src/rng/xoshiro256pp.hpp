@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace kreg::rng {
+
+/// Xoshiro256++ pseudo-random generator (Blackman & Vigna 2018).
+///
+/// The library's general-purpose engine: 256 bits of state, period 2^256−1,
+/// excellent statistical quality, and a `jump()` operation that advances the
+/// stream by 2^128 steps — used to hand independent sub-streams to parallel
+/// workers without overlap. Satisfies UniformRandomBitGenerator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single seed via SplitMix64.
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  /// Seeds from an explicit state vector. At least one word must be nonzero;
+  /// an all-zero state is silently remapped to a fixed nonzero state.
+  explicit Xoshiro256pp(const std::array<std::uint64_t, 4>& state) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advances the stream by 2^128 outputs. Calling `jump()` k times on
+  /// copies of one engine yields k non-overlapping parallel sub-streams.
+  void jump() noexcept;
+
+  /// Returns an independent engine: a copy of *this after one jump, leaving
+  /// *this itself jumped as well (split-off idiom for worker streams).
+  Xoshiro256pp split() noexcept;
+
+  const std::array<std::uint64_t, 4>& state() const noexcept { return s_; }
+
+  friend bool operator==(const Xoshiro256pp& a, const Xoshiro256pp& b) noexcept {
+    return a.s_ == b.s_;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace kreg::rng

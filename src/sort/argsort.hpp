@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg::sort {
+
+/// Returns the permutation that sorts `keys` ascending (stable ordering is
+/// NOT guaranteed; equal keys may appear in any relative order). Implemented
+/// as a key-value quicksort over a scratch copy of the keys so the input is
+/// left untouched.
+template <class T>
+std::vector<std::size_t> argsort(std::span<const T> keys) {
+  std::vector<std::size_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::vector<T> scratch(keys.begin(), keys.end());
+  iterative_quicksort_kv(std::span<T>(scratch), std::span<std::size_t>(perm));
+  return perm;
+}
+
+/// Applies a permutation: out[i] = values[perm[i]].
+template <class T>
+std::vector<T> apply_permutation(std::span<const T> values,
+                                 std::span<const std::size_t> perm) {
+  std::vector<T> out;
+  out.reserve(perm.size());
+  for (std::size_t idx : perm) {
+    out.push_back(values[idx]);
+  }
+  return out;
+}
+
+}  // namespace kreg::sort

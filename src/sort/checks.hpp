@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kreg::sort {
+
+/// True when the range is ascending (non-strict).
+template <class T>
+bool is_sorted(std::span<const T> a) {
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] < a[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when every (key, value) pair of the sorted arrays still matches one
+/// pair of the originals with multiplicity — a cheap O(n²) check used by the
+/// test suite to verify payload sorts preserve key/value association.
+template <class K, class V>
+bool is_paired_permutation(std::span<const K> keys_before,
+                           std::span<const V> values_before,
+                           std::span<const K> keys_after,
+                           std::span<const V> values_after) {
+  if (keys_before.size() != keys_after.size() ||
+      values_before.size() != values_after.size() ||
+      keys_before.size() != values_before.size()) {
+    return false;
+  }
+  std::vector<bool> used(keys_before.size(), false);
+  for (std::size_t i = 0; i < keys_after.size(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < keys_before.size(); ++j) {
+      if (!used[j] && keys_before[j] == keys_after[i] &&
+          values_before[j] == values_after[i]) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kreg::sort

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace kreg::sort {
+
+namespace detail {
+
+template <class T>
+void sift_down(std::span<T> a, std::size_t start, std::size_t end) {
+  std::size_t root = start;
+  while (2 * root + 1 < end) {
+    std::size_t child = 2 * root + 1;
+    if (child + 1 < end && a[child] < a[child + 1]) {
+      ++child;
+    }
+    if (a[root] < a[child]) {
+      using std::swap;
+      swap(a[root], a[child]);
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+template <class K, class V>
+void sift_down_kv(std::span<K> keys, std::span<V> values, std::size_t start,
+                  std::size_t end) {
+  std::size_t root = start;
+  while (2 * root + 1 < end) {
+    std::size_t child = 2 * root + 1;
+    if (child + 1 < end && keys[child] < keys[child + 1]) {
+      ++child;
+    }
+    if (keys[root] < keys[child]) {
+      using std::swap;
+      swap(keys[root], keys[child]);
+      swap(values[root], values[child]);
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// In-place heapsort: O(n log n) worst case, no extra memory. Used as the
+/// depth-limit fallback inside `introsort`.
+template <class T>
+void heapsort(std::span<T> a) {
+  const std::size_t n = a.size();
+  if (n < 2) {
+    return;
+  }
+  for (std::size_t start = n / 2; start-- > 0;) {
+    detail::sift_down(a, start, n);
+  }
+  for (std::size_t end = n; end-- > 1;) {
+    using std::swap;
+    swap(a[0], a[end]);
+    detail::sift_down(a, 0, end);
+  }
+}
+
+/// Heapsort of `keys` applying the same permutation to `values`.
+/// Requires keys.size() == values.size().
+template <class K, class V>
+void heapsort_kv(std::span<K> keys, std::span<V> values) {
+  const std::size_t n = keys.size();
+  if (n < 2) {
+    return;
+  }
+  for (std::size_t start = n / 2; start-- > 0;) {
+    detail::sift_down_kv(keys, values, start, n);
+  }
+  for (std::size_t end = n; end-- > 1;) {
+    using std::swap;
+    swap(keys[0], keys[end]);
+    swap(values[0], values[end]);
+    detail::sift_down_kv(keys, values, 0, end);
+  }
+}
+
+}  // namespace kreg::sort

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace kreg::sort {
+
+/// In-place insertion sort. O(n²) worst case but the fastest choice for the
+/// short runs left behind by quicksort partitioning; used below the cutoff
+/// in `introsort` and `iterative_quicksort`.
+template <class T>
+void insertion_sort(std::span<T> keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    T key = std::move(keys[i]);
+    std::size_t j = i;
+    while (j > 0 && key < keys[j - 1]) {
+      keys[j] = std::move(keys[j - 1]);
+      --j;
+    }
+    keys[j] = std::move(key);
+  }
+}
+
+/// Insertion sort of `keys` that applies the same permutation to the
+/// parallel `values` array (the paper's "auxiliary variable").
+/// Requires keys.size() == values.size().
+template <class K, class V>
+void insertion_sort_kv(std::span<K> keys, std::span<V> values) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    K key = std::move(keys[i]);
+    V value = std::move(values[i]);
+    std::size_t j = i;
+    while (j > 0 && key < keys[j - 1]) {
+      keys[j] = std::move(keys[j - 1]);
+      values[j] = std::move(values[j - 1]);
+      --j;
+    }
+    keys[j] = std::move(key);
+    values[j] = std::move(value);
+  }
+}
+
+}  // namespace kreg::sort

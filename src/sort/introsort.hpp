@@ -1,0 +1,74 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <span>
+
+#include "sort/heapsort.hpp"
+#include "sort/insertion_sort.hpp"
+#include "sort/iterative_quicksort.hpp"
+
+namespace kreg::sort {
+
+/// Introspective sort: iterative quicksort with a 2·log2(n) partition-depth
+/// budget; segments that exhaust the budget are finished by heapsort, giving
+/// an O(n log n) worst-case guarantee that plain quicksort lacks. The host
+/// side of the library sorts with this; the simulated device threads use the
+/// plain iterative quicksort, matching the paper's device code.
+template <class T>
+void introsort(std::span<T> a, std::size_t cutoff = 16) {
+  const std::size_t n = a.size();
+  if (n < 2) {
+    return;
+  }
+  struct Segment {
+    std::size_t lo;
+    std::size_t hi;  // inclusive
+    int depth;
+  };
+  const int max_depth = 2 * (std::bit_width(n) - 1);
+  Segment stack[kQuicksortStackDepth];
+  int top = 0;
+  stack[top++] = {0, n - 1, max_depth};
+
+  while (top > 0) {
+    const Segment seg = stack[--top];
+    const std::size_t len = seg.hi - seg.lo + 1;
+    if (len <= cutoff) {
+      insertion_sort(a.subspan(seg.lo, len));
+      continue;
+    }
+    if (seg.depth == 0) {
+      heapsort(a.subspan(seg.lo, len));
+      continue;
+    }
+    const std::size_t mid = seg.lo + (seg.hi - seg.lo) / 2;
+    const T pivot = detail::median_of_three(a, seg.lo, mid, seg.hi);
+
+    std::size_t i = seg.lo;
+    std::size_t j = seg.hi;
+    for (;;) {
+      while (a[i] < pivot) ++i;
+      while (pivot < a[j]) --j;
+      if (i >= j) {
+        break;
+      }
+      using std::swap;
+      swap(a[i], a[j]);
+      ++i;
+      --j;
+    }
+    const Segment left{seg.lo, j, seg.depth - 1};
+    const Segment right{j + 1, seg.hi, seg.depth - 1};
+    const bool left_larger = (left.hi - left.lo) > (right.hi - right.lo);
+    if (left_larger) {
+      stack[top++] = left;
+      stack[top++] = right;
+    } else {
+      stack[top++] = right;
+      stack[top++] = left;
+    }
+  }
+}
+
+}  // namespace kreg::sort

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "sort/insertion_sort.hpp"
+
+namespace kreg::sort {
+
+/// Maximum explicit-stack depth. Segments push the larger side first, so
+/// depth is bounded by log2(n); 64 entries covers any addressable array.
+inline constexpr int kQuicksortStackDepth = 64;
+
+namespace detail {
+
+/// Median-of-three pivot selection: orders a[lo], a[mid], a[hi] and returns
+/// the median value, reducing the probability of quadratic behaviour on
+/// already-sorted and organ-pipe inputs.
+template <class T>
+const T& median_of_three(std::span<T> a, std::size_t lo, std::size_t mid,
+                         std::size_t hi) {
+  using std::swap;
+  if (a[mid] < a[lo]) swap(a[mid], a[lo]);
+  if (a[hi] < a[lo]) swap(a[hi], a[lo]);
+  if (a[hi] < a[mid]) swap(a[hi], a[mid]);
+  return a[mid];
+}
+
+template <class K, class V>
+void swap_kv(std::span<K> keys, std::span<V> values, std::size_t i,
+             std::size_t j) {
+  using std::swap;
+  swap(keys[i], keys[j]);
+  swap(values[i], values[j]);
+}
+
+template <class K, class V>
+const K& median_of_three_kv(std::span<K> keys, std::span<V> values,
+                            std::size_t lo, std::size_t mid, std::size_t hi) {
+  if (keys[mid] < keys[lo]) swap_kv(keys, values, mid, lo);
+  if (keys[hi] < keys[lo]) swap_kv(keys, values, hi, lo);
+  if (keys[hi] < keys[mid]) swap_kv(keys, values, hi, mid);
+  return keys[mid];
+}
+
+}  // namespace detail
+
+/// Iterative (non-recursive) quicksort.
+///
+/// This is the device sort from the paper (§IV-B): an explicit-stack variant
+/// of Finley's iterative quicksort, chosen there because early CUDA compute
+/// capabilities forbid recursion and because it avoids the recursive call
+/// tree's stack growth. Each simulated device thread runs one complete sort
+/// of its own n-element slice. Hoare partitioning with a median-of-three
+/// pivot; runs shorter than `cutoff` are finished by insertion sort.
+template <class T>
+void iterative_quicksort(std::span<T> keys, std::size_t cutoff = 16) {
+  if (keys.size() < 2) {
+    return;
+  }
+  struct Segment {
+    std::size_t lo;
+    std::size_t hi;  // inclusive
+  };
+  Segment stack[kQuicksortStackDepth];
+  int top = 0;
+  stack[top++] = {0, keys.size() - 1};
+
+  while (top > 0) {
+    const Segment seg = stack[--top];
+    if (seg.hi - seg.lo + 1 <= cutoff) {
+      insertion_sort(keys.subspan(seg.lo, seg.hi - seg.lo + 1));
+      continue;
+    }
+    const std::size_t mid = seg.lo + (seg.hi - seg.lo) / 2;
+    const T pivot = detail::median_of_three(keys, seg.lo, mid, seg.hi);
+
+    // Hoare partition.
+    std::size_t i = seg.lo;
+    std::size_t j = seg.hi;
+    for (;;) {
+      while (keys[i] < pivot) ++i;
+      while (pivot < keys[j]) --j;
+      if (i >= j) {
+        break;
+      }
+      using std::swap;
+      swap(keys[i], keys[j]);
+      ++i;
+      --j;
+    }
+    // Push the larger side first so the stack depth stays logarithmic.
+    const Segment left{seg.lo, j};
+    const Segment right{j + 1, seg.hi};
+    const bool left_larger = (left.hi - left.lo) > (right.hi - right.lo);
+    if (left_larger) {
+      stack[top++] = left;
+      stack[top++] = right;
+    } else {
+      stack[top++] = right;
+      stack[top++] = left;
+    }
+  }
+}
+
+/// Iterative quicksort of `keys` carrying a parallel `values` payload — the
+/// exact operation each device thread performs in the paper: sort the row of
+/// |X_i − X_j| distances while permuting the matching Y_i row identically.
+/// Requires keys.size() == values.size().
+template <class K, class V>
+void iterative_quicksort_kv(std::span<K> keys, std::span<V> values,
+                            std::size_t cutoff = 16) {
+  if (keys.size() < 2) {
+    return;
+  }
+  struct Segment {
+    std::size_t lo;
+    std::size_t hi;  // inclusive
+  };
+  Segment stack[kQuicksortStackDepth];
+  int top = 0;
+  stack[top++] = {0, keys.size() - 1};
+
+  while (top > 0) {
+    const Segment seg = stack[--top];
+    const std::size_t len = seg.hi - seg.lo + 1;
+    if (len <= cutoff) {
+      insertion_sort_kv(keys.subspan(seg.lo, len), values.subspan(seg.lo, len));
+      continue;
+    }
+    const std::size_t mid = seg.lo + (seg.hi - seg.lo) / 2;
+    const K pivot = detail::median_of_three_kv(keys, values, seg.lo, mid, seg.hi);
+
+    std::size_t i = seg.lo;
+    std::size_t j = seg.hi;
+    for (;;) {
+      while (keys[i] < pivot) ++i;
+      while (pivot < keys[j]) --j;
+      if (i >= j) {
+        break;
+      }
+      detail::swap_kv(keys, values, i, j);
+      ++i;
+      --j;
+    }
+    const Segment left{seg.lo, j};
+    const Segment right{j + 1, seg.hi};
+    const bool left_larger = (left.hi - left.lo) > (right.hi - right.lo);
+    if (left_larger) {
+      stack[top++] = left;
+      stack[top++] = right;
+    } else {
+      stack[top++] = right;
+      stack[top++] = left;
+    }
+  }
+}
+
+}  // namespace kreg::sort

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+namespace kreg::spmd {
+
+namespace detail {
+
+/// Shared accounting record between a Device and its live buffers. Buffers
+/// may outlive neither the ledger nor their storage, but keeping the ledger
+/// in a shared_ptr makes destruction order forgiving: a buffer destroyed
+/// after its Device simply returns bytes to a ledger nobody reads again.
+struct MemoryLedger {
+  std::size_t capacity_bytes = 0;
+  std::size_t allocated_bytes = 0;
+  std::size_t peak_bytes = 0;
+  std::size_t allocation_count = 0;
+
+  std::size_t available() const noexcept {
+    return capacity_bytes - allocated_bytes;
+  }
+};
+
+}  // namespace detail
+
+/// RAII handle to a global-memory allocation on a simulated device.
+///
+/// Move-only, like a cudaMalloc'd pointer wrapped in a unique owner. The
+/// bytes are charged against the owning device's ledger on allocation and
+/// returned on destruction. Element access is host-visible (the simulator
+/// has a unified address space), but library code treats the contents as
+/// device-resident and moves data with Device::copy_to_device /
+/// copy_to_host to keep the CUDA structure of the algorithms explicit.
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t size_bytes() const noexcept { return count_ * sizeof(T); }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T* data() noexcept { return storage_.get(); }
+  const T* data() const noexcept { return storage_.get(); }
+
+  std::span<T> span() noexcept { return {storage_.get(), count_}; }
+  std::span<const T> span() const noexcept { return {storage_.get(), count_}; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < count_);
+    return storage_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < count_);
+    return storage_[i];
+  }
+
+ private:
+  friend class Device;
+
+  DeviceBuffer(std::shared_ptr<detail::MemoryLedger> ledger, std::size_t count)
+      : ledger_(std::move(ledger)),
+        storage_(new T[count]()),
+        count_(count) {}
+
+  void release() noexcept {
+    if (ledger_) {
+      ledger_->allocated_bytes -= size_bytes();
+      ledger_.reset();
+    }
+    storage_.reset();
+    count_ = 0;
+  }
+
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(ledger_, other.ledger_);
+    std::swap(storage_, other.storage_);
+    std::swap(count_, other.count_);
+  }
+
+  std::shared_ptr<detail::MemoryLedger> ledger_;
+  std::unique_ptr<T[]> storage_;
+  std::size_t count_ = 0;
+};
+
+/// RAII handle to a constant-memory allocation: read-only from kernels,
+/// sized against the device's constant cache working set (8 KB on the
+/// paper's hardware — the limit that caps the bandwidth grid at 2,048
+/// single-precision values).
+template <class T>
+class ConstantBuffer {
+ public:
+  ConstantBuffer() = default;
+
+  ConstantBuffer(ConstantBuffer&& other) noexcept { swap(other); }
+  ConstantBuffer& operator=(ConstantBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ConstantBuffer(const ConstantBuffer&) = delete;
+  ConstantBuffer& operator=(const ConstantBuffer&) = delete;
+
+  ~ConstantBuffer() { release(); }
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t size_bytes() const noexcept { return count_ * sizeof(T); }
+
+  const T* data() const noexcept { return storage_.get(); }
+  std::span<const T> span() const noexcept { return {storage_.get(), count_}; }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < count_);
+    return storage_[i];
+  }
+
+ private:
+  friend class Device;
+
+  ConstantBuffer(std::shared_ptr<detail::MemoryLedger> ledger,
+                 std::size_t count)
+      : ledger_(std::move(ledger)), storage_(new T[count]()), count_(count) {}
+
+  /// Device fills the contents at upload time; kernels only read.
+  std::span<T> mutable_span() noexcept { return {storage_.get(), count_}; }
+
+  void release() noexcept {
+    if (ledger_) {
+      ledger_->allocated_bytes -= size_bytes();
+      ledger_.reset();
+    }
+    storage_.reset();
+    count_ = 0;
+  }
+
+  void swap(ConstantBuffer& other) noexcept {
+    std::swap(ledger_, other.ledger_);
+    std::swap(storage_, other.storage_);
+    std::swap(count_, other.count_);
+  }
+
+  std::shared_ptr<detail::MemoryLedger> ledger_;
+  std::unique_ptr<T[]> storage_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace kreg::spmd

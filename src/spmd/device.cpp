@@ -1,0 +1,60 @@
+#include "spmd/device.hpp"
+
+namespace kreg::spmd {
+
+Device::Device(DeviceProperties props, parallel::ThreadPool* pool)
+    : props_(std::move(props)),
+      pool_(pool),
+      global_(std::make_shared<detail::MemoryLedger>()),
+      constant_(std::make_shared<detail::MemoryLedger>()) {
+  props_.validate();
+  global_->capacity_bytes = props_.global_memory_bytes;
+  constant_->capacity_bytes = props_.constant_cache_bytes;
+}
+
+void Device::charge(const std::shared_ptr<detail::MemoryLedger>& ledger,
+                    std::size_t bytes) {
+  if (bytes > ledger->available()) {
+    throw DeviceAllocError(bytes, ledger->available());
+  }
+  ledger->allocated_bytes += bytes;
+  ledger->peak_bytes = std::max(ledger->peak_bytes, ledger->allocated_bytes);
+  ++ledger->allocation_count;
+}
+
+void Device::charge_constant(std::size_t bytes) {
+  if (bytes > constant_->available()) {
+    throw ConstantCapacityError(bytes, constant_->capacity_bytes);
+  }
+  constant_->allocated_bytes += bytes;
+  constant_->peak_bytes =
+      std::max(constant_->peak_bytes, constant_->allocated_bytes);
+  ++constant_->allocation_count;
+}
+
+void Device::validate(const LaunchConfig& cfg,
+                      std::size_t shared_bytes) const {
+  if (cfg.grid_blocks == 0 || cfg.threads_per_block == 0) {
+    throw LaunchConfigError("launch: zero-sized grid or block");
+  }
+  if (cfg.threads_per_block > props_.max_threads_per_block) {
+    throw LaunchConfigError(
+        "launch: " + std::to_string(cfg.threads_per_block) +
+        " threads per block exceeds device limit of " +
+        std::to_string(props_.max_threads_per_block));
+  }
+  if (cfg.grid_blocks > props_.max_grid_blocks) {
+    throw LaunchConfigError("launch: grid of " +
+                            std::to_string(cfg.grid_blocks) +
+                            " blocks exceeds device limit of " +
+                            std::to_string(props_.max_grid_blocks));
+  }
+  if (shared_bytes > props_.shared_memory_per_block) {
+    throw LaunchConfigError(
+        "launch: " + std::to_string(shared_bytes) +
+        " bytes of shared memory exceeds per-block limit of " +
+        std::to_string(props_.shared_memory_per_block));
+  }
+}
+
+}  // namespace kreg::spmd

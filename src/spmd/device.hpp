@@ -1,0 +1,257 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "spmd/buffer.hpp"
+#include "spmd/device_properties.hpp"
+#include "spmd/errors.hpp"
+
+namespace kreg::spmd {
+
+/// 1-D launch configuration: `grid_blocks` blocks of `threads_per_block`
+/// threads, exactly CUDA's <<<grid, block>>> for the 1-D case the paper
+/// uses.
+struct LaunchConfig {
+  std::size_t grid_blocks = 1;
+  std::size_t threads_per_block = 1;
+
+  std::size_t total_threads() const noexcept {
+    return grid_blocks * threads_per_block;
+  }
+
+  /// The paper's configuration: total threads == number of observations,
+  /// 512 threads per block ("the fastest performance was found with threads
+  /// per block set to 512").
+  static LaunchConfig cover(std::size_t total, std::size_t block = 512) {
+    LaunchConfig cfg;
+    cfg.threads_per_block = block;
+    cfg.grid_blocks = (total + block - 1) / block;
+    if (cfg.grid_blocks == 0) {
+      cfg.grid_blocks = 1;
+    }
+    return cfg;
+  }
+};
+
+/// Per-thread identity inside an independent kernel (CUDA's
+/// blockIdx/threadIdx/blockDim/gridDim for the 1-D case).
+struct ThreadCtx {
+  std::size_t block_idx = 0;
+  std::size_t thread_idx = 0;
+  std::size_t block_dim = 1;
+  std::size_t grid_dim = 1;
+
+  /// blockIdx.x * blockDim.x + threadIdx.x
+  std::size_t global_idx() const noexcept {
+    return block_idx * block_dim + thread_idx;
+  }
+  std::size_t total_threads() const noexcept { return grid_dim * block_dim; }
+};
+
+/// Per-block context for cooperative (shared-memory) kernels.
+///
+/// CUDA kernels that use __syncthreads() are bulk-synchronous: computation
+/// alternates "all threads run" phases with barriers. The simulator makes
+/// those phases explicit: each `for_each_thread(f)` call runs f(tid) for
+/// every tid in the block, and *returning from for_each_thread is the
+/// barrier*. A CUDA kernel of the form
+///
+///     stage1();  __syncthreads();  stage2();
+///
+/// is expressed as
+///
+///     ctx.for_each_thread(stage1);
+///     ctx.for_each_thread(stage2);
+///
+/// Within a phase the simulator may run threads in any order (the current
+/// implementation runs them sequentially on the block's worker, which is a
+/// legal schedule), so — exactly as on real hardware — a phase must not
+/// read locations another thread of the same phase writes.
+class BlockCtx {
+ public:
+  BlockCtx(std::size_t block_idx, std::size_t block_dim, std::size_t grid_dim,
+           std::span<std::byte> shared) noexcept
+      : block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        shared_(shared) {}
+
+  std::size_t block_idx() const noexcept { return block_idx_; }
+  std::size_t block_dim() const noexcept { return block_dim_; }
+  std::size_t grid_dim() const noexcept { return grid_dim_; }
+
+  /// The block's shared memory reinterpreted as an array of T. The caller
+  /// is responsible for staying within the bytes requested at launch.
+  template <class T>
+  std::span<T> shared_as(std::size_t count) noexcept {
+    return {reinterpret_cast<T*>(shared_.data()), count};
+  }
+
+  std::size_t shared_bytes() const noexcept { return shared_.size(); }
+
+  /// One barrier-delimited phase: runs f(tid) for every tid in [0,
+  /// block_dim). Returning = __syncthreads().
+  template <class F>
+  void for_each_thread(F&& f) {
+    for (std::size_t tid = 0; tid < block_dim_; ++tid) {
+      f(tid);
+    }
+  }
+
+ private:
+  std::size_t block_idx_;
+  std::size_t block_dim_;
+  std::size_t grid_dim_;
+  std::span<std::byte> shared_;
+};
+
+/// Cumulative execution counters, for tests and the bench harness.
+struct LaunchStats {
+  std::size_t kernel_launches = 0;
+  std::size_t cooperative_launches = 0;
+  std::size_t blocks_executed = 0;
+  std::size_t threads_executed = 0;
+};
+
+/// A simulated SPMD device.
+///
+/// Owns a global-memory ledger (allocation beyond
+/// DeviceProperties::global_memory_bytes throws DeviceAllocError — the
+/// paper's n > 20,000 failure mode), a constant-memory ledger (capped at
+/// the 8 KB constant-cache working set, the paper's k ≤ 2,048 bandwidth
+/// limit), and a kernel launcher that executes blocks concurrently on a
+/// host thread pool. Launches are synchronous: they return after every
+/// block has finished, like a kernel launch followed by
+/// cudaDeviceSynchronize().
+class Device {
+ public:
+  /// Creates a device with the given capabilities, executing on `pool`
+  /// (nullptr = the process-global pool).
+  explicit Device(DeviceProperties props = DeviceProperties::tesla_s10(),
+                  parallel::ThreadPool* pool = nullptr);
+
+  const DeviceProperties& properties() const noexcept { return props_; }
+  const LaunchStats& stats() const noexcept { return stats_; }
+
+  /// ---- Global memory ----------------------------------------------------
+
+  /// Allocates `count` zero-initialized elements of global memory. Throws
+  /// DeviceAllocError when the request exceeds the remaining capacity.
+  template <class T>
+  DeviceBuffer<T> alloc_global(std::size_t count) {
+    charge(global_, count * sizeof(T));
+    return DeviceBuffer<T>(global_, count);
+  }
+
+  /// Bytes of global memory currently allocated / ever allocated at peak.
+  std::size_t global_allocated() const noexcept {
+    return global_->allocated_bytes;
+  }
+  std::size_t global_peak() const noexcept { return global_->peak_bytes; }
+  std::size_t global_available() const noexcept {
+    return global_->available();
+  }
+
+  /// ---- Constant memory --------------------------------------------------
+
+  /// Uploads `values` into constant memory. Throws ConstantCapacityError
+  /// when the data exceeds the constant-cache working set.
+  template <class T>
+  ConstantBuffer<T> upload_constant(std::span<const T> values) {
+    charge_constant(values.size() * sizeof(T));
+    ConstantBuffer<T> buf(constant_, values.size());
+    std::memcpy(buf.mutable_span().data(), values.data(),
+                values.size() * sizeof(T));
+    return buf;
+  }
+
+  /// ---- Transfers ----------------------------------------------------------
+
+  /// Host → device copy; sizes must match.
+  template <class T>
+  void copy_to_device(DeviceBuffer<T>& dst, std::span<const T> src) {
+    if (dst.size() != src.size()) {
+      throw LaunchConfigError("copy_to_device: size mismatch");
+    }
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+  }
+
+  /// Device → host copy; sizes must match.
+  template <class T>
+  void copy_to_host(std::span<T> dst, const DeviceBuffer<T>& src) {
+    if (dst.size() != src.size()) {
+      throw LaunchConfigError("copy_to_host: size mismatch");
+    }
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+  }
+
+  /// ---- Kernel launches ----------------------------------------------------
+
+  /// Launches an independent kernel: `kernel(ThreadCtx)` runs once per
+  /// thread with no intra-block communication (the paper's main kernel
+  /// "does not use shared memory or coordination across threads"). Blocks
+  /// execute concurrently on the pool; threads within a block execute on
+  /// the block's worker. Synchronous.
+  template <class F>
+  void launch(LaunchConfig cfg, F&& kernel) {
+    validate(cfg, 0);
+    ++stats_.kernel_launches;
+    stats_.blocks_executed += cfg.grid_blocks;
+    stats_.threads_executed += cfg.total_threads();
+    parallel::parallel_for(
+        cfg.grid_blocks,
+        [&](std::size_t block) {
+          ThreadCtx ctx;
+          ctx.block_idx = block;
+          ctx.block_dim = cfg.threads_per_block;
+          ctx.grid_dim = cfg.grid_blocks;
+          for (std::size_t tid = 0; tid < cfg.threads_per_block; ++tid) {
+            ctx.thread_idx = tid;
+            kernel(ctx);
+          }
+        },
+        pool_);
+  }
+
+  /// Launches a cooperative kernel: `body(BlockCtx&)` runs once per block
+  /// with `shared_bytes` of shared memory; intra-block barriers are the
+  /// phase boundaries of BlockCtx::for_each_thread. Synchronous.
+  template <class F>
+  void launch_cooperative(LaunchConfig cfg, std::size_t shared_bytes,
+                          F&& body) {
+    validate(cfg, shared_bytes);
+    ++stats_.cooperative_launches;
+    stats_.blocks_executed += cfg.grid_blocks;
+    stats_.threads_executed += cfg.total_threads();
+    parallel::parallel_for(
+        cfg.grid_blocks,
+        [&](std::size_t block) {
+          std::vector<std::byte> shared(shared_bytes);
+          BlockCtx ctx(block, cfg.threads_per_block, cfg.grid_blocks,
+                       std::span<std::byte>(shared));
+          body(ctx);
+        },
+        pool_);
+  }
+
+ private:
+  void charge(const std::shared_ptr<detail::MemoryLedger>& ledger,
+              std::size_t bytes);
+  void charge_constant(std::size_t bytes);
+  void validate(const LaunchConfig& cfg, std::size_t shared_bytes) const;
+
+  DeviceProperties props_;
+  parallel::ThreadPool* pool_;
+  std::shared_ptr<detail::MemoryLedger> global_;
+  std::shared_ptr<detail::MemoryLedger> constant_;
+  LaunchStats stats_;
+};
+
+}  // namespace kreg::spmd

@@ -1,0 +1,48 @@
+#include "spmd/device_properties.hpp"
+
+#include <stdexcept>
+
+namespace kreg::spmd {
+
+DeviceProperties DeviceProperties::tesla_s10() {
+  DeviceProperties p;
+  p.name = "Tesla S10 (simulated)";
+  p.multiprocessor_count = 30;
+  p.cores_per_multiprocessor = 8;
+  p.warp_size = 32;
+  p.max_threads_per_block = 512;
+  p.max_grid_blocks = 65535;
+  p.constant_cache_bytes = 8 * 1024;
+  p.shared_memory_per_block = 16 * 1024;
+  p.global_memory_bytes = 4ULL * 1024 * 1024 * 1024;
+  return p;
+}
+
+DeviceProperties DeviceProperties::tiny(std::size_t global_bytes) {
+  DeviceProperties p;
+  p.name = "tiny (simulated)";
+  p.multiprocessor_count = 2;
+  p.cores_per_multiprocessor = 4;
+  p.warp_size = 4;
+  p.max_threads_per_block = 64;
+  p.max_grid_blocks = 1024;
+  p.constant_cache_bytes = 1024;
+  p.shared_memory_per_block = 4 * 1024;
+  p.global_memory_bytes = global_bytes;
+  return p;
+}
+
+void DeviceProperties::validate() const {
+  if (multiprocessor_count == 0 || cores_per_multiprocessor == 0 ||
+      warp_size == 0 || max_threads_per_block == 0 || max_grid_blocks == 0) {
+    throw std::invalid_argument(
+        "DeviceProperties: execution limits must be nonzero");
+  }
+  if (constant_cache_bytes == 0 || shared_memory_per_block == 0 ||
+      global_memory_bytes == 0) {
+    throw std::invalid_argument(
+        "DeviceProperties: memory capacities must be nonzero");
+  }
+}
+
+}  // namespace kreg::spmd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace kreg::spmd {
+
+/// Capability description of a simulated SPMD device.
+///
+/// The defaults mirror the paper's hardware: a Tesla S10-class part with 240
+/// streaming cores, 4 GB of global memory, a 512-thread block limit, and the
+/// 8 KB constant-memory cache working set that caps the bandwidth grid at
+/// 2,048 single-precision values (paper §IV-A). The simulator enforces these
+/// limits so the paper's capacity behaviour — including the n > 20,000
+/// allocation failure — reproduces exactly.
+struct DeviceProperties {
+  std::string name = "sim";
+  std::size_t multiprocessor_count = 30;
+  std::size_t cores_per_multiprocessor = 8;
+  std::size_t warp_size = 32;
+  std::size_t max_threads_per_block = 512;
+  std::size_t max_grid_blocks = 65535;
+  std::size_t constant_cache_bytes = 8 * 1024;
+  std::size_t shared_memory_per_block = 16 * 1024;
+  std::size_t global_memory_bytes = 4ULL * 1024 * 1024 * 1024;
+
+  std::size_t total_cores() const noexcept {
+    return multiprocessor_count * cores_per_multiprocessor;
+  }
+
+  /// The paper's GPU: one Tesla S10 module (240 cores, 4 GB).
+  static DeviceProperties tesla_s10();
+
+  /// A small-memory configuration for tests that need to trigger
+  /// DeviceAllocError without allocating gigabytes on the host.
+  static DeviceProperties tiny(std::size_t global_bytes);
+
+  /// Validates internal consistency (nonzero limits); throws
+  /// std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace kreg::spmd

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace kreg::spmd {
+
+/// Base class of every simulated-device failure.
+class DeviceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Global-memory allocation failure — the simulator's analogue of
+/// cudaMalloc returning cudaErrorMemoryAllocation. The paper hits this for
+/// n > 20,000 because the algorithm stores two n×n matrices in device
+/// memory (§IV-A, §V).
+class DeviceAllocError : public DeviceError {
+ public:
+  DeviceAllocError(std::size_t requested, std::size_t available)
+      : DeviceError("device global memory exhausted: requested " +
+                    std::to_string(requested) + " bytes, " +
+                    std::to_string(available) + " available"),
+        requested_bytes(requested),
+        available_bytes(available) {}
+
+  std::size_t requested_bytes;
+  std::size_t available_bytes;
+};
+
+/// Constant-memory capacity failure — the paper's 8 KB constant-cache
+/// working set caps the bandwidth grid at 2,048 floats (§IV-A).
+class ConstantCapacityError : public DeviceError {
+ public:
+  ConstantCapacityError(std::size_t requested, std::size_t capacity)
+      : DeviceError("device constant memory exceeded: requested " +
+                    std::to_string(requested) + " bytes of " +
+                    std::to_string(capacity)),
+        requested_bytes(requested),
+        capacity_bytes(capacity) {}
+
+  std::size_t requested_bytes;
+  std::size_t capacity_bytes;
+};
+
+/// Invalid launch configuration (zero dimensions, block too large, shared
+/// memory request over the per-block limit, …).
+class LaunchConfigError : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+}  // namespace kreg::spmd

@@ -1,0 +1,15 @@
+#include "spmd/reduce.hpp"
+
+namespace kreg::spmd {
+
+std::string_view to_string(ReduceVariant variant) noexcept {
+  switch (variant) {
+    case ReduceVariant::kInterleaved:
+      return "interleaved";
+    case ReduceVariant::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+}  // namespace kreg::spmd

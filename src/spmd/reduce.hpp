@@ -1,0 +1,230 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "spmd/device.hpp"
+
+namespace kreg::spmd {
+
+/// Shared-memory tree-reduction schedules, following the progression in
+/// Harris, "Optimizing Parallel Reduction in CUDA" (the code the paper's
+/// reductions are modified from, ref [17]).
+enum class ReduceVariant {
+  /// Harris reduction #1: interleaved addressing — thread t is active when
+  /// t % (2*stride) == 0. Simple but divergent on real warps.
+  kInterleaved,
+  /// Harris reduction #3: sequential addressing — active threads are the
+  /// compact prefix t < stride. This is the schedule the paper describes
+  /// ("each thread with t < T/2 adds to its sum the sum from thread
+  /// t + T/2 … with T/4, T/8, and so on").
+  kSequential,
+};
+
+std::string_view to_string(ReduceVariant variant) noexcept;
+
+/// Result of an argmin reduction: the minimum value and its index in the
+/// input array. Ties resolve to the smallest index, making the reduction
+/// deterministic.
+template <class T>
+struct ArgminResult {
+  T value = std::numeric_limits<T>::infinity();
+  std::size_t index = 0;
+};
+
+namespace detail {
+
+/// Rounds the requested block size down to a power of two within the
+/// device's limit (tree reductions halve the active set each phase).
+inline std::size_t reduction_block_dim(const Device& device,
+                                       std::size_t requested) {
+  std::size_t dim = std::min(requested,
+                             device.properties().max_threads_per_block);
+  if (dim == 0) {
+    dim = 1;
+  }
+  return std::size_t{1} << (std::bit_width(dim) - 1);
+}
+
+}  // namespace detail
+
+/// Single-block device sum, exactly the paper's §IV-B schedule: thread t
+/// first accumulates the elements j with j ≡ t (mod T) into shared[t], then
+/// a tree reduction leaves the total in shared[0].
+///
+/// `input` must be a device-resident span (a DeviceBuffer's span). The
+/// requested block size is rounded down to a power of two and clamped to
+/// the device limit.
+template <class T>
+T reduce_sum(Device& device, std::span<const T> input,
+             std::size_t threads_per_block = 512,
+             ReduceVariant variant = ReduceVariant::kSequential) {
+  if (input.empty()) {
+    return T{0};
+  }
+  const std::size_t block_dim =
+      detail::reduction_block_dim(device, threads_per_block);
+  T result{};
+  device.launch_cooperative(
+      LaunchConfig{1, block_dim}, block_dim * sizeof(T), [&](BlockCtx& ctx) {
+        std::span<T> shared = ctx.template shared_as<T>(block_dim);
+        // Phase 1: strided load-and-add. Thread t owns j ≡ t (mod T).
+        ctx.for_each_thread([&](std::size_t t) {
+          T acc{};
+          for (std::size_t j = t; j < input.size(); j += block_dim) {
+            acc += input[j];
+          }
+          shared[t] = acc;
+        });
+        // Phase 2: tree reduction; each for_each_thread return is a barrier.
+        if (variant == ReduceVariant::kSequential) {
+          for (std::size_t stride = block_dim / 2; stride > 0; stride /= 2) {
+            ctx.for_each_thread([&](std::size_t t) {
+              if (t < stride) {
+                shared[t] += shared[t + stride];
+              }
+            });
+          }
+        } else {
+          for (std::size_t stride = 1; stride < block_dim; stride *= 2) {
+            ctx.for_each_thread([&](std::size_t t) {
+              if (t % (2 * stride) == 0 && t + stride < block_dim) {
+                shared[t] += shared[t + stride];
+              }
+            });
+          }
+        }
+        result = shared[0];
+      });
+  return result;
+}
+
+/// Single-block device minimum (same schedule as reduce_sum with `min`
+/// replacing `+`).
+template <class T>
+T reduce_min(Device& device, std::span<const T> input,
+             std::size_t threads_per_block = 512) {
+  ArgminResult<T> r = reduce_argmin(device, input, threads_per_block);
+  return r.value;
+}
+
+/// Single-block device argmin — the paper's bandwidth-selection reduction.
+///
+/// The paper stores 2T elements in shared memory: T cross-validation scores
+/// and T corresponding bandwidths, updated in tandem. Following the paper's
+/// own footnote 2 ("we can simply save the integer-value of the thread
+/// index… and access that element of the bandwidth array… after the
+/// procedure"), the payload here is the input *index*, which the caller
+/// maps back to a bandwidth. Ties resolve to the smallest index.
+template <class T>
+ArgminResult<T> reduce_argmin(Device& device, std::span<const T> input,
+                              std::size_t threads_per_block = 512) {
+  ArgminResult<T> result;
+  if (input.empty()) {
+    return result;
+  }
+  const std::size_t block_dim =
+      detail::reduction_block_dim(device, threads_per_block);
+  // 2T shared elements: T values followed by T payload indices.
+  const std::size_t shared_bytes =
+      block_dim * (sizeof(T) + sizeof(std::size_t));
+  device.launch_cooperative(
+      LaunchConfig{1, block_dim}, shared_bytes, [&](BlockCtx& ctx) {
+        // Payload indices first: sizeof(size_t) >= alignof(T) for the
+        // float/double instantiations, so the value array that follows is
+        // correctly aligned for any power-of-two block size.
+        std::span<std::size_t> idxs =
+            ctx.template shared_as<std::size_t>(block_dim);
+        auto* val_base = reinterpret_cast<T*>(idxs.data() + block_dim);
+        std::span<T> vals{val_base, block_dim};
+
+        ctx.for_each_thread([&](std::size_t t) {
+          T best = std::numeric_limits<T>::infinity();
+          std::size_t best_idx = input.size();  // sentinel: "no element"
+          for (std::size_t j = t; j < input.size(); j += block_dim) {
+            if (input[j] < best) {
+              best = input[j];
+              best_idx = j;
+            }
+          }
+          vals[t] = best;
+          idxs[t] = best_idx;
+        });
+        for (std::size_t stride = block_dim / 2; stride > 0; stride /= 2) {
+          ctx.for_each_thread([&](std::size_t t) {
+            if (t < stride) {
+              const bool take_other =
+                  vals[t + stride] < vals[t] ||
+                  (vals[t + stride] == vals[t] && idxs[t + stride] < idxs[t]);
+              if (take_other) {
+                vals[t] = vals[t + stride];
+                idxs[t] = idxs[t + stride];
+              }
+            }
+          });
+        }
+        result.value = vals[0];
+        result.index = idxs[0] < input.size() ? idxs[0] : 0;
+      });
+  return result;
+}
+
+/// Two-level grid-wide sum for inputs too large for one block to chew
+/// through efficiently: a grid of blocks each reduces a contiguous chunk to
+/// a partial (in global memory), then a single-block pass reduces the
+/// partials. Mirrors the multi-launch structure of Harris's full reduction.
+template <class T>
+T reduce_sum_grid(Device& device, std::span<const T> input,
+                  std::size_t threads_per_block = 512) {
+  if (input.empty()) {
+    return T{0};
+  }
+  const std::size_t block_dim =
+      detail::reduction_block_dim(device, threads_per_block);
+  const std::size_t chunk = 2 * block_dim;  // first add during global load
+  std::size_t blocks = (input.size() + chunk - 1) / chunk;
+  blocks = std::min(blocks, device.properties().max_grid_blocks);
+
+  DeviceBuffer<T> partials = device.template alloc_global<T>(blocks);
+  std::span<T> partial_span = partials.span();
+  device.launch_cooperative(
+      LaunchConfig{blocks, block_dim}, block_dim * sizeof(T),
+      [&](BlockCtx& ctx) {
+        std::span<T> shared = ctx.template shared_as<T>(block_dim);
+        const std::size_t b = ctx.block_idx();
+        ctx.for_each_thread([&](std::size_t t) {
+          // Grid-stride over the whole array so any block count covers it;
+          // "first add during load" folds two elements per step.
+          T acc{};
+          const std::size_t stride = blocks * chunk;
+          for (std::size_t base = b * chunk; base < input.size();
+               base += stride) {
+            const std::size_t j0 = base + t;
+            const std::size_t j1 = base + t + block_dim;
+            if (j0 < input.size()) {
+              acc += input[j0];
+            }
+            if (j1 < input.size() && j1 < base + chunk) {
+              acc += input[j1];
+            }
+          }
+          shared[t] = acc;
+        });
+        for (std::size_t stride = block_dim / 2; stride > 0; stride /= 2) {
+          ctx.for_each_thread([&](std::size_t t) {
+            if (t < stride) {
+              shared[t] += shared[t + stride];
+            }
+          });
+        }
+        partial_span[b] = shared[0];
+      });
+  return reduce_sum(device, std::span<const T>(partial_span),
+                    threads_per_block);
+}
+
+}  // namespace kreg::spmd

@@ -1,0 +1,114 @@
+#include "stats/descriptive.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sort/introsort.hpp"
+#include "stats/welford.hpp"
+
+namespace kreg::stats {
+
+double mean(std::span<const double> xs) {
+  Welford acc;
+  for (double x : xs) {
+    acc.add(x);
+  }
+  return acc.mean();
+}
+
+double variance(std::span<const double> xs) {
+  Welford acc;
+  for (double x : xs) {
+    acc.add(x);
+  }
+  return acc.variance_sample();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  assert(!xs.empty());
+  double result = xs[0];
+  for (double x : xs) {
+    if (x < result) {
+      result = x;
+    }
+  }
+  return result;
+}
+
+double max(std::span<const double> xs) {
+  assert(!xs.empty());
+  double result = xs[0];
+  for (double x : xs) {
+    if (x > result) {
+      result = x;
+    }
+  }
+  return result;
+}
+
+double range(std::span<const double> xs) { return max(xs) - min(xs); }
+
+namespace {
+
+/// Quantile of an already-sorted range, linear interpolation between order
+/// statistics (type-7 in the R taxonomy, R's default).
+double sorted_quantile(std::span<const double> sorted, double q) {
+  assert(!sorted.empty());
+  if (q <= 0.0) {
+    return sorted.front();
+  }
+  if (q >= 1.0) {
+    return sorted.back();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  std::vector<double> scratch(xs.begin(), xs.end());
+  kreg::sort::introsort(std::span<double>(scratch));
+  return sorted_quantile(scratch, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double iqr(std::span<const double> xs) {
+  assert(!xs.empty());
+  std::vector<double> scratch(xs.begin(), xs.end());
+  kreg::sort::introsort(std::span<double>(scratch));
+  return sorted_quantile(scratch, 0.75) - sorted_quantile(scratch, 0.25);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) {
+    return s;
+  }
+  Welford acc;
+  for (double x : xs) {
+    acc.add(x);
+  }
+  std::vector<double> scratch(xs.begin(), xs.end());
+  kreg::sort::introsort(std::span<double>(scratch));
+  s.n = xs.size();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev_sample();
+  s.min = scratch.front();
+  s.q25 = sorted_quantile(scratch, 0.25);
+  s.median = sorted_quantile(scratch, 0.5);
+  s.q75 = sorted_quantile(scratch, 0.75);
+  s.max = scratch.back();
+  return s;
+}
+
+}  // namespace kreg::stats

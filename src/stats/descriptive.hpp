@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kreg::stats {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); 0 when fewer than two values.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Minimum value; requires a non-empty range.
+double min(std::span<const double> xs);
+
+/// Maximum value; requires a non-empty range.
+double max(std::span<const double> xs);
+
+/// max - min; requires a non-empty range. This is the "domain" the paper
+/// uses as the default largest candidate bandwidth.
+double range(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]; requires a non-empty range.
+/// Sorts a scratch copy (O(n log n)).
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Interquartile range (q75 - q25), used by the Silverman rule of thumb.
+double iqr(std::span<const double> xs);
+
+/// Summary of a sample in one pass over the data (plus one sort for the
+/// quantiles).
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace kreg::stats

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "stats/welford.hpp"
+
+namespace kreg::stats {
+
+/// Mean squared error between predictions and truth.
+/// Requires equal, nonzero lengths.
+inline double mse(std::span<const double> predicted,
+                  std::span<const double> truth) {
+  assert(predicted.size() == truth.size() && !predicted.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - truth[i];
+    acc += e * e;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+/// Mean absolute error.
+inline double mae(std::span<const double> predicted,
+                  std::span<const double> truth) {
+  assert(predicted.size() == truth.size() && !predicted.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - truth[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+/// Coefficient of determination R² = 1 - SSE/SST. Returns 0 when the truth
+/// is constant (SST == 0).
+inline double r_squared(std::span<const double> predicted,
+                        std::span<const double> truth) {
+  assert(predicted.size() == truth.size() && !predicted.empty());
+  Welford acc;
+  for (double y : truth) {
+    acc.add(y);
+  }
+  const double sst =
+      acc.variance_population() * static_cast<double>(truth.size());
+  if (sst == 0.0) {
+    return 0.0;
+  }
+  double sse = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = truth[i] - predicted[i];
+    sse += e * e;
+  }
+  return 1.0 - sse / sst;
+}
+
+}  // namespace kreg::stats

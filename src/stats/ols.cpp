@@ -1,0 +1,118 @@
+#include "stats/ols.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/metrics.hpp"
+
+namespace kreg::stats {
+
+double PolyFit::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t j = beta.size(); j-- > 0;) {
+    acc = acc * x + beta[j];
+  }
+  return acc;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  assert(a.size() == n * n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: bring the largest |entry| in this column to the diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a[row * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below the diagonal.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      acc -= a[row * n + k] * x[k];
+    }
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
+                       int degree) {
+  assert(x.size() == y.size());
+  assert(degree >= 0);
+  const std::size_t n = x.size();
+  const std::size_t p = static_cast<std::size_t>(degree) + 1;
+  assert(n > static_cast<std::size_t>(degree));
+
+  // Normal equations: (X'X) beta = X'y with X the Vandermonde matrix.
+  // Power sums S_m = Σ x^m for m = 0..2*degree fill X'X; T_j = Σ y x^j
+  // fills X'y.
+  std::vector<double> power_sums(2 * p - 1, 0.0);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double xm = 1.0;
+    for (std::size_t m = 0; m < power_sums.size(); ++m) {
+      power_sums[m] += xm;
+      if (m < p) {
+        xty[m] += y[i] * xm;
+      }
+      xm *= x[i];
+    }
+  }
+  std::vector<double> xtx(p * p);
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t c = 0; c < p; ++c) {
+      xtx[r * p + c] = power_sums[r + c];
+    }
+  }
+
+  PolyFit fit;
+  fit.beta = solve_linear_system(std::move(xtx), std::move(xty));
+
+  std::vector<double> predicted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    predicted[i] = fit(x[i]);
+  }
+  fit.rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - predicted[i];
+    fit.rss += e * e;
+  }
+  fit.r2 = r_squared(predicted, y);
+  return fit;
+}
+
+PolyFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  return fit_polynomial(x, y, 1);
+}
+
+}  // namespace kreg::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace kreg::stats {
+
+/// Result of a least-squares polynomial fit y ≈ Σ_j beta[j] x^j.
+struct PolyFit {
+  std::vector<double> beta;  ///< coefficients, beta[j] multiplies x^j
+  double rss = 0.0;          ///< residual sum of squares
+  double r2 = 0.0;           ///< in-sample R²
+
+  /// Evaluates the fitted polynomial at x (Horner form).
+  double operator()(double x) const;
+};
+
+/// Ordinary least squares for a degree-`degree` polynomial in one regressor,
+/// solved via the normal equations with partial-pivot Gaussian elimination.
+///
+/// This is the parametric baseline the examples contrast with kernel
+/// regression (the paper's motivation: economists assume linear/quadratic
+/// forms because nonparametrics are expensive). Requires
+/// x.size() == y.size() > degree.
+PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
+                       int degree);
+
+/// Simple linear regression y ≈ a + b x (degree-1 convenience wrapper).
+PolyFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Solves the square linear system A beta = b in place via Gaussian
+/// elimination with partial pivoting. A is row-major n×n. Throws
+/// std::runtime_error when the system is singular to working precision.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b);
+
+}  // namespace kreg::stats

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace kreg::stats {
+
+/// Single-pass, numerically stable mean/variance accumulator
+/// (Welford 1962). Mergeable (Chan et al.) so parallel workers can each
+/// accumulate a private instance and combine.
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Merges another accumulator into this one.
+  void merge(const Welford& other) noexcept {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Population variance (divides by n); 0 when empty.
+  double variance_population() const noexcept {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divides by n-1); 0 when n < 2.
+  double variance_sample() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev_sample() const noexcept {
+    return std::sqrt(variance_sample());
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace kreg::stats

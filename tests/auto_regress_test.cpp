@@ -1,0 +1,127 @@
+// Tests for the one-call auto_regress facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/auto_regress.hpp"
+#include "core/selectors.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::AutoOptions;
+using kreg::auto_regress;
+using kreg::KernelType;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+Dataset paper_data(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  return kreg::data::paper_dgp(n, s);
+}
+
+TEST(AutoRegress, MatchesExplicitPipeline) {
+  const Dataset d = paper_data(400, 1);
+  AutoOptions opts;
+  opts.backend = AutoOptions::Backend::kSequential;
+  const auto fitted = auto_regress(d, opts);
+
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(d, 200);
+  const auto manual = kreg::SortedGridSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(fitted.bandwidth(), manual.bandwidth);
+  const kreg::NadarayaWatson nw(d, manual.bandwidth);
+  EXPECT_DOUBLE_EQ(fitted(0.5), nw(0.5));
+}
+
+TEST(AutoRegress, BackendsAgreeOnSelection) {
+  const Dataset d = paper_data(600, 2);
+  AutoOptions seq;
+  seq.backend = AutoOptions::Backend::kSequential;
+  AutoOptions par;
+  par.backend = AutoOptions::Backend::kParallel;
+  kreg::spmd::Device device;
+  AutoOptions dev;
+  dev.backend = AutoOptions::Backend::kDevice;
+  dev.device = &device;
+
+  const double h_seq = auto_regress(d, seq).bandwidth();
+  const double h_par = auto_regress(d, par).bandwidth();
+  const double h_dev = auto_regress(d, dev).bandwidth();
+  EXPECT_DOUBLE_EQ(h_seq, h_par);
+  EXPECT_DOUBLE_EQ(h_seq, h_dev);  // float device path, same grid argmin
+}
+
+TEST(AutoRegress, AutoHeuristicPicksBySampleSize) {
+  // Behavioural check only: both paths must succeed and agree.
+  const Dataset small_data = paper_data(200, 3);
+  const Dataset large_data = paper_data(1500, 4);
+  EXPECT_NO_THROW(auto_regress(small_data));
+  EXPECT_NO_THROW(auto_regress(large_data));
+}
+
+TEST(AutoRegress, AutoWithDeviceUsesItForLargeSamples) {
+  kreg::spmd::Device device;
+  AutoOptions opts;
+  opts.device = &device;
+  const Dataset d = paper_data(1500, 5);
+  (void)auto_regress(d, opts);
+  EXPECT_GT(device.stats().kernel_launches, 0u);  // device actually ran
+}
+
+TEST(AutoRegress, GaussianFallsBackToDenseSearch) {
+  const Dataset d = paper_data(300, 6);
+  AutoOptions opts;
+  opts.kernel = KernelType::kGaussian;
+  const auto fitted = auto_regress(d, opts);
+  EXPECT_NE(fitted.selection().method.find("dense-grid"), std::string::npos);
+}
+
+TEST(AutoRegress, GaussianOnDeviceThrows) {
+  kreg::spmd::Device device;
+  AutoOptions opts;
+  opts.kernel = KernelType::kGaussian;
+  opts.backend = AutoOptions::Backend::kDevice;
+  opts.device = &device;
+  EXPECT_THROW(auto_regress(paper_data(100, 7), opts), std::invalid_argument);
+}
+
+TEST(AutoRegress, DeviceBackendWithoutDeviceThrows) {
+  AutoOptions opts;
+  opts.backend = AutoOptions::Backend::kDevice;
+  EXPECT_THROW(auto_regress(paper_data(100, 8), opts), std::invalid_argument);
+}
+
+TEST(AutoRegress, RefineImprovesOrMatches) {
+  const Dataset d = paper_data(500, 9);
+  AutoOptions plain;
+  plain.backend = AutoOptions::Backend::kSequential;
+  AutoOptions refined = plain;
+  refined.refine = true;
+  const auto a = auto_regress(d, plain);
+  const auto b = auto_regress(d, refined);
+  EXPECT_LE(b.selection().cv_score, a.selection().cv_score + 1e-12);
+  EXPECT_NE(b.selection().method.find("+refine"), std::string::npos);
+}
+
+TEST(AutoRegress, CurveAndBandExposed) {
+  const Dataset d = paper_data(400, 10);
+  const auto fitted = auto_regress(d);
+  const auto curve = fitted.curve(33);
+  EXPECT_EQ(curve.x.size(), 33u);
+  const auto band = fitted.confidence_band(25, 0.9);
+  EXPECT_EQ(band.x.size(), 25u);
+  EXPECT_DOUBLE_EQ(band.bandwidth, fitted.bandwidth());
+}
+
+TEST(AutoRegress, ValidatesInputs) {
+  Dataset tiny{{0.5}, {1.0}};
+  EXPECT_THROW(auto_regress(tiny), std::invalid_argument);
+  AutoOptions opts;
+  opts.grid_size = 0;
+  EXPECT_THROW(auto_regress(paper_data(100, 11), opts),
+               std::invalid_argument);
+}
+
+}  // namespace

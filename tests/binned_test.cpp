@@ -1,0 +1,147 @@
+// Tests for linear binning and the binned CV approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/binned.hpp"
+#include "core/nadaraya_watson.hpp"
+#include "core/selectors.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::BinnedSample;
+using kreg::KernelType;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+TEST(LinearBin, PreservesMassAndFirstMomentExactly) {
+  Stream s(1);
+  const Dataset d = kreg::data::paper_dgp(1000, s);
+  const BinnedSample binned = kreg::linear_bin(d, 64);
+
+  double total_mass = 0.0;
+  double first_moment = 0.0;
+  double total_y = 0.0;
+  for (std::size_t j = 0; j < binned.bins(); ++j) {
+    total_mass += binned.mass[j];
+    first_moment += binned.mass[j] * binned.node(j);
+    total_y += binned.y_mass[j];
+  }
+  double x_sum = 0.0;
+  double y_sum = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    x_sum += d.x[i];
+    y_sum += d.y[i];
+  }
+  EXPECT_NEAR(total_mass, 1000.0, 1e-9);
+  EXPECT_NEAR(first_moment, x_sum, 1e-8);  // linear binning's exactness
+  EXPECT_NEAR(total_y, y_sum, 1e-8);
+}
+
+TEST(LinearBin, PointsOnNodesBinExactly) {
+  Dataset d;
+  // x exactly on nodes of an 11-bin grid over [0, 1].
+  for (int i = 0; i <= 10; ++i) {
+    d.x.push_back(i / 10.0);
+    d.y.push_back(static_cast<double>(i));
+  }
+  const BinnedSample binned = kreg::linear_bin(d, 11);
+  for (std::size_t j = 0; j < 11; ++j) {
+    EXPECT_NEAR(binned.mass[j], 1.0, 1e-12) << "j=" << j;
+    EXPECT_NEAR(binned.bin_mean(j), static_cast<double>(j), 1e-12);
+  }
+}
+
+TEST(LinearBin, SplitsMassProportionally) {
+  Dataset d{{0.25}, {4.0}};
+  // Domain degenerate with one point; use two anchor points.
+  d.x = {0.0, 0.25, 1.0};
+  d.y = {0.0, 4.0, 0.0};
+  const BinnedSample binned = kreg::linear_bin(d, 5);  // nodes at 0,.25,.5,.75,1
+  EXPECT_NEAR(binned.mass[1], 1.0, 1e-12);  // 0.25 lands exactly on node 1
+  EXPECT_NEAR(binned.y_mass[1], 4.0, 1e-12);
+}
+
+TEST(LinearBin, ValidatesInputs) {
+  Dataset empty;
+  EXPECT_THROW(kreg::linear_bin(empty, 8), std::invalid_argument);
+  Dataset constant{{0.5, 0.5}, {1.0, 2.0}};
+  EXPECT_THROW(kreg::linear_bin(constant, 8), std::invalid_argument);
+  Dataset ok{{0.0, 1.0}, {1.0, 2.0}};
+  EXPECT_THROW(kreg::linear_bin(ok, 1), std::invalid_argument);
+}
+
+TEST(BinnedNw, ApproximatesExactEstimatorClosely) {
+  Stream s(2);
+  const Dataset d = kreg::data::paper_dgp(2000, s);
+  const BinnedSample binned = kreg::linear_bin(d, 400);
+  const kreg::NadarayaWatson exact(d, 0.08);
+  for (double x = 0.1; x < 0.95; x += 0.1) {
+    const double approx = kreg::binned_nw_evaluate(binned, x, 0.08);
+    EXPECT_NEAR(approx, exact(x), 0.02 * std::max(1.0, std::abs(exact(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(BinnedNw, NanOutsideSupport) {
+  Dataset d{{0.0, 1.0}, {1.0, 2.0}};
+  const BinnedSample binned = kreg::linear_bin(d, 8);
+  EXPECT_TRUE(std::isnan(kreg::binned_nw_evaluate(binned, 0.5, 0.05)));
+}
+
+TEST(BinnedCv, ProfileTracksExactProfileShape) {
+  Stream s(3);
+  const Dataset d = kreg::data::paper_dgp(1500, s);
+  const BandwidthGrid grid(0.02, 0.5, 25);
+  const auto exact = kreg::SortedGridSelector().select(d, grid);
+  const auto binned = kreg::binned_select(d, grid, 400);
+
+  // The binned argmin should land within a couple of grid cells of the
+  // exact argmin, and the profiles should correlate strongly.
+  const double cell = grid[1] - grid[0];
+  EXPECT_NEAR(binned.bandwidth, exact.bandwidth, 2.5 * cell);
+  for (std::size_t b = 2; b < grid.size(); ++b) {
+    // Relative shape: both profiles should rank far-apart bandwidths the
+    // same way (compare each to the profile 2 cells earlier).
+    const bool exact_up = exact.scores[b] > exact.scores[b - 2];
+    const bool binned_up = binned.scores[b] > binned.scores[b - 2];
+    if (std::abs(exact.scores[b] - exact.scores[b - 2]) >
+        0.05 * exact.scores[b]) {
+      EXPECT_EQ(binned_up, exact_up) << "b=" << b;
+    }
+  }
+}
+
+TEST(BinnedCv, MoreBinsImproveAgreement) {
+  Stream s(4);
+  const Dataset d = kreg::data::paper_dgp(1200, s);
+  const BandwidthGrid grid(0.02, 0.4, 20);
+  const auto exact = kreg::SortedGridSelector().select(d, grid);
+  const auto coarse = kreg::binned_select(d, grid, 50);
+  const auto fine = kreg::binned_select(d, grid, 800);
+  const double err_coarse = std::abs(coarse.cv_score - exact.cv_score);
+  const double err_fine = std::abs(fine.cv_score - exact.cv_score);
+  EXPECT_LE(err_fine, err_coarse + 1e-12);
+}
+
+TEST(BinnedCv, GaussianKernelSupported) {
+  Stream s(5);
+  const Dataset d = kreg::data::paper_dgp(500, s);
+  const BandwidthGrid grid(0.02, 0.5, 10);
+  const auto r = kreg::binned_select(d, grid, 200, KernelType::kGaussian);
+  EXPECT_EQ(r.scores.size(), grid.size());
+  EXPECT_GT(r.bandwidth, 0.0);
+}
+
+TEST(BinnedCv, ValidatesGrid) {
+  Stream s(6);
+  const Dataset d = kreg::data::paper_dgp(100, s);
+  const BinnedSample binned = kreg::linear_bin(d, 32);
+  const std::vector<double> bad = {0.0, 0.1};
+  EXPECT_THROW(kreg::binned_cv_profile(binned, bad), std::invalid_argument);
+}
+
+}  // namespace

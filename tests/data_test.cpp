@@ -1,0 +1,182 @@
+// Tests for the data substrate: dataset invariants, the paper DGP's
+// distributional properties, DGP registry, CSV round-tripping, splits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+TEST(Dataset, ValidateAcceptsWellFormed) {
+  Dataset d{{0.1, 0.2}, {1.0, 2.0}};
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, ValidateRejectsLengthMismatch) {
+  Dataset d{{0.1, 0.2}, {1.0}};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsNonFinite) {
+  Dataset d{{0.1, std::nan("")}, {1.0, 2.0}};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  Dataset e{{0.1, 0.2}, {1.0, INFINITY}};
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, XDomainIsRange) {
+  Dataset d{{0.25, 0.75, 0.5}, {0.0, 0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(d.x_domain(), 0.5);
+}
+
+TEST(Dataset, XDomainOfEmptyThrows) {
+  Dataset d;
+  EXPECT_THROW(d.x_domain(), std::invalid_argument);
+}
+
+TEST(Dataset, SplitAtPartitions) {
+  Dataset d{{1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}};
+  const auto split = kreg::data::split_at(d, 3);
+  EXPECT_EQ(split.train.size(), 3u);
+  EXPECT_EQ(split.test.size(), 2u);
+  EXPECT_DOUBLE_EQ(split.train.x[2], 3.0);
+  EXPECT_DOUBLE_EQ(split.test.y[0], 40.0);
+}
+
+TEST(Dataset, SplitBeyondSizeThrows) {
+  Dataset d{{1}, {2}};
+  EXPECT_THROW(kreg::data::split_at(d, 2), std::invalid_argument);
+}
+
+TEST(Dataset, PermuteReordersBothColumns) {
+  Dataset d{{1, 2, 3}, {10, 20, 30}};
+  const std::vector<std::size_t> perm = {2, 0, 1};
+  const Dataset p = kreg::data::permute(d, perm);
+  EXPECT_DOUBLE_EQ(p.x[0], 3.0);
+  EXPECT_DOUBLE_EQ(p.y[0], 30.0);
+  EXPECT_DOUBLE_EQ(p.x[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.y[1], 10.0);
+}
+
+TEST(PaperDgp, MatchesSpecification) {
+  Stream s(42);
+  const Dataset d = kreg::data::paper_dgp(50000, s);
+  ASSERT_EQ(d.size(), 50000u);
+  d.validate();
+  // X ~ U(0,1).
+  EXPECT_GE(kreg::stats::min(d.x), 0.0);
+  EXPECT_LT(kreg::stats::max(d.x), 1.0);
+  EXPECT_NEAR(kreg::stats::mean(d.x), 0.5, 0.01);
+  // Y = 0.5X + 10X² + U(0, 0.5): residual u = y - (0.5x + 10x²) in [0, 0.5].
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double u = d.y[i] - (0.5 * d.x[i] + 10.0 * d.x[i] * d.x[i]);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 0.5);
+  }
+}
+
+TEST(PaperDgp, TrueMeanIncludesNoiseMean) {
+  // E[Y|X=x] = 0.5x + 10x² + E[u] with E[u] = 0.25.
+  EXPECT_DOUBLE_EQ(kreg::data::paper_dgp_mean(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(kreg::data::paper_dgp_mean(1.0), 0.5 + 10.0 + 0.25);
+}
+
+TEST(PaperDgp, DeterministicForFixedSeed) {
+  Stream a(7);
+  Stream b(7);
+  const Dataset da = kreg::data::paper_dgp(100, a);
+  const Dataset db = kreg::data::paper_dgp(100, b);
+  EXPECT_EQ(da.x, db.x);
+  EXPECT_EQ(da.y, db.y);
+}
+
+TEST(AllDgps, GenerateValidDataAndFiniteMeans) {
+  for (const auto& dgp : kreg::data::all_dgps()) {
+    Stream s(11);
+    const Dataset d = dgp.generate(500, s);
+    EXPECT_EQ(d.size(), 500u) << dgp.name;
+    EXPECT_NO_THROW(d.validate()) << dgp.name;
+    for (double x : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      EXPECT_TRUE(std::isfinite(dgp.true_mean(x))) << dgp.name;
+    }
+  }
+}
+
+TEST(AllDgps, RegistryHasExpectedEntries) {
+  const auto& dgps = kreg::data::all_dgps();
+  ASSERT_EQ(dgps.size(), 5u);
+  EXPECT_EQ(dgps[0].name, "paper");
+}
+
+TEST(SineDgp, NoiseAveragesOut) {
+  Stream s(12);
+  const Dataset d = kreg::data::sine_dgp(20000, s, 0.1);
+  // Mean of Y - m(X) should be ~0.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    acc += d.y[i] - kreg::data::sine_dgp_mean(d.x[i]);
+  }
+  EXPECT_NEAR(acc / static_cast<double>(d.size()), 0.0, 0.005);
+}
+
+TEST(StepDgp, MeanIsPiecewiseConstant) {
+  EXPECT_DOUBLE_EQ(kreg::data::step_dgp_mean(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(kreg::data::step_dgp_mean(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(kreg::data::step_dgp_mean(0.6), -0.5);
+  EXPECT_DOUBLE_EQ(kreg::data::step_dgp_mean(0.9), 0.75);
+}
+
+TEST(Csv, RoundTripsThroughStreams) {
+  Stream s(13);
+  const Dataset d = kreg::data::paper_dgp(100, s);
+  std::stringstream buffer;
+  kreg::data::write_csv(buffer, d);
+  const Dataset back = kreg::data::read_csv(buffer);
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.x[i], d.x[i]);
+    EXPECT_DOUBLE_EQ(back.y[i], d.y[i]);
+  }
+}
+
+TEST(Csv, ReadsHeaderlessInput) {
+  std::stringstream in("1.5,2.5\n3.25,-4\n");
+  const Dataset d = kreg::data::read_csv(in);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.x[0], 1.5);
+  EXPECT_DOUBLE_EQ(d.y[1], -4.0);
+}
+
+TEST(Csv, SkipsHeaderAndBlankLines) {
+  std::stringstream in("x,y\n\n1,2\n\n3,4\n");
+  const Dataset d = kreg::data::read_csv(in);
+  ASSERT_EQ(d.size(), 2u);
+}
+
+TEST(Csv, MalformedMidFileLineThrows) {
+  std::stringstream in("x,y\n1,2\nnot,a number\n");
+  EXPECT_THROW(kreg::data::read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, MissingCommaThrows) {
+  std::stringstream in("x,y\n1,2\n34\n");
+  EXPECT_THROW(kreg::data::read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, ToleratesCrlf) {
+  std::stringstream in("x,y\r\n1,2\r\n3,4\r\n");
+  const Dataset d = kreg::data::read_csv(in);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.y[1], 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Cross-module edge cases: file-level CSV I/O, buffer move semantics under
+// ledger accounting, pool shutdown draining, degenerate grids, and
+// closed-form equivalences.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/kreg.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::KernelType;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+TEST(CsvFiles, RoundTripOnDisk) {
+  Stream s(1);
+  const Dataset d = kreg::data::paper_dgp(64, s);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kreg_csv_roundtrip.csv")
+          .string();
+  kreg::data::write_csv_file(path, d);
+  const Dataset back = kreg::data::read_csv_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.x[i], d.x[i]);
+    EXPECT_DOUBLE_EQ(back.y[i], d.y[i]);
+  }
+}
+
+TEST(CsvFiles, MissingFileThrows) {
+  EXPECT_THROW(kreg::data::read_csv_file("/nonexistent/kreg.csv"),
+               std::runtime_error);
+}
+
+TEST(DeviceBuffer, SelfMoveAssignmentIsSafe) {
+  kreg::spmd::Device dev(kreg::spmd::DeviceProperties::tiny(1 << 16));
+  auto buf = dev.alloc_global<float>(16);
+  buf[3] = 7.0f;
+  auto* self = &buf;
+  buf = std::move(*self);
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(buf[3], 7.0f);
+  EXPECT_EQ(dev.global_allocated(), 64u);
+}
+
+TEST(DeviceBuffer, DefaultConstructedIsEmptyAndDroppable) {
+  kreg::spmd::DeviceBuffer<double> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size_bytes(), 0u);
+  kreg::spmd::DeviceBuffer<double> other = std::move(empty);
+  EXPECT_TRUE(other.empty());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    kreg::parallel::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must still run everything.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(NadarayaWatson, UniformKernelHugeBandwidthIsGlobalMean) {
+  Stream s(2);
+  const Dataset d = kreg::data::paper_dgp(128, s);
+  const kreg::NadarayaWatson g(d, 1e6, KernelType::kUniform);
+  double mean = 0.0;
+  for (double y : d.y) {
+    mean += y;
+  }
+  mean /= static_cast<double>(d.size());
+  EXPECT_NEAR(g(0.5), mean, 1e-10);
+  EXPECT_NEAR(g(-100.0), mean, 1e-10);  // still inside the huge support
+}
+
+TEST(Selectors, SingleBandwidthGridDegeneratesGracefully) {
+  Stream s(3);
+  const Dataset d = kreg::data::paper_dgp(100, s);
+  const BandwidthGrid grid(0.2, 0.2, 1);
+  const auto sorted = kreg::SortedGridSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(sorted.bandwidth, 0.2);
+  EXPECT_EQ(sorted.scores.size(), 1u);
+
+  kreg::spmd::Device dev;
+  kreg::SpmdSelectorConfig cfg;
+  cfg.precision = kreg::Precision::kDouble;
+  const auto device = kreg::SpmdGridSelector(dev, cfg).select(d, grid);
+  EXPECT_DOUBLE_EQ(device.bandwidth, 0.2);
+  EXPECT_NEAR(device.cv_score, sorted.cv_score, 1e-10);
+}
+
+TEST(Selectors, TwoObservationDatasetAllSelectors) {
+  Dataset d{{0.2, 0.8}, {1.0, 3.0}};
+  const BandwidthGrid grid(0.1, 1.0, 10);
+  const auto naive = kreg::NaiveGridSelector().select(d, grid);
+  const auto sorted = kreg::SortedGridSelector().select(d, grid);
+  const auto dense = kreg::DenseGridSelector(KernelType::kEpanechnikov)
+                         .select(d, grid);
+  EXPECT_DOUBLE_EQ(naive.bandwidth, sorted.bandwidth);
+  EXPECT_DOUBLE_EQ(naive.bandwidth, dense.bandwidth);
+}
+
+TEST(Version, ConstantsAreConsistent) {
+  EXPECT_EQ(kreg::kVersionMajor, 1);
+  EXPECT_STREQ(kreg::kVersionString, "1.0.0");
+}
+
+TEST(Grid, ExactlyDeviceCapIsAccepted) {
+  kreg::spmd::Device dev;
+  Stream s(4);
+  const Dataset d = kreg::data::paper_dgp(64, s);
+  const BandwidthGrid grid(1e-4, 1.0, 2048);
+  kreg::SpmdSelectorConfig cfg;  // float: 2048 * 4 B == 8 KB exactly
+  EXPECT_NO_THROW(kreg::SpmdGridSelector(dev, cfg).select(d, grid));
+}
+
+TEST(Refine, SingleRoundEqualsPlainSelection) {
+  Stream s(5);
+  const Dataset d = kreg::data::paper_dgp(150, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 16);
+  kreg::RefineOptions opts;
+  opts.rounds = 1;
+  opts.k_per_round = 16;
+  const auto refined =
+      kreg::refine_select(kreg::SortedGridSelector(), d, grid, opts);
+  const auto plain = kreg::SortedGridSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(refined.bandwidth, plain.bandwidth);
+  EXPECT_DOUBLE_EQ(refined.cv_score, plain.cv_score);
+}
+
+TEST(LooPredict, TwoPointTinyBandwidthBothDropped) {
+  Dataset d{{0.0, 1.0}, {5.0, 9.0}};
+  const auto all = kreg::loo_predict_all(d, 0.25);
+  EXPECT_FALSE(all[0].valid);
+  EXPECT_FALSE(all[1].valid);
+  EXPECT_DOUBLE_EQ(kreg::cv_score(d, 0.25), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the Nadaraya-Watson and local-linear estimators: exact small
+// cases, consistency against the true conditional mean, boundary behaviour,
+// and input validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nadaraya_watson.hpp"
+#include "core/selectors.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+
+using kreg::KernelType;
+using kreg::LocalLinear;
+using kreg::NadarayaWatson;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+TEST(NadarayaWatson, ExactWeightedMeanSmallCase) {
+  // x = {0, 1}, evaluate at 0.25 with h = 1 (Epanechnikov):
+  // w0 = .75(1-.0625) = .703125 ; w1 = .75(1-.5625) = .328125
+  Dataset d{{0.0, 1.0}, {2.0, 6.0}};
+  NadarayaWatson g(d, 1.0);
+  const double w0 = 0.75 * (1.0 - 0.0625);
+  const double w1 = 0.75 * (1.0 - 0.5625);
+  EXPECT_DOUBLE_EQ(g(0.25), (2.0 * w0 + 6.0 * w1) / (w0 + w1));
+}
+
+TEST(NadarayaWatson, NanOutsideSupport) {
+  Dataset d{{0.0, 1.0}, {2.0, 6.0}};
+  NadarayaWatson g(d, 0.1);
+  EXPECT_TRUE(std::isnan(g(0.5)));
+  EXPECT_FALSE(g.defined_at(0.5));
+  EXPECT_TRUE(g.defined_at(0.05));
+}
+
+TEST(NadarayaWatson, ConstantDataIsReproducedExactly) {
+  Dataset d{{0.1, 0.4, 0.7, 0.9}, {5.0, 5.0, 5.0, 5.0}};
+  NadarayaWatson g(d, 0.5);
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_DOUBLE_EQ(g(x), 5.0);
+  }
+}
+
+TEST(NadarayaWatson, ValidatesInputs) {
+  Dataset empty;
+  EXPECT_THROW(NadarayaWatson(empty, 0.5), std::invalid_argument);
+  Dataset d{{0.0}, {1.0}};
+  EXPECT_THROW(NadarayaWatson(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(NadarayaWatson(d, -0.2), std::invalid_argument);
+  Dataset mismatch{{0.0, 1.0}, {1.0}};
+  EXPECT_THROW(NadarayaWatson(mismatch, 0.5), std::invalid_argument);
+}
+
+TEST(NadarayaWatson, ConsistencyOnPaperDgp) {
+  // With n = 4000 and a reasonable bandwidth the fit should track the true
+  // mean to a few percent in the interior.
+  Stream s(1);
+  const Dataset d = kreg::data::paper_dgp(4000, s);
+  NadarayaWatson g(d, 0.05);
+  for (double x = 0.15; x <= 0.85; x += 0.1) {
+    EXPECT_NEAR(g(x), kreg::data::paper_dgp_mean(x),
+                0.05 * std::max(1.0, std::abs(kreg::data::paper_dgp_mean(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(NadarayaWatson, CurveCoversSampleRange) {
+  Stream s(2);
+  const Dataset d = kreg::data::paper_dgp(500, s);
+  NadarayaWatson g(d, 0.1);
+  const auto curve = g.curve(41);
+  ASSERT_EQ(curve.x.size(), 41u);
+  ASSERT_EQ(curve.y.size(), 41u);
+  EXPECT_DOUBLE_EQ(curve.x.front(), *std::min_element(d.x.begin(), d.x.end()));
+  EXPECT_DOUBLE_EQ(curve.x.back(), *std::max_element(d.x.begin(), d.x.end()));
+  for (double y : curve.y) {
+    EXPECT_TRUE(std::isfinite(y));  // h = 0.1 covers gaps at n = 500
+  }
+}
+
+TEST(NadarayaWatson, CurveRequiresTwoPoints) {
+  Dataset d{{0.0, 1.0}, {1.0, 2.0}};
+  NadarayaWatson g(d, 0.5);
+  EXPECT_THROW(g.curve(1), std::invalid_argument);
+}
+
+TEST(NadarayaWatson, EvaluateBatchMatchesPointwise) {
+  Stream s(3);
+  const Dataset d = kreg::data::paper_dgp(200, s);
+  NadarayaWatson g(d, 0.1);
+  const std::vector<double> xs = {0.1, 0.35, 0.62, 0.9};
+  const auto batch = g.evaluate(xs);
+  ASSERT_EQ(batch.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], g(xs[i]));
+  }
+}
+
+TEST(NadarayaWatson, GaussianKernelDefinedEverywhere) {
+  Dataset d{{0.0, 1.0}, {2.0, 6.0}};
+  NadarayaWatson g(d, 0.1, KernelType::kGaussian);
+  EXPECT_TRUE(std::isfinite(g(0.5)));
+  // Defined well outside the compact-kernel support (until the Gaussian
+  // tail underflows to zero in double precision, around |u| ~ 38).
+  EXPECT_TRUE(g.defined_at(2.5));
+}
+
+// ---- Local linear ----------------------------------------------------------
+
+TEST(LocalLinear, ReproducesExactLineEverywhere) {
+  // A local-linear fit of noiseless linear data is exact, including at the
+  // boundary — the advantage over NW.
+  Dataset d;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    d.x.push_back(x);
+    d.y.push_back(2.0 + 3.0 * x);
+  }
+  LocalLinear g(d, 0.3);
+  for (double x : {0.0, 0.05, 0.5, 0.95, 1.0}) {
+    EXPECT_NEAR(g(x), 2.0 + 3.0 * x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(LocalLinear, NwHasBoundaryBiasLocalLinearDoesNot) {
+  Dataset d;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = i / 200.0;
+    d.x.push_back(x);
+    d.y.push_back(5.0 * x);  // steep line, no noise
+  }
+  NadarayaWatson nw(d, 0.2);
+  LocalLinear ll(d, 0.2);
+  // At the left boundary NW averages only rightward points -> biased up.
+  EXPECT_GT(nw(0.0), 0.2);
+  EXPECT_NEAR(ll(0.0), 0.0, 1e-9);
+}
+
+TEST(LocalLinear, FallsBackWhenDesignDegenerate) {
+  // All mass at one X: slope unidentified; must return the local mean.
+  Dataset d{{0.5, 0.5, 0.5}, {1.0, 2.0, 3.0}};
+  LocalLinear g(d, 0.2);
+  EXPECT_DOUBLE_EQ(g(0.5), 2.0);
+}
+
+TEST(LocalLinear, NanOutsideSupport) {
+  Dataset d{{0.0, 1.0}, {1.0, 2.0}};
+  LocalLinear g(d, 0.1);
+  EXPECT_TRUE(std::isnan(g(0.5)));
+  EXPECT_FALSE(g.defined_at(0.5));
+}
+
+TEST(LocalLinear, BatchEvaluateMatchesPointwise) {
+  Stream s(4);
+  const Dataset d = kreg::data::sine_dgp(300, s);
+  LocalLinear g(d, 0.1);
+  const std::vector<double> xs = {0.2, 0.5, 0.8};
+  const auto batch = g.evaluate(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], g(xs[i]));
+  }
+}
+
+TEST(Estimators, OptimalBandwidthBeatsExtremesOutOfSample) {
+  // Integration check tying the selector to predictive performance: on a
+  // held-out sample, the CV-selected bandwidth's MSE beats badly chosen
+  // ones.
+  Stream s(5);
+  const Dataset train = kreg::data::paper_dgp(1500, s);
+  const Dataset test = kreg::data::paper_dgp(500, s);
+
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(train, 50);
+  const auto chosen = kreg::SortedGridSelector().select(train, grid);
+
+  const auto mse_at = [&](double h) {
+    NadarayaWatson g(train, h);
+    double acc = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const double pred = g(test.x[i]);
+      if (std::isfinite(pred)) {
+        const double e = pred - test.y[i];
+        acc += e * e;
+        ++used;
+      }
+    }
+    return acc / static_cast<double>(used);
+  };
+
+  const double mse_chosen = mse_at(chosen.bandwidth);
+  EXPECT_LT(mse_chosen, mse_at(grid.max()));        // oversmoothed
+  EXPECT_LT(mse_chosen, mse_at(grid.min() * 0.2));  // absurdly undersmoothed
+}
+
+}  // namespace

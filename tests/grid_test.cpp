@@ -1,0 +1,83 @@
+// Tests for the bandwidth grid: paper defaults, spacing, validation, the
+// device constant-memory cap, and zooming.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+
+TEST(BandwidthGrid, EvenSpacingWithEndpoints) {
+  const BandwidthGrid g(0.1, 1.0, 10);
+  ASSERT_EQ(g.size(), 10u);
+  EXPECT_DOUBLE_EQ(g.min(), 0.1);
+  EXPECT_DOUBLE_EQ(g.max(), 1.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i] - g[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(BandwidthGrid, SingleValueGridIsMax) {
+  const BandwidthGrid g(0.2, 0.9, 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g[0], 0.9);
+}
+
+TEST(BandwidthGrid, RejectsInvalidArguments) {
+  EXPECT_THROW(BandwidthGrid(0.1, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(BandwidthGrid(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(BandwidthGrid(-0.5, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(BandwidthGrid(2.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(BandwidthGrid, PaperDefaultSpansDomainOverKToDomain) {
+  // Paper §IV: max = domain of X; min = domain / k. With X on [0,1] and
+  // k = 50 the grid is {0.02, 0.04, ..., 1.0}.
+  kreg::rng::Stream s(1);
+  const auto data = kreg::data::paper_dgp(1000, s);
+  const auto g = BandwidthGrid::default_for(data, 50);
+  const double domain = data.x_domain();
+  ASSERT_EQ(g.size(), 50u);
+  EXPECT_NEAR(g.min(), domain / 50.0, 1e-12);
+  EXPECT_NEAR(g.max(), domain, 1e-12);
+  // Even spacing at domain/k steps.
+  EXPECT_NEAR(g[1] - g[0], domain / 50.0, 1e-9);
+}
+
+TEST(BandwidthGrid, DefaultForDegenerateDomainThrows) {
+  kreg::data::Dataset constant{{0.5, 0.5, 0.5}, {1.0, 2.0, 3.0}};
+  EXPECT_THROW(BandwidthGrid::default_for(constant, 10), std::invalid_argument);
+}
+
+TEST(BandwidthGrid, DefaultForEmptyThrows) {
+  kreg::data::Dataset empty;
+  EXPECT_THROW(BandwidthGrid::default_for(empty, 10), std::invalid_argument);
+}
+
+TEST(BandwidthGrid, DeviceCapIsTwoThousandFortyEight) {
+  EXPECT_EQ(kreg::kDeviceMaxBandwidths, 2048u);
+  const BandwidthGrid fits(0.001, 1.0, 2048);
+  EXPECT_TRUE(fits.fits_device());
+  const BandwidthGrid too_big(0.001, 1.0, 2049);
+  EXPECT_FALSE(too_big.fits_device());
+}
+
+TEST(BandwidthGrid, ZoomedProducesSubRange) {
+  const BandwidthGrid g(0.1, 1.0, 10);
+  const BandwidthGrid z = g.zoomed(0.3, 0.5, 5);
+  EXPECT_EQ(z.size(), 5u);
+  EXPECT_DOUBLE_EQ(z.min(), 0.3);
+  EXPECT_DOUBLE_EQ(z.max(), 0.5);
+}
+
+TEST(BandwidthGrid, ValuesStrictlyIncreasing) {
+  const BandwidthGrid g(1e-4, 2.0, 777);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_LT(g[i - 1], g[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the LOO-CV objective (paper Eq. 1-2): hand-computed small
+// cases, the M(X_i) indicator, leave-one-out semantics, and agreement
+// between the serial and parallel evaluations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid.hpp"
+#include "core/loocv.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using kreg::cv_score;
+using kreg::cv_score_parallel;
+using kreg::KernelType;
+using kreg::loo_predict;
+using kreg::loo_predict_all;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+TEST(LooPredict, HandComputedTwoPointCase) {
+  // Two points within bandwidth of each other: the LOO prediction at each
+  // point is exactly the other point's y.
+  Dataset d{{0.0, 0.1}, {1.0, 3.0}};
+  const auto p0 = loo_predict(d, 0, 1.0);
+  const auto p1 = loo_predict(d, 1, 1.0);
+  ASSERT_TRUE(p0.valid);
+  ASSERT_TRUE(p1.valid);
+  EXPECT_DOUBLE_EQ(p0.value, 3.0);
+  EXPECT_DOUBLE_EQ(p1.value, 1.0);
+}
+
+TEST(LooPredict, HandComputedThreePointWeights) {
+  // x = {0, 0.5, 1}, h = 1 (Epanechnikov). For i=0: neighbours at
+  // distance 0.5 (weight .75*(1-.25)=.5625) and 1.0 (weight 0).
+  Dataset d{{0.0, 0.5, 1.0}, {10.0, 20.0, 30.0}};
+  const auto p = loo_predict(d, 0, 1.0);
+  ASSERT_TRUE(p.valid);
+  EXPECT_DOUBLE_EQ(p.value, 20.0);  // only the middle point has weight
+}
+
+TEST(LooPredict, IndicatorZeroWhenNoNeighbourInSupport) {
+  Dataset d{{0.0, 10.0}, {1.0, 2.0}};
+  const auto p = loo_predict(d, 0, 0.5);
+  EXPECT_FALSE(p.valid);  // M(X_0) = 0
+}
+
+TEST(LooPredict, SelfIsExcluded) {
+  // Three clustered points: i=1's prediction must not involve y[1].
+  Dataset d{{0.0, 0.01, 0.02}, {5.0, 1000.0, 7.0}};
+  const auto p = loo_predict(d, 1, 1.0);
+  ASSERT_TRUE(p.valid);
+  EXPECT_LT(p.value, 10.0);  // average of 5 and 7-ish, not dragged to 1000
+  EXPECT_GT(p.value, 4.0);
+}
+
+TEST(LooPredictAll, MatchesPerObservationCalls) {
+  Stream s(3);
+  const Dataset d = kreg::data::paper_dgp(100, s);
+  const auto all = loo_predict_all(d, 0.2);
+  ASSERT_EQ(all.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); i += 13) {
+    const auto single = loo_predict(d, i, 0.2);
+    EXPECT_EQ(all[i].valid, single.valid);
+    if (single.valid) {
+      EXPECT_DOUBLE_EQ(all[i].value, single.value);
+    }
+  }
+}
+
+TEST(CvScore, HandComputedTwoPointCase) {
+  // Residuals: (1-3)² and (3-1)², mean = 4.
+  Dataset d{{0.0, 0.1}, {1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cv_score(d, 1.0), 4.0);
+}
+
+TEST(CvScore, DroppedObservationsContributeZero) {
+  // Far-apart points, tiny bandwidth: every M(X_i) = 0 -> CV = 0.
+  Dataset d{{0.0, 10.0, 20.0}, {1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cv_score(d, 0.1), 0.0);
+}
+
+TEST(CvScore, RejectsBadInputs) {
+  Dataset d{{0.0, 0.1}, {1.0, 3.0}};
+  EXPECT_THROW(cv_score(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(cv_score(d, -1.0), std::invalid_argument);
+  Dataset empty;
+  EXPECT_THROW(cv_score(empty, 0.5), std::invalid_argument);
+}
+
+TEST(CvScore, ParallelMatchesSerial) {
+  Stream s(4);
+  const Dataset d = kreg::data::paper_dgp(500, s);
+  for (double h : {0.02, 0.1, 0.5, 1.0}) {
+    const double serial = cv_score(d, h);
+    const double parallel = cv_score_parallel(d, h);
+    EXPECT_NEAR(parallel, serial, 1e-12 * std::max(1.0, serial)) << "h=" << h;
+  }
+}
+
+TEST(CvScore, ParallelMatchesSerialAcrossKernels) {
+  Stream s(5);
+  const Dataset d = kreg::data::sine_dgp(300, s);
+  for (KernelType k : kreg::kAllKernels) {
+    const double serial = cv_score(d, 0.15, k);
+    const double parallel = cv_score_parallel(d, 0.15, k);
+    EXPECT_NEAR(parallel, serial, 1e-12 * std::max(1.0, serial))
+        << to_string(k);
+  }
+}
+
+TEST(CvScore, LargeBandwidthApproachesGlobalMeanResiduals) {
+  // With h >> domain and the Uniform kernel, every ĝ₋ᵢ is the mean of the
+  // other n-1 y's; check against the closed form.
+  Stream s(6);
+  const Dataset d = kreg::data::paper_dgp(50, s);
+  double y_sum = 0.0;
+  for (double y : d.y) {
+    y_sum += y;
+  }
+  const double n = static_cast<double>(d.size());
+  double expected = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double loo_mean = (y_sum - d.y[i]) / (n - 1.0);
+    const double e = d.y[i] - loo_mean;
+    expected += e * e;
+  }
+  expected /= n;
+  EXPECT_NEAR(cv_score(d, 100.0, KernelType::kUniform), expected, 1e-10);
+}
+
+TEST(CvScore, GaussianKernelNeverDropsObservations) {
+  Stream s(7);
+  const Dataset d = kreg::data::paper_dgp(100, s);
+  const auto all = loo_predict_all(d, 0.001, KernelType::kGaussian);
+  for (const auto& p : all) {
+    EXPECT_TRUE(p.valid);  // unbounded support: M(X_i) = 1 always
+  }
+}
+
+TEST(CvScore, InteriorBandwidthBeatsExtremes) {
+  // The CV profile over the paper's default grid must attain its minimum
+  // strictly inside the grid: undersmoothing (h near domain/k) inflates
+  // variance, oversmoothing (h near the domain) inflates bias. (Comparing
+  // against arbitrarily tiny h below the grid is not meaningful: the M(X_i)
+  // indicator drops unsupported observations, deflating CV as h -> 0.)
+  Stream s(8);
+  const Dataset d = kreg::data::paper_dgp(800, s);
+  // A fine default grid (k = 200 -> floor = domain/200) brackets the CV
+  // optimum for this low-noise DGP; the paper's coarser k = 50 grid has its
+  // floor above the optimum, which would pin the argmin to the first cell.
+  std::vector<double> scores;
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(d, 200);
+  for (double h : grid.values()) {
+    scores.push_back(cv_score(d, h));
+  }
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < scores.size(); ++b) {
+    if (scores[b] < scores[best]) {
+      best = b;
+    }
+  }
+  EXPECT_GT(best, 0u);
+  EXPECT_LT(best, scores.size() - 1);
+  EXPECT_LT(scores[best], scores.front());
+  EXPECT_LT(scores[best], scores.back());
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the multi-device selector: agreement with the single-device
+// program, capacity scaling across devices, odd partitions, and composition
+// with streaming mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid.hpp"
+#include "core/multi_device_selector.hpp"
+#include "core/selectors.hpp"
+#include "core/spmd_selector.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "spmd/errors.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::MultiDeviceGridSelector;
+using kreg::Precision;
+using kreg::SpmdSelectorConfig;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+using kreg::spmd::Device;
+using kreg::spmd::DeviceProperties;
+
+Dataset paper_data(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  return kreg::data::paper_dgp(n, s);
+}
+
+SpmdSelectorConfig double_cfg() {
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  return cfg;
+}
+
+TEST(MultiDevice, MatchesSingleDeviceSelection) {
+  Device a;
+  Device b;
+  Device single;
+  const Dataset d = paper_data(301, 1);  // odd: uneven slices
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 40);
+
+  const auto one =
+      kreg::SpmdGridSelector(single, double_cfg()).select(d, grid);
+  const auto two =
+      MultiDeviceGridSelector({&a, &b}, double_cfg()).select(d, grid);
+
+  EXPECT_DOUBLE_EQ(two.bandwidth, one.bandwidth);
+  ASSERT_EQ(two.scores.size(), one.scores.size());
+  for (std::size_t i = 0; i < one.scores.size(); ++i) {
+    EXPECT_NEAR(two.scores[i], one.scores[i],
+                1e-10 * std::max(1.0, one.scores[i]));
+  }
+}
+
+TEST(MultiDevice, MatchesHostReferenceWithThreeDevices) {
+  Device a;
+  Device b;
+  Device c;
+  const Dataset d = paper_data(200, 2);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 25);
+  const auto host = kreg::SortedGridSelector().select(d, grid);
+  const auto multi =
+      MultiDeviceGridSelector({&a, &b, &c}, double_cfg()).select(d, grid);
+  EXPECT_DOUBLE_EQ(multi.bandwidth, host.bandwidth);
+  for (std::size_t i = 0; i < host.scores.size(); ++i) {
+    EXPECT_NEAR(multi.scores[i], host.scores[i],
+                1e-9 * std::max(1.0, host.scores[i]));
+  }
+}
+
+TEST(MultiDevice, SingleDeviceListBehavesLikeSpmdSelector) {
+  Device dev;
+  Device reference_dev;
+  const Dataset d = paper_data(150, 3);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 12);
+  const auto multi =
+      MultiDeviceGridSelector({&dev}, double_cfg()).select(d, grid);
+  const auto single =
+      kreg::SpmdGridSelector(reference_dev, double_cfg()).select(d, grid);
+  EXPECT_DOUBLE_EQ(multi.bandwidth, single.bandwidth);
+}
+
+TEST(MultiDevice, TwoDevicesRoughlyHalveTheFootprint) {
+  const std::size_t one = kreg::SpmdGridSelector::estimated_bytes(
+      20000, 50, Precision::kFloat, false);
+  const std::size_t per_dev =
+      MultiDeviceGridSelector::estimated_bytes_per_device(
+          20000, 50, 2, Precision::kFloat, false);
+  EXPECT_LT(per_dev, one * 6 / 10);  // slightly over half (x/y replicated)
+}
+
+TEST(MultiDevice, CapacityDoublesAcrossTwoSmallDevices) {
+  // A dataset whose n×n matrices overflow one 1 MB device but fit when the
+  // rows are split across two (n = 448: single needs ~1.6 MB, each half
+  // ~0.94 MB).
+  const Dataset d = paper_data(448, 4);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 8);
+  SpmdSelectorConfig cfg;  // float
+
+  Device lone(DeviceProperties::tiny(1 << 20));
+  EXPECT_THROW(kreg::SpmdGridSelector(lone, cfg).select(d, grid),
+               kreg::spmd::DeviceAllocError);
+
+  Device a(DeviceProperties::tiny(1 << 20));
+  Device b(DeviceProperties::tiny(1 << 20));
+  EXPECT_NO_THROW(MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid));
+}
+
+TEST(MultiDevice, ComposesWithStreaming) {
+  Device a(DeviceProperties::tiny(1 << 20));
+  Device b(DeviceProperties::tiny(1 << 20));
+  const Dataset d = paper_data(1500, 5);  // too big even split, unless streaming
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 8);
+  SpmdSelectorConfig cfg;
+  cfg.streaming = true;
+  EXPECT_NO_THROW(MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid));
+}
+
+TEST(MultiDevice, MemoryReleasedOnAllDevices) {
+  Device a;
+  Device b;
+  const Dataset d = paper_data(100, 6);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
+  (void)MultiDeviceGridSelector({&a, &b}, double_cfg()).select(d, grid);
+  EXPECT_EQ(a.global_allocated(), 0u);
+  EXPECT_EQ(b.global_allocated(), 0u);
+  EXPECT_GT(a.global_peak(), 0u);
+  EXPECT_GT(b.global_peak(), 0u);
+}
+
+TEST(MultiDevice, ValidatesConstruction) {
+  EXPECT_THROW(MultiDeviceGridSelector({}, SpmdSelectorConfig{}),
+               std::invalid_argument);
+  Device dev;
+  EXPECT_THROW(
+      MultiDeviceGridSelector({&dev, nullptr}, SpmdSelectorConfig{}),
+      std::invalid_argument);
+}
+
+TEST(MultiDevice, FloatPathAgreesOnSelection) {
+  Device a;
+  Device b;
+  Device single;
+  const Dataset d = paper_data(400, 7);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  SpmdSelectorConfig cfg;  // float
+  const auto one = kreg::SpmdGridSelector(single, cfg).select(d, grid);
+  const auto two = MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid);
+  EXPECT_DOUBLE_EQ(two.bandwidth, one.bandwidth);
+}
+
+TEST(MultiDevice, MoreDevicesThanObservations) {
+  Device a;
+  Device b;
+  Device c;
+  Device d4;
+  Dataset d{{0.1, 0.5, 0.9}, {1.0, 2.0, 3.0}};
+  const BandwidthGrid grid(0.2, 1.0, 5);
+  const auto r = MultiDeviceGridSelector({&a, &b, &c, &d4}, double_cfg())
+                     .select(d, grid);
+  Device ref;
+  const auto single = kreg::SpmdGridSelector(ref, double_cfg()).select(d, grid);
+  EXPECT_DOUBLE_EQ(r.bandwidth, single.bandwidth);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Tests for the multivariate ray sweep: agreement with the direct product-
+// kernel CV at every scale, collapse to the univariate sweep at p = 1,
+// kernels, dimensions, and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/grid.hpp"
+#include "core/loocv.hpp"
+#include "core/multivariate.hpp"
+#include "core/multivariate_sweep.hpp"
+#include "core/sorted_sweep.hpp"
+#include "data/dgp.hpp"
+#include "data/mdataset.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::KernelType;
+using kreg::data::MDataset;
+using kreg::rng::Stream;
+
+using RayParam = std::tuple<KernelType, std::size_t /*dim*/>;
+
+class RaySweepTest : public ::testing::TestWithParam<RayParam> {};
+
+TEST_P(RaySweepTest, ProfileMatchesDirectMultivariateCv) {
+  const auto [kernel, dim] = GetParam();
+  Stream s(70 + dim);
+  const MDataset data = kreg::data::multivariate_dgp(150, dim, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  const BandwidthGrid scales(0.05, 1.0, 15);
+
+  const auto profile =
+      kreg::multi_ray_cv_profile(data, ratios, scales.values(), kernel);
+  ASSERT_EQ(profile.size(), scales.size());
+  for (std::size_t b = 0; b < scales.size(); ++b) {
+    std::vector<double> h(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      h[j] = scales[b] * ratios[j];
+    }
+    const double direct = kreg::cv_score_multi(data, h, kernel);
+    ASSERT_NEAR(profile[b], direct, 1e-9 * std::max(1.0, direct))
+        << to_string(kernel) << " dim=" << dim << " c=" << scales[b];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndDims, RaySweepTest,
+    ::testing::Combine(::testing::Values(KernelType::kEpanechnikov,
+                                         KernelType::kUniform,
+                                         KernelType::kTriangular,
+                                         KernelType::kBiweight),
+                       ::testing::Values<std::size_t>(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(kreg::to_string(std::get<0>(info.param))) + "_dim" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RaySweep, CollapsesToUnivariateSweepAtDimOne) {
+  Stream s(80);
+  const kreg::data::Dataset uni = kreg::data::paper_dgp(200, s);
+  const MDataset multi = kreg::data::to_multivariate(uni);
+  const std::vector<double> ratios = {1.0};  // h = c directly
+  const BandwidthGrid grid = BandwidthGrid::default_for(uni, 20);
+
+  const auto ray =
+      kreg::multi_ray_cv_profile(multi, ratios, grid.values(),
+                                 KernelType::kEpanechnikov);
+  const auto sweep = kreg::sweep_cv_profile(uni, grid.values(),
+                                            KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(ray[b], sweep[b], 1e-10 * std::max(1.0, sweep[b]));
+  }
+}
+
+TEST(RaySweep, ParallelMatchesSequential) {
+  Stream s(81);
+  const MDataset data = kreg::data::multivariate_dgp(200, 2, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  const BandwidthGrid scales(0.05, 1.0, 20);
+  const auto seq = kreg::multi_ray_cv_profile(data, ratios, scales.values(),
+                                              KernelType::kEpanechnikov);
+  const auto par = kreg::multi_ray_cv_profile_parallel(
+      data, ratios, scales.values(), KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < scales.size(); ++b) {
+    EXPECT_NEAR(par[b], seq[b], 1e-11 * std::max(1.0, seq[b]));
+  }
+}
+
+TEST(RaySweep, SelectReturnsScaledBandwidthVector) {
+  Stream s(82);
+  const MDataset data = kreg::data::multivariate_dgp(150, 2, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  const BandwidthGrid scales(0.05, 1.0, 25);
+  const auto r = kreg::multi_ray_select(data, ratios, scales);
+  ASSERT_EQ(r.bandwidths.size(), 2u);
+  // The bandwidth vector lies on the ray.
+  EXPECT_NEAR(r.bandwidths[0] / ratios[0], r.bandwidths[1] / ratios[1],
+              1e-12);
+  EXPECT_NEAR(r.cv_score, kreg::cv_score_multi(data, r.bandwidths), 1e-9);
+}
+
+TEST(RaySweep, RayOptimumNoBetterThanCartesianOptimum) {
+  // The ray is a 1-D slice of the Cartesian grid space; its optimum cannot
+  // beat an exhaustive search over a grid containing comparable points.
+  Stream s(83);
+  const MDataset data = kreg::data::multivariate_dgp(120, 2, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  const BandwidthGrid scales(1.0 / 8.0, 1.0, 8);
+  const auto ray = kreg::multi_ray_select(data, ratios, scales);
+  const auto grids = kreg::default_grids_for(data, 8);
+  const auto cartesian = kreg::multi_grid_search(data, grids);
+  EXPECT_GE(ray.cv_score, cartesian.cv_score - 1e-9);
+}
+
+TEST(RaySweep, ValidatesInputs) {
+  Stream s(84);
+  const MDataset data = kreg::data::multivariate_dgp(50, 2, s);
+  const BandwidthGrid scales(0.1, 1.0, 5);
+  const std::vector<double> wrong_count = {1.0};
+  EXPECT_THROW(kreg::multi_ray_cv_profile(data, wrong_count, scales.values(),
+                                          KernelType::kEpanechnikov),
+               std::invalid_argument);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(kreg::multi_ray_cv_profile(data, negative, scales.values(),
+                                          KernelType::kEpanechnikov),
+               std::invalid_argument);
+  const std::vector<double> ratios = {1.0, 1.0};
+  EXPECT_THROW(kreg::multi_ray_cv_profile(data, ratios, scales.values(),
+                                          KernelType::kGaussian),
+               std::invalid_argument);
+  const std::vector<double> descending = {0.5, 0.1};
+  EXPECT_THROW(kreg::multi_ray_cv_profile(data, ratios, descending,
+                                          KernelType::kEpanechnikov),
+               std::invalid_argument);
+}
+
+TEST(RaySweep, TriweightIn3DWithinDegreeCap) {
+  // Triweight (degree 6) × 3 dims = degree 18 <= cap 24.
+  Stream s(85);
+  const MDataset data = kreg::data::multivariate_dgp(80, 3, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  const BandwidthGrid scales(0.2, 1.0, 6);
+  const auto profile = kreg::multi_ray_cv_profile(
+      data, ratios, scales.values(), KernelType::kTriweight);
+  for (std::size_t b = 0; b < scales.size(); ++b) {
+    std::vector<double> h(3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      h[j] = scales[b] * ratios[j];
+    }
+    EXPECT_NEAR(profile[b],
+                kreg::cv_score_multi(data, h, KernelType::kTriweight),
+                1e-8 * std::max(1.0, profile[b]));
+  }
+}
+
+TEST(RaySweep, DefaultRatiosAreDomains) {
+  Stream s(86);
+  const MDataset data = kreg::data::multivariate_dgp(100, 2, s);
+  const auto ratios = kreg::default_ray_ratios(data);
+  EXPECT_DOUBLE_EQ(ratios[0], data.domain(0));
+  EXPECT_DOUBLE_EQ(ratios[1], data.domain(1));
+}
+
+}  // namespace

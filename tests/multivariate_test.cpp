@@ -1,0 +1,201 @@
+// Tests for the multivariate extension: product kernels, the multivariate
+// NW estimator and CV criterion, collapse to the univariate case at p = 1,
+// exhaustive grid search, and coordinate descent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid.hpp"
+#include "core/loocv.hpp"
+#include "core/multivariate.hpp"
+#include "core/nadaraya_watson.hpp"
+#include "core/selectors.hpp"
+#include "data/dgp.hpp"
+#include "data/mdataset.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::KernelType;
+using kreg::NadarayaWatsonMulti;
+using kreg::data::MDataset;
+using kreg::rng::Stream;
+
+TEST(MDataset, ValidateAndShape) {
+  MDataset d;
+  d.dim = 2;
+  d.x = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  d.y = {1.0, 2.0, 3.0};
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 0.3);
+  EXPECT_DOUBLE_EQ(d.row(1)[1], 0.4);
+}
+
+TEST(MDataset, ValidateRejectsBadShapes) {
+  MDataset zero_dim;
+  zero_dim.x = {1.0};
+  zero_dim.y = {1.0};
+  EXPECT_THROW(zero_dim.validate(), std::invalid_argument);
+
+  MDataset ragged;
+  ragged.dim = 2;
+  ragged.x = {1.0, 2.0, 3.0};  // not a multiple of dim
+  ragged.y = {1.0};
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+
+  MDataset mismatch;
+  mismatch.dim = 1;
+  mismatch.x = {1.0, 2.0};
+  mismatch.y = {1.0};
+  EXPECT_THROW(mismatch.validate(), std::invalid_argument);
+}
+
+TEST(MDataset, DomainPerAxis) {
+  MDataset d;
+  d.dim = 2;
+  d.x = {0.0, 10.0, 1.0, 30.0, 0.5, 20.0};
+  d.y = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(d.domain(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.domain(1), 20.0);
+  EXPECT_THROW(d.domain(2), std::invalid_argument);
+}
+
+TEST(MultivariateDgp, ShapesAndDeterminism) {
+  Stream a(50);
+  Stream b(50);
+  const MDataset da = kreg::data::multivariate_dgp(100, 3, a);
+  const MDataset db = kreg::data::multivariate_dgp(100, 3, b);
+  EXPECT_EQ(da.size(), 100u);
+  EXPECT_EQ(da.dim, 3u);
+  EXPECT_NO_THROW(da.validate());
+  EXPECT_EQ(da.x, db.x);
+  EXPECT_EQ(da.y, db.y);
+}
+
+TEST(ProductKernel, IsProductOfUnivariateWeights) {
+  const std::vector<double> u = {0.2, -0.5, 0.9};
+  double expected = 1.0;
+  for (double uj : u) {
+    expected *= kreg::kernel_value(KernelType::kEpanechnikov, uj);
+  }
+  EXPECT_DOUBLE_EQ(
+      kreg::product_kernel_weight(KernelType::kEpanechnikov, u), expected);
+}
+
+TEST(ProductKernel, ZeroWhenAnyCoordinateOutsideSupport) {
+  const std::vector<double> u = {0.2, 1.5, 0.1};
+  EXPECT_DOUBLE_EQ(kreg::product_kernel_weight(KernelType::kEpanechnikov, u),
+                   0.0);
+}
+
+TEST(MultivariateCollapse, OneDimensionMatchesUnivariate) {
+  // p = 1 multivariate code must agree exactly with the univariate path.
+  Stream s(51);
+  const kreg::data::Dataset uni = kreg::data::paper_dgp(150, s);
+  const MDataset multi = kreg::data::to_multivariate(uni);
+  for (double h : {0.05, 0.2, 0.8}) {
+    const std::vector<double> hv = {h};
+    EXPECT_NEAR(kreg::cv_score_multi(multi, hv), kreg::cv_score(uni, h),
+                1e-12)
+        << "h=" << h;
+  }
+}
+
+TEST(MultivariateCollapse, EstimatorMatchesUnivariate) {
+  Stream s(52);
+  const kreg::data::Dataset uni = kreg::data::paper_dgp(100, s);
+  const MDataset multi = kreg::data::to_multivariate(uni);
+  const kreg::NadarayaWatson g1(uni, 0.1);
+  const NadarayaWatsonMulti gp(multi, {0.1});
+  for (double x : {0.1, 0.4, 0.75}) {
+    const std::vector<double> xv = {x};
+    EXPECT_NEAR(gp(xv), g1(x), 1e-12);
+  }
+}
+
+TEST(MultivariateEstimator, RejectsBadInputs) {
+  Stream s(53);
+  const MDataset d = kreg::data::multivariate_dgp(50, 2, s);
+  EXPECT_THROW(NadarayaWatsonMulti(d, {0.1}), std::invalid_argument);
+  EXPECT_THROW(NadarayaWatsonMulti(d, {0.1, 0.0}), std::invalid_argument);
+  const NadarayaWatsonMulti g(d, {0.3, 0.3});
+  const std::vector<double> wrong_dim = {0.5};
+  EXPECT_THROW(g(wrong_dim), std::invalid_argument);
+}
+
+TEST(MultivariateEstimator, ConsistencyOnAdditiveDgp) {
+  Stream s(54);
+  const MDataset d = kreg::data::multivariate_dgp(4000, 2, s, 0.1);
+  const NadarayaWatsonMulti g(d, {0.08, 0.08});
+  for (double x1 : {0.3, 0.6}) {
+    for (double x2 : {0.3, 0.6}) {
+      const std::vector<double> x = {x1, x2};
+      const double truth = kreg::data::multivariate_dgp_mean(x);
+      EXPECT_NEAR(g(x), truth, 0.25) << x1 << "," << x2;
+    }
+  }
+}
+
+TEST(MultiGridSearch, FindsCartesianOptimum) {
+  Stream s(55);
+  const MDataset d = kreg::data::multivariate_dgp(150, 2, s);
+  const std::vector<BandwidthGrid> grids = {BandwidthGrid(0.05, 1.0, 4),
+                                            BandwidthGrid(0.05, 1.0, 4)};
+  const auto r = kreg::multi_grid_search(d, grids);
+  EXPECT_EQ(r.evaluations, 16u);
+  ASSERT_EQ(r.bandwidths.size(), 2u);
+  // Exhaustive check against direct evaluation of all 16 cells.
+  double best = 1e300;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::vector<double> h = {grids[0][a], grids[1][b]};
+      best = std::min(best, kreg::cv_score_multi(d, h));
+    }
+  }
+  EXPECT_NEAR(r.cv_score, best, 1e-12);
+}
+
+TEST(MultiGridSearch, ValidatesGridCount) {
+  Stream s(56);
+  const MDataset d = kreg::data::multivariate_dgp(50, 2, s);
+  const std::vector<BandwidthGrid> one_grid = {BandwidthGrid(0.1, 1.0, 3)};
+  EXPECT_THROW(kreg::multi_grid_search(d, one_grid), std::invalid_argument);
+}
+
+TEST(CoordinateDescent, MonotoneAndNoWorseThanMidpointStart) {
+  Stream s(57);
+  const MDataset d = kreg::data::multivariate_dgp(200, 2, s);
+  const auto grids = kreg::default_grids_for(d, 8);
+  std::vector<double> midpoint = {grids[0][4], grids[1][4]};
+  const double start_score = kreg::cv_score_multi(d, midpoint);
+  const auto r = kreg::multi_coordinate_descent(d, grids);
+  EXPECT_LE(r.cv_score, start_score + 1e-12);
+  EXPECT_GE(r.evaluations, 1u);
+}
+
+TEST(CoordinateDescent, CloseToExhaustiveOnSmallProblem) {
+  Stream s(58);
+  const MDataset d = kreg::data::multivariate_dgp(150, 2, s);
+  const auto grids = kreg::default_grids_for(d, 6);
+  const auto exhaustive = kreg::multi_grid_search(d, grids);
+  const auto descent = kreg::multi_coordinate_descent(d, grids);
+  // Coordinate-wise optimum can differ from the global one, but on this
+  // well-behaved additive surface it should land within a few percent.
+  EXPECT_LE(descent.cv_score, exhaustive.cv_score * 1.05 + 1e-12);
+  EXPECT_LT(descent.evaluations, exhaustive.evaluations * 3);
+}
+
+TEST(DefaultGridsFor, MirrorsUnivariateDefaults) {
+  Stream s(59);
+  const MDataset d = kreg::data::multivariate_dgp(100, 3, s);
+  const auto grids = kreg::default_grids_for(d, 10);
+  ASSERT_EQ(grids.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(grids[j].max(), d.domain(j), 1e-12);
+    EXPECT_NEAR(grids[j].min(), d.domain(j) / 10.0, 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,266 @@
+// Unit and property tests for the RNG substrate: engine determinism,
+// stream independence, distribution moments, and Lemire-bound correctness.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/stream.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace {
+
+using kreg::rng::Philox4x32;
+using kreg::rng::SplitMix64;
+using kreg::rng::Stream;
+using kreg::rng::Xoshiro256pp;
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values from the canonical splitmix64.c with seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro256pp, DeterministicForFixedSeed) {
+  Xoshiro256pp a(123);
+  Xoshiro256pp b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256pp, DifferentSeedsProduceDifferentStreams) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, AllZeroStateIsRemapped) {
+  Xoshiro256pp z(std::array<std::uint64_t, 4>{0, 0, 0, 0});
+  // A true all-zero state would emit zero forever.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    any_nonzero |= z() != 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Xoshiro256pp, JumpChangesStateAndDecorrelates) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, SplitReturnsPreJumpEngine) {
+  Xoshiro256pp parent(99);
+  const Xoshiro256pp before = parent;
+  Xoshiro256pp child = parent.split();
+  EXPECT_EQ(child, before);
+  EXPECT_NE(child.state(), parent.state());
+}
+
+TEST(Philox, DeterministicBlockFunction) {
+  const Philox4x32::key_type key{0xdeadbeefu, 0xcafebabeu};
+  const Philox4x32::counter_type ctr{1, 2, 3, 4};
+  const auto block1 = Philox4x32::block(key, ctr);
+  const auto block2 = Philox4x32::block(key, ctr);
+  EXPECT_EQ(block1, block2);
+}
+
+TEST(Philox, CounterChangesOutput) {
+  const Philox4x32::key_type key{1, 2};
+  const auto a = Philox4x32::block(key, {0, 0, 0, 0});
+  const auto b = Philox4x32::block(key, {1, 0, 0, 0});
+  EXPECT_NE(a, b);
+}
+
+TEST(Philox, KeyChangesOutput) {
+  const Philox4x32::counter_type ctr{5, 6, 7, 8};
+  const auto a = Philox4x32::block({1, 0}, ctr);
+  const auto b = Philox4x32::block({2, 0}, ctr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Philox, StreamInterfaceMatchesBlocks) {
+  Philox4x32 eng(42);
+  const auto expected = Philox4x32::block(eng.key(), eng.counter());
+  EXPECT_EQ(eng(), expected[0]);
+  EXPECT_EQ(eng(), expected[1]);
+  EXPECT_EQ(eng(), expected[2]);
+  EXPECT_EQ(eng(), expected[3]);
+}
+
+TEST(Philox, SetCounterRepositions) {
+  Philox4x32 eng(9);
+  (void)eng();
+  (void)eng();
+  eng.set_counter({0, 0, 0, 0});
+  Philox4x32 fresh(9);
+  EXPECT_EQ(eng(), fresh());
+}
+
+TEST(Philox, ReferenceVectorTenRounds) {
+  // Philox4x32-10 test vector from the Random123 known-answer tests:
+  // all-ones counter and key.
+  const auto out = Philox4x32::block({0xffffffffu, 0xffffffffu},
+                                     {0xffffffffu, 0xffffffffu, 0xffffffffu,
+                                      0xffffffffu});
+  const Philox4x32::counter_type expected{0x408f276du, 0x41c83b0eu,
+                                          0xa20bc7c6u, 0x6d5451fdu};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Distributions, CanonicalInUnitInterval) {
+  Xoshiro256pp eng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = kreg::rng::canonical(eng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, UniformRealRespectsBounds) {
+  Xoshiro256pp eng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = kreg::rng::uniform_real(eng, -2.5, 7.25);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Distributions, UniformMeanAndVariance) {
+  Xoshiro256pp eng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = kreg::rng::canonical(eng);
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Distributions, UniformIndexWithinBoundAndCoversAll) {
+  Xoshiro256pp eng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = kreg::rng::uniform_index(eng, 7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Distributions, UniformIndexBoundOne) {
+  Xoshiro256pp eng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(kreg::rng::uniform_index(eng, 1), 0u);
+  }
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  Xoshiro256pp eng(8);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = kreg::rng::standard_normal(eng);
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Distributions, ExponentialMeanMatchesRate) {
+  Xoshiro256pp eng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double e = kreg::rng::exponential(eng, 4.0);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Stream, SubstreamsAreDecorrelated) {
+  Stream root(11);
+  Stream s0 = root.substream(0);
+  Stream s1 = root.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0.bits() == s1.bits()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Stream, SubstreamIsDeterministic) {
+  Stream root_a(12);
+  Stream root_b(12);
+  Stream a = root_a.substream(3);
+  Stream b = root_b.substream(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+}
+
+TEST(Stream, UniformsVectorHasRequestedShape) {
+  Stream s(13);
+  const std::vector<double> v = s.uniforms(257, 2.0, 3.0);
+  ASSERT_EQ(v.size(), 257u);
+  for (double x : v) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Stream, ShuffleIsAPermutation) {
+  Stream s(14);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[i] = i;
+  }
+  std::vector<int> orig = v;
+  s.shuffle(v);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for the Harris-style device reductions: agreement with serial
+// reference across sizes/block dims/variants, argmin tie-breaking, and the
+// two-level grid reduction.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "spmd/device.hpp"
+#include "spmd/reduce.hpp"
+
+namespace {
+
+using kreg::rng::Stream;
+using kreg::spmd::ArgminResult;
+using kreg::spmd::Device;
+using kreg::spmd::DeviceBuffer;
+using kreg::spmd::DeviceProperties;
+using kreg::spmd::ReduceVariant;
+
+template <class T>
+DeviceBuffer<T> upload(Device& dev, const std::vector<T>& host) {
+  auto buf = dev.alloc_global<T>(host.size());
+  dev.copy_to_device(buf, std::span<const T>(host));
+  return buf;
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  return s.uniforms(n, -10.0, 10.0);
+}
+
+// ---- Parameterized: (size, block_dim, variant) ---------------------------
+
+using SumParam = std::tuple<std::size_t, std::size_t, ReduceVariant>;
+
+class ReduceSumTest : public ::testing::TestWithParam<SumParam> {};
+
+TEST_P(ReduceSumTest, MatchesSerialAccumulate) {
+  const auto [n, block_dim, variant] = GetParam();
+  Device dev;
+  const std::vector<double> host = random_values(n, 100 + n);
+  auto buf = upload(dev, host);
+  const double expected = std::accumulate(host.begin(), host.end(), 0.0);
+  const double got = kreg::spmd::reduce_sum<double>(
+      dev, buf.span(), block_dim, variant);
+  EXPECT_NEAR(got, expected, 1e-9 * std::max(1.0, std::abs(expected)))
+      << "n=" << n << " block=" << block_dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesBlocksVariants, ReduceSumTest,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 2, 3, 31, 32, 33, 512, 1000, 4097),
+        ::testing::Values<std::size_t>(1, 2, 32, 512),
+        ::testing::Values(ReduceVariant::kSequential,
+                          ReduceVariant::kInterleaved)));
+
+TEST(ReduceSum, EmptyInputIsZero) {
+  Device dev;
+  const std::vector<double> empty;
+  EXPECT_EQ(kreg::spmd::reduce_sum<double>(dev, std::span<const double>(empty)),
+            0.0);
+}
+
+TEST(ReduceSum, FloatPrecisionPath) {
+  Device dev;
+  std::vector<float> host(1000, 0.5f);
+  auto buf = upload(dev, host);
+  EXPECT_FLOAT_EQ(kreg::spmd::reduce_sum<float>(dev, buf.span()), 500.0f);
+}
+
+TEST(ReduceSum, NonPowerOfTwoBlockRoundedDown) {
+  Device dev;
+  const std::vector<double> host = random_values(256, 7);
+  auto buf = upload(dev, host);
+  const double expected = std::accumulate(host.begin(), host.end(), 0.0);
+  // 100 threads/block rounds down to 64; result must be unaffected.
+  EXPECT_NEAR(kreg::spmd::reduce_sum<double>(dev, buf.span(), 100), expected,
+              1e-9);
+}
+
+TEST(ReduceSum, VariantsAgreeBitwiseOnIntegers) {
+  // With integer-valued doubles both schedules are exact, so they must
+  // agree exactly, not just within tolerance.
+  Device dev;
+  std::vector<double> host(777);
+  std::iota(host.begin(), host.end(), 1.0);
+  auto buf = upload(dev, host);
+  const double seq = kreg::spmd::reduce_sum<double>(
+      dev, buf.span(), 512, ReduceVariant::kSequential);
+  const double inter = kreg::spmd::reduce_sum<double>(
+      dev, buf.span(), 512, ReduceVariant::kInterleaved);
+  EXPECT_EQ(seq, inter);
+  EXPECT_EQ(seq, 777.0 * 778.0 / 2.0);
+}
+
+// ---- argmin ---------------------------------------------------------------
+
+class ReduceArgminTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ReduceArgminTest, MatchesSerialArgmin) {
+  const auto [n, block_dim] = GetParam();
+  Device dev;
+  const std::vector<double> host = random_values(n, 500 + n);
+  auto buf = upload(dev, host);
+  std::size_t expected = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (host[i] < host[expected]) {
+      expected = i;
+    }
+  }
+  const ArgminResult<double> got =
+      kreg::spmd::reduce_argmin<double>(dev, buf.span(), block_dim);
+  EXPECT_EQ(got.index, expected);
+  EXPECT_EQ(got.value, host[expected]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, ReduceArgminTest,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 2, 17, 64, 1000, 2048, 5000),
+        ::testing::Values<std::size_t>(1, 8, 512)));
+
+TEST(ReduceArgmin, TieBreaksToSmallestIndex) {
+  Device dev;
+  std::vector<double> host = {5.0, 1.0, 3.0, 1.0, 1.0, 9.0};
+  auto buf = upload(dev, host);
+  const auto got = kreg::spmd::reduce_argmin<double>(dev, buf.span(), 2);
+  EXPECT_EQ(got.index, 1u);
+  EXPECT_EQ(got.value, 1.0);
+}
+
+TEST(ReduceArgmin, MinimumAtEnds) {
+  Device dev;
+  std::vector<double> front = {-7.0, 1.0, 2.0, 3.0};
+  std::vector<double> back = {1.0, 2.0, 3.0, -7.0};
+  auto bf = upload(dev, front);
+  auto bb = upload(dev, back);
+  EXPECT_EQ(kreg::spmd::reduce_argmin<double>(dev, bf.span()).index, 0u);
+  EXPECT_EQ(kreg::spmd::reduce_argmin<double>(dev, bb.span()).index, 3u);
+}
+
+TEST(ReduceArgmin, EmptyInputReturnsSentinel) {
+  Device dev;
+  const std::vector<double> empty;
+  const auto got =
+      kreg::spmd::reduce_argmin<double>(dev, std::span<const double>(empty));
+  EXPECT_EQ(got.index, 0u);
+  EXPECT_EQ(got.value, std::numeric_limits<double>::infinity());
+}
+
+TEST(ReduceMin, MatchesArgminValue) {
+  Device dev;
+  const std::vector<double> host = random_values(321, 9);
+  auto buf = upload(dev, host);
+  const double min_value = kreg::spmd::reduce_min<double>(dev, buf.span());
+  EXPECT_EQ(min_value, *std::min_element(host.begin(), host.end()));
+}
+
+// ---- Two-level grid reduction ---------------------------------------------
+
+class ReduceGridTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReduceGridTest, MatchesSerialAccumulate) {
+  const std::size_t n = GetParam();
+  Device dev;
+  const std::vector<double> host = random_values(n, 900 + n);
+  auto buf = upload(dev, host);
+  const double expected = std::accumulate(host.begin(), host.end(), 0.0);
+  const double got = kreg::spmd::reduce_sum_grid<double>(dev, buf.span(), 64);
+  EXPECT_NEAR(got, expected, 1e-9 * std::max(1.0, std::abs(expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceGridTest,
+                         ::testing::Values<std::size_t>(1, 63, 64, 65, 127,
+                                                        128, 129, 10000,
+                                                        100001));
+
+TEST(ReduceGrid, AgreesWithSingleBlock) {
+  Device dev;
+  const std::vector<double> host = random_values(3000, 11);
+  auto buf = upload(dev, host);
+  const double single = kreg::spmd::reduce_sum<double>(dev, buf.span(), 512);
+  const double grid = kreg::spmd::reduce_sum_grid<double>(dev, buf.span(), 512);
+  EXPECT_NEAR(single, grid, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Statistical property tests: asymptotic behaviours the selector must
+// exhibit on synthetic data — the optimal bandwidth's n^(−1/5) decay, CV
+// consistency against the oracle MSE-optimal bandwidth, and bitwise
+// determinism of the full pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kreg.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+
+double select_h(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  const Dataset d = kreg::data::sine_dgp(n, s, 0.3);
+  // Fine fixed grid (not n-dependent) so the argmin can move freely.
+  const BandwidthGrid grid(0.005, 0.5, 200);
+  return kreg::SortedGridSelector().select(d, grid).bandwidth;
+}
+
+TEST(StatisticalRates, OptimalBandwidthShrinksWithSampleSize) {
+  // h* ~ C n^(−1/5): over a 16x increase in n, h should fall by roughly
+  // 16^(1/5) ≈ 1.74. Average over seeds to tame selection noise, and
+  // accept a generous band around the theoretical ratio.
+  const std::size_t n_small = 250;
+  const std::size_t n_large = 4000;
+  double h_small = 0.0;
+  double h_large = 0.0;
+  const int seeds = 5;
+  for (int r = 0; r < seeds; ++r) {
+    h_small += select_h(n_small, 100 + r);
+    h_large += select_h(n_large, 200 + r);
+  }
+  h_small /= seeds;
+  h_large /= seeds;
+  EXPECT_LT(h_large, h_small);  // must shrink
+  const double ratio = h_small / h_large;
+  EXPECT_GT(ratio, 1.15);  // clearly shrinking …
+  EXPECT_LT(ratio, 4.0);   // … but not collapsing
+}
+
+TEST(StatisticalRates, CvTracksOracleBandwidth) {
+  // The CV-selected bandwidth should achieve out-of-sample MSE within a
+  // modest factor of the best bandwidth on the same grid chosen with
+  // knowledge of the true mean (the oracle).
+  Stream s(42);
+  const Dataset train = kreg::data::sine_dgp(1500, s, 0.3);
+  const BandwidthGrid grid(0.005, 0.4, 60);
+
+  const auto cv_choice = kreg::SortedGridSelector().select(train, grid);
+
+  const auto oracle_mse = [&](double h) {
+    const kreg::NadarayaWatson g(train, h);
+    double acc = 0.0;
+    int used = 0;
+    for (double x = 0.05; x <= 0.95; x += 0.01) {
+      const double predicted = g(x);
+      if (std::isfinite(predicted)) {
+        const double e = predicted - kreg::data::sine_dgp_mean(x);
+        acc += e * e;
+        ++used;
+      }
+    }
+    return acc / used;
+  };
+
+  double best_oracle = 1e300;
+  for (double h : grid.values()) {
+    best_oracle = std::min(best_oracle, oracle_mse(h));
+  }
+  EXPECT_LE(oracle_mse(cv_choice.bandwidth), 3.0 * best_oracle);
+}
+
+TEST(Determinism, FullPipelineIsBitwiseReproducible) {
+  // Same seed, same configuration: every byte of the result must match,
+  // including across the parallel and device paths.
+  const auto run = [] {
+    Stream s(7);
+    const Dataset d = kreg::data::paper_dgp(500, s);
+    const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+    kreg::spmd::Device device;
+    kreg::SpmdSelectorConfig cfg;
+    cfg.precision = kreg::Precision::kDouble;
+    return kreg::SpmdGridSelector(device, cfg).select(d, grid);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i], b.scores[i]) << i;  // bitwise
+  }
+}
+
+TEST(Determinism, ParallelSweepBitwiseStableAcrossRuns) {
+  Stream s(8);
+  const Dataset d = kreg::data::paper_dgp(700, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 40);
+  const auto first = kreg::ParallelSortedGridSelector().select(d, grid);
+  for (int r = 0; r < 3; ++r) {
+    const auto again = kreg::ParallelSortedGridSelector().select(d, grid);
+    for (std::size_t i = 0; i < first.scores.size(); ++i) {
+      ASSERT_EQ(again.scores[i], first.scores[i]) << "run " << r;
+    }
+  }
+}
+
+TEST(StatisticalRates, KdeBandwidthAlsoShrinks) {
+  const auto kde_h = [](std::size_t n, std::uint64_t seed) {
+    Stream s(seed);
+    std::vector<double> xs(n);
+    for (auto& x : xs) {
+      x = s.gaussian(0.0, 1.0);
+    }
+    const BandwidthGrid grid(0.02, 2.0, 100);
+    return kreg::kde_select_sweep(xs, grid).bandwidth;
+  };
+  double h_small = 0.0;
+  double h_large = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    h_small += kde_h(300, 300 + r);
+    h_large += kde_h(4800, 400 + r);
+  }
+  EXPECT_LT(h_large, h_small);
+}
+
+}  // namespace

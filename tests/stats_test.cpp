@@ -1,0 +1,200 @@
+// Tests for the statistics substrate: Welford accumulation/merging,
+// descriptive statistics, quantiles, OLS fits, metrics, and the normal
+// quantile function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+#include "stats/normal.hpp"
+#include "stats/ols.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using kreg::rng::Stream;
+using kreg::stats::Welford;
+
+TEST(Welford, MeanAndVarianceExactSmallCase) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    w.add(x);
+  }
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance_population(), 4.0);
+  EXPECT_NEAR(w.variance_sample(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Welford, EmptyAccumulatorIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance_sample(), 0.0);
+}
+
+TEST(Welford, MergeMatchesSinglePass) {
+  Stream s(1);
+  std::vector<double> xs = s.uniforms(1000, -5.0, 5.0);
+  Welford whole;
+  Welford left;
+  Welford right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 400 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance_sample(), whole.variance_sample(), 1e-10);
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a;
+  Welford b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  Welford c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Descriptive, BasicStatistics) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(kreg::stats::min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(kreg::stats::max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(kreg::stats::range(xs), 8.0);
+  EXPECT_NEAR(kreg::stats::mean(xs), 3.875, 1e-12);
+}
+
+TEST(Descriptive, QuantileMatchesRType7) {
+  // R: quantile(c(1,2,3,4), c(0, .25, .5, 1)) -> 1, 1.75, 2.5, 4
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(kreg::stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kreg::stats::quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(kreg::stats::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(kreg::stats::quantile(xs, 1.0), 4.0);
+}
+
+TEST(Descriptive, MedianOfSingleton) {
+  const std::vector<double> xs = {7.5};
+  EXPECT_DOUBLE_EQ(kreg::stats::median(xs), 7.5);
+}
+
+TEST(Descriptive, IqrOfUniformSampleNearHalf) {
+  Stream s(2);
+  const std::vector<double> xs = s.uniforms(50000);
+  EXPECT_NEAR(kreg::stats::iqr(xs), 0.5, 0.01);
+}
+
+TEST(Descriptive, SummaryFieldsConsistent) {
+  Stream s(3);
+  const std::vector<double> xs = s.uniforms(1000, 10.0, 20.0);
+  const auto summary = kreg::stats::summarize(xs);
+  EXPECT_EQ(summary.n, 1000u);
+  EXPECT_GE(summary.q25, summary.min);
+  EXPECT_GE(summary.median, summary.q25);
+  EXPECT_GE(summary.q75, summary.median);
+  EXPECT_GE(summary.max, summary.q75);
+  EXPECT_NEAR(summary.mean, 15.0, 0.3);
+}
+
+TEST(Descriptive, SummaryOfEmptyIsZeroed) {
+  const std::vector<double> xs;
+  const auto summary = kreg::stats::summarize(xs);
+  EXPECT_EQ(summary.n, 0u);
+}
+
+TEST(Metrics, MseAndMae) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> truth = {1.0, 4.0, 1.0};
+  EXPECT_DOUBLE_EQ(kreg::stats::mse(pred, truth), (0.0 + 4.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(kreg::stats::mae(pred, truth), (0.0 + 2.0 + 2.0) / 3.0);
+}
+
+TEST(Metrics, RSquaredPerfectFitIsOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kreg::stats::r_squared(y, y), 1.0);
+}
+
+TEST(Metrics, RSquaredConstantTruthIsZero) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> truth = {5.0, 5.0};
+  EXPECT_DOUBLE_EQ(kreg::stats::r_squared(pred, truth), 0.0);
+}
+
+TEST(Ols, RecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = kreg::stats::fit_linear(x, y);
+  ASSERT_EQ(fit.beta.size(), 2u);
+  EXPECT_NEAR(fit.beta[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Ols, RecoversQuadraticWithNoise) {
+  Stream s(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = s.uniform();
+    x.push_back(xi);
+    y.push_back(0.5 * xi + 10.0 * xi * xi + s.gaussian(0.0, 0.01));
+  }
+  const auto fit = kreg::stats::fit_polynomial(x, y, 2);
+  ASSERT_EQ(fit.beta.size(), 3u);
+  EXPECT_NEAR(fit.beta[0], 0.0, 0.01);
+  EXPECT_NEAR(fit.beta[1], 0.5, 0.05);
+  EXPECT_NEAR(fit.beta[2], 10.0, 0.05);
+}
+
+TEST(Ols, PolyFitEvaluatesHornerCorrectly) {
+  kreg::stats::PolyFit fit;
+  fit.beta = {1.0, -2.0, 3.0};  // 1 - 2x + 3x²
+  EXPECT_DOUBLE_EQ(fit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit(2.0), 1.0 - 4.0 + 12.0);
+}
+
+TEST(Ols, SingularSystemThrows) {
+  // Two identical equations -> singular normal matrix.
+  std::vector<double> a = {1.0, 2.0, 2.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(kreg::stats::solve_linear_system(a, b), std::runtime_error);
+}
+
+TEST(Ols, SolveLinearSystemKnownSolution) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3)
+  const std::vector<double> a = {2.0, 1.0, 1.0, 3.0};
+  const std::vector<double> b = {5.0, 10.0};
+  const auto x = kreg::stats::solve_linear_system(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999}) {
+    const double z = kreg::stats::normal_quantile(p);
+    EXPECT_NEAR(kreg::stats::normal_cdf(z), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Normal, KnownQuantiles) {
+  EXPECT_NEAR(kreg::stats::normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(kreg::stats::normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(kreg::stats::normal_quantile(0.025), -1.959963985, 1e-6);
+}
+
+}  // namespace
