@@ -8,7 +8,7 @@
 //   kreg_cli --demo [n]            # run on freshly generated paper-DGP data
 //
 // Options:
-//   --method  sorted|parallel|naive|dense|spmd|optimizer|silverman|scott
+//   --method  sorted|window|parallel|naive|dense|spmd|spmd-window|optimizer|silverman|scott
 //             (default sorted)
 //   --kernel  epanechnikov|uniform|triangular|biweight|triweight|cosine|
 //             gaussian (default epanechnikov)
@@ -31,8 +31,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <data.csv> | --demo [n]\n"
-               "  [--method sorted|parallel|naive|dense|spmd|optimizer|"
-               "silverman|scott]\n"
+               "  [--method sorted|window|parallel|naive|dense|spmd|"
+               "spmd-window|optimizer|silverman|scott]\n"
                "  [--kernel epanechnikov|uniform|triangular|biweight|"
                "triweight|cosine|gaussian]\n"
                "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n",
@@ -141,6 +141,14 @@ int main(int argc, char** argv) {
     std::unique_ptr<kreg::spmd::Device> device;
     if (method == "sorted") {
       selector = std::make_unique<kreg::SortedGridSelector>(kernel);
+    } else if (method == "window") {
+      selector = std::make_unique<kreg::WindowSweepSelector>(kernel);
+    } else if (method == "spmd-window") {
+      device = std::make_unique<kreg::spmd::Device>();
+      kreg::SpmdSelectorConfig cfg;
+      cfg.kernel = kernel;
+      cfg.algorithm = kreg::SweepAlgorithm::kWindow;
+      selector = std::make_unique<kreg::SpmdGridSelector>(*device, cfg);
     } else if (method == "parallel") {
       selector = std::make_unique<kreg::ParallelSortedGridSelector>(kernel);
     } else if (method == "naive") {

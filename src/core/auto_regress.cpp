@@ -23,18 +23,25 @@ ConfidenceBand FittedRegression::confidence_band(std::size_t points,
 
 namespace {
 
-/// The paper's §V crossover: sequential programs win below n ≈ 1,000.
+/// The paper's §V crossover: sequential programs win below n ≈ 1,000 for
+/// the per-row-sort sweep. The window sweep does a small constant amount of
+/// work per observation (no per-row fill/sort), so thread-pool overhead
+/// amortizes later — it stays sequential until n ≈ 4,000.
 constexpr std::size_t kParallelCrossover = 1000;
+constexpr std::size_t kWindowParallelCrossover = 4000;
 
 std::unique_ptr<Selector> pick_selector(const data::Dataset& data,
                                         const AutoOptions& options) {
   using Backend = AutoOptions::Backend;
+  const bool window = options.algorithm == SweepAlgorithm::kWindow;
   Backend backend = options.backend;
   if (backend == Backend::kDevice && options.device == nullptr) {
     throw std::invalid_argument("auto_regress: Backend::kDevice needs device");
   }
   if (backend == Backend::kAuto) {
-    if (data.size() < kParallelCrossover) {
+    const std::size_t crossover =
+        window ? kWindowParallelCrossover : kParallelCrossover;
+    if (data.size() < crossover) {
       backend = Backend::kSequential;
     } else if (options.device != nullptr &&
                is_sweepable(options.kernel)) {
@@ -57,12 +64,20 @@ std::unique_ptr<Selector> pick_selector(const data::Dataset& data,
 
   switch (backend) {
     case Backend::kSequential:
+      if (window) {
+        return std::make_unique<WindowSweepSelector>(options.kernel);
+      }
       return std::make_unique<SortedGridSelector>(options.kernel);
     case Backend::kParallel:
+      if (window) {
+        return std::make_unique<WindowSweepSelector>(
+            options.kernel, Precision::kDouble, /*parallel=*/true);
+      }
       return std::make_unique<ParallelSortedGridSelector>(options.kernel);
     case Backend::kDevice: {
       SpmdSelectorConfig cfg;
       cfg.kernel = options.kernel;
+      cfg.algorithm = options.algorithm;
       return std::make_unique<SpmdGridSelector>(*options.device, cfg);
     }
     case Backend::kAuto:

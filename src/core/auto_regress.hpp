@@ -22,16 +22,24 @@ struct AutoOptions {
   /// Execution backend.
   enum class Backend {
     /// Paper-informed heuristic: the sequential and parallel programs cross
-    /// near n ≈ 1,000 (§V), so use the sequential sweep below that and the
-    /// host-parallel sweep above; a provided device takes precedence for
-    /// large samples.
+    /// near n ≈ 1,000 (§V) for the per-row-sort sweep; the window sweep's
+    /// far cheaper per-observation work pushes its crossover higher, so it
+    /// stays sequential until n ≈ 4,000. A provided device takes precedence
+    /// for large samples.
     kAuto,
-    kSequential,  ///< Program 3
-    kParallel,    ///< host-parallel Program 3
+    kSequential,  ///< Program 3 (or its window-sweep refinement)
+    kParallel,    ///< host-parallel Program 3 / window sweep
     kDevice,      ///< Program 4 (requires `device`)
   };
   Backend backend = Backend::kAuto;
   spmd::Device* device = nullptr;
+
+  /// Sweep algorithm for sweepable kernels, on every backend. kWindow
+  /// (default): sort (X, Y) once globally, grow a two-pointer window per
+  /// observation — O(n log n + n·(k + admitted)). kPerRowSort: the paper's
+  /// §III per-observation sort, O(n² log n) — kept as the faithful
+  /// ablation baseline.
+  SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
 };
 
 /// A fitted kernel regression: the selection diagnostics plus the

@@ -5,6 +5,7 @@
 
 #include "core/kernels.hpp"
 #include "sort/iterative_quicksort.hpp"
+#include "sort/partition.hpp"
 
 namespace kreg::detail {
 
@@ -40,8 +41,13 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
     yrow[l] = ys[l];
   }
 
-  // Per-thread iterative quicksort, Y as the auxiliary variable.
-  sort::iterative_quicksort_kv(dist, yrow);
+  // Truncate the sort at the largest grid bandwidth: no h can ever admit a
+  // distance beyond hs[k-1], so partition those candidates out first and
+  // quicksort only the admissible prefix (Y stays the auxiliary variable).
+  const std::size_t admissible =
+      sort::partition_kv(dist, yrow, hs[k - 1]);
+  sort::iterative_quicksort_kv(dist.first(admissible),
+                               yrow.first(admissible));
 
   // Single sweep over the ascending grid, extending the moment sums with
   // exactly the newly admitted observations per bandwidth.
@@ -50,7 +56,7 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
   std::size_t p = 0;
   for (std::size_t b = 0; b < k; ++b) {
     const Scalar h = hs[b];
-    while (p < n && dist[p] <= h) {
+    while (p < admissible && dist[p] <= h) {
       Scalar pw = Scalar{1};
       for (std::size_t m = 0; m < terms; ++m) {
         s_m[m] += pw;
@@ -84,6 +90,92 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
     Scalar sq = Scalar{0};
     if (den > Scalar{0}) {
       const Scalar e = yj - (sum_y[b] - c0 * yj) / den;
+      sq = e * e;
+    }
+    write(b, sq);
+  }
+}
+
+/// The window-sweep variant of the per-thread kernel body: instead of
+/// filling and quicksorting a private distance row, the thread indexes into
+/// the *globally sorted* X/Y arrays (sorted once, on the host, before
+/// launch). Because X is sorted, the neighbours of observation `pos` within
+/// any bandwidth h form a contiguous window around `pos`, and as h ascends
+/// the window only grows — so a left and a right pointer, each monotone,
+/// enumerate exactly the newly admitted observations per bandwidth.
+///
+/// Per observation this costs O(k + admitted) with O(1) extra memory: no
+/// O(n) private row, no per-row O(n log n) sort. Across n observations the
+/// whole grid search is O(n log n) for the one global sort plus
+/// O(n·(k + admitted)) for the sweeps, versus O(n² log n) for the per-row
+/// paths — and the device variant's global-memory footprint drops from the
+/// two n×n matrices to the O(n) sorted arrays, lifting the paper's §IV-A
+/// n ≤ 20,000 allocation limit without streaming.
+///
+/// The self term (distance 0) is seeded into the moment sums up front and
+/// subtracted analytically in the recombination, exactly as in the per-row
+/// paths; M(X_pos) = 0 cases emit a 0 residual. `write(b, sq)` receives the
+/// squared LOO residual for every bandwidth index b in ascending order.
+template <class Scalar, class WriteResid>
+inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
+                                std::span<const Scalar> ys_sorted,
+                                std::span<const Scalar> hs,
+                                const SweepPolynomial& poly, std::size_t pos,
+                                WriteResid&& write) {
+  const std::size_t n = xs_sorted.size();
+  const std::size_t k = hs.size();
+  const std::size_t terms = poly.max_power + 1;
+  const Scalar xi = xs_sorted[pos];
+  const Scalar yi = ys_sorted[pos];
+
+  // Moment sums over the admitted window, seeded with the self term: at
+  // distance 0 it contributes 1 to S_0 and Y_i to T_0, nothing above.
+  Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+  Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+  s_m[0] = Scalar{1};
+  t_m[0] = yi;
+
+  const auto admit = [&](std::size_t l) {
+    const Scalar d = xs_sorted[l] < xi ? xi - xs_sorted[l] : xs_sorted[l] - xi;
+    const Scalar yl = ys_sorted[l];
+    Scalar pw = Scalar{1};
+    for (std::size_t m = 0; m < terms; ++m) {
+      s_m[m] += pw;
+      t_m[m] += yl * pw;
+      pw *= d;
+    }
+  };
+
+  std::size_t lo = pos;  // inclusive left edge of the admitted window
+  std::size_t hi = pos;  // inclusive right edge
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar h = hs[b];
+    while (lo > 0 && xi - xs_sorted[lo - 1] <= h) {
+      admit(--lo);
+    }
+    while (hi + 1 < n && xs_sorted[hi + 1] - xi <= h) {
+      admit(++hi);
+    }
+
+    // Recombine: Σ_m c_m h^(−m) T_m over Σ_m c_m h^(−m) S_m, self excluded.
+    Scalar num = Scalar{0};
+    Scalar den = Scalar{0};
+    const Scalar inv_h = Scalar{1} / h;
+    Scalar inv_pow = Scalar{1};
+    for (std::size_t m = 0; m < terms; ++m) {
+      const auto c = static_cast<Scalar>(poly.coeff[m]);
+      if (c != Scalar{0}) {
+        const Scalar s_excl = m == 0 ? s_m[m] - Scalar{1} : s_m[m];
+        const Scalar t_excl = m == 0 ? t_m[m] - yi : t_m[m];
+        num += c * t_excl * inv_pow;
+        den += c * s_excl * inv_pow;
+      }
+      inv_pow *= inv_h;
+    }
+
+    Scalar sq = Scalar{0};
+    if (den > Scalar{0}) {
+      const Scalar e = yi - num / den;
       sq = e * e;
     }
     write(b, sq);

@@ -55,6 +55,25 @@ inline SupportPolynomial kde_convolution_poly(KernelType kernel) {
 
 inline constexpr std::size_t kKdeMaxMoment = 5;
 
+/// Σ_m coeff[m] h^(−m) (sums[m] − self_m): the self term (distance 0,
+/// always admitted) contributes 1 to moment 0 only. Shared recombination of
+/// the prefix-pointer and window moment accumulators.
+inline double combine_moments(
+    const std::array<double, kKdeMaxMoment + 1>& sums,
+    const SupportPolynomial& poly, double h) {
+  double acc = 0.0;
+  const double inv_h = 1.0 / h;
+  double inv_pow = 1.0;
+  for (std::size_t m = 0; m <= poly.max_power; ++m) {
+    if (poly.coeff[m] != 0.0) {
+      const double moment = m == 0 ? sums[m] - 1.0 : sums[m];
+      acc += poly.coeff[m] * moment * inv_pow;
+    }
+    inv_pow *= inv_h;
+  }
+  return acc;
+}
+
 /// Running moment sums Σ|Δ|^m over an admitted prefix of a sorted distance
 /// row, extended lazily as its pointer advances.
 struct MomentSweep {
@@ -74,20 +93,47 @@ struct MomentSweep {
     }
   }
 
-  /// Σ_m coeff[m] h^(−m) (sums[m] − self_m): the self term (distance 0,
-  /// always admitted) contributes 1 to moment 0 only.
   double combine(const SupportPolynomial& poly, double h) const {
-    double acc = 0.0;
-    const double inv_h = 1.0 / h;
-    double inv_pow = 1.0;
-    for (std::size_t m = 0; m <= poly.max_power; ++m) {
-      if (poly.coeff[m] != 0.0) {
-        const double moment = m == 0 ? sums[m] - 1.0 : sums[m];
-        acc += poly.coeff[m] * moment * inv_pow;
-      }
-      inv_pow *= inv_h;
+    return combine_moments(sums, poly, h);
+  }
+};
+
+/// Running moment sums Σ|Δ|^m over a contiguous window of the *globally
+/// sorted* X array around one observation — the window-sweep counterpart of
+/// MomentSweep. Seeded with the self term; the left and right pointers only
+/// move outward as the admission limit grows across the ascending grid, so
+/// each observation contributes O(k + admitted) work with no per-row sort.
+struct WindowMomentSweep {
+  std::array<double, kKdeMaxMoment + 1> sums{};
+  std::size_t lo = 0;  ///< inclusive left edge of the admitted window
+  std::size_t hi = 0;  ///< inclusive right edge
+
+  void seed(std::size_t pos) {
+    lo = hi = pos;
+    sums[0] = 1.0;  // self term: |Δ| = 0 contributes to moment 0 only
+  }
+
+  void expand(std::span<const double> xs_sorted, double xi, double limit,
+              std::size_t max_power) {
+    while (lo > 0 && xi - xs_sorted[lo - 1] <= limit) {
+      admit(xi - xs_sorted[--lo], max_power);
     }
-    return acc;
+    while (hi + 1 < xs_sorted.size() && xs_sorted[hi + 1] - xi <= limit) {
+      admit(xs_sorted[++hi] - xi, max_power);
+    }
+  }
+
+  double combine(const SupportPolynomial& poly, double h) const {
+    return combine_moments(sums, poly, h);
+  }
+
+ private:
+  void admit(double a, std::size_t max_power) {
+    double pw = 1.0;
+    for (std::size_t m = 0; m <= max_power; ++m) {
+      sums[m] += pw;
+      pw *= a;
+    }
   }
 };
 

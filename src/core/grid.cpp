@@ -28,6 +28,19 @@ BandwidthGrid::BandwidthGrid(double min_h, double max_h, std::size_t k) {
     values_.push_back(min_h + step * static_cast<double>(i));
   }
   values_.back() = max_h;  // guard against accumulation drift
+
+  // The incremental sweeps assume a strictly ascending grid (duplicate
+  // candidates would also waste profile entries), so enforce it here: a
+  // degenerate range (min == max with k > 1) or a spacing below double
+  // resolution is rejected rather than silently collapsed.
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (!(values_[i] > values_[i - 1])) {
+      throw std::invalid_argument(
+          "BandwidthGrid: k = " + std::to_string(k) + " values on [" +
+          std::to_string(min_h) + ", " + std::to_string(max_h) +
+          "] are not strictly ascending; widen the range or reduce k");
+    }
+  }
 }
 
 BandwidthGrid BandwidthGrid::default_for(const data::Dataset& dataset,

@@ -16,14 +16,17 @@ inline constexpr std::size_t kDeviceMaxBandwidths = 2048;
 /// Paper defaults (§IV): the maximum bandwidth is the domain of X (max −
 /// min) and the minimum is that domain divided by the number of candidates,
 /// so the grid is { domain·1/k, domain·2/k, …, domain }. Invariants: k ≥ 1,
-/// 0 < min ≤ max, values ascending. Grids destined for the SPMD device must
+/// 0 < min ≤ max, values strictly ascending (duplicates are rejected at
+/// construction — the incremental sweeps rely on it). Grids destined for
+/// the SPMD device must
 /// additionally satisfy k ≤ kDeviceMaxBandwidths (checked at upload, and by
 /// `fits_device()` here).
 class BandwidthGrid {
  public:
   /// Explicit range: k values evenly spaced on [min_h, max_h], endpoints
   /// included (k == 1 yields {max_h}). Throws std::invalid_argument on
-  /// k == 0, non-positive min_h, or min_h > max_h.
+  /// k == 0, non-positive min_h, min_h > max_h, or a range too narrow for k
+  /// strictly ascending values.
   BandwidthGrid(double min_h, double max_h, std::size_t k);
 
   /// Paper default for a dataset: max = domain of X, min = domain / k.

@@ -39,6 +39,7 @@
 #include "core/types.hpp"
 #include "core/version.hpp"
 #include "core/weighted.hpp"
+#include "core/window_sweep.hpp"
 #include "data/csv.hpp"
 #include "data/dataset.hpp"
 #include "data/dgp.hpp"

@@ -72,6 +72,22 @@ std::string ParallelSortedGridSelector::name() const {
          std::string(to_string(precision_)) + ")";
 }
 
+SelectionResult WindowSweepSelector::select(const data::Dataset& data,
+                                            const BandwidthGrid& grid) const {
+  data.validate();
+  std::vector<double> scores =
+      parallel_ ? window_cv_profile_parallel(data, grid.values(), kernel_,
+                                             precision_, pool_)
+                : window_cv_profile(data, grid.values(), kernel_, precision_);
+  return selection_from_profile(grid, std::move(scores), name());
+}
+
+std::string WindowSweepSelector::name() const {
+  return std::string("window-sweep(") + std::string(to_string(kernel_)) + "," +
+         std::string(to_string(precision_)) +
+         (parallel_ ? ",parallel" : "") + ")";
+}
+
 std::string_view to_string(OptimizeMethod method) noexcept {
   switch (method) {
     case OptimizeMethod::kGoldenSection:

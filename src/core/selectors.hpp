@@ -9,6 +9,7 @@
 #include "core/optimizers.hpp"
 #include "core/sorted_sweep.hpp"
 #include "core/types.hpp"
+#include "core/window_sweep.hpp"
 #include "data/dataset.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -95,6 +96,32 @@ class ParallelSortedGridSelector final : public Selector {
  private:
   KernelType kernel_;
   Precision precision_;
+  parallel::ThreadPool* pool_;
+};
+
+/// The window-sweep grid search (see core/window_sweep.hpp): sorts (X, Y)
+/// once globally, then grows a two-pointer window per observation across
+/// the ascending grid — O(n log n + n·(k + admitted)) total instead of the
+/// per-row-sort paths' O(n² log n), with O(n) extra memory. Same profile as
+/// SortedGridSelector up to floating-point recombination error; the
+/// per-row-sort selectors remain the paper-faithful ablation baseline.
+class WindowSweepSelector final : public Selector {
+ public:
+  explicit WindowSweepSelector(KernelType kernel = KernelType::kEpanechnikov,
+                               Precision precision = Precision::kDouble,
+                               bool parallel = false,
+                               parallel::ThreadPool* pool = nullptr)
+      : kernel_(kernel), precision_(precision), parallel_(parallel),
+        pool_(pool) {}
+
+  SelectionResult select(const data::Dataset& data,
+                         const BandwidthGrid& grid) const override;
+  std::string name() const override;
+
+ private:
+  KernelType kernel_;
+  Precision precision_;
+  bool parallel_;
   parallel::ThreadPool* pool_;
 };
 

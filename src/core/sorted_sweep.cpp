@@ -6,6 +6,7 @@
 
 #include "parallel/parallel_for.hpp"
 #include "sort/iterative_quicksort.hpp"
+#include "sort/partition.hpp"
 
 namespace kreg {
 
@@ -35,8 +36,14 @@ void sweep_observation(std::span<const double> x, std::span<const double> y,
   }
 
   // "Next, it sorts both of these matrices in order of abs(X_i − X_j)" —
-  // the iterative quicksort with Y as the auxiliary variable.
-  sort::iterative_quicksort_kv(dist, yrow);
+  // the iterative quicksort with Y as the auxiliary variable, truncated at
+  // the largest grid bandwidth: candidates beyond grid.back() can never be
+  // admitted, so they are partitioned out before the sort and only the
+  // admissible prefix gets sorted.
+  const std::size_t admissible = sort::partition_kv(
+      dist, yrow, static_cast<Scalar>(grid.back()));
+  sort::iterative_quicksort_kv(dist.first(admissible),
+                               yrow.first(admissible));
 
   // Incremental moment accumulation across the ascending grid.
   const std::size_t terms = poly.max_power + 1;
@@ -47,7 +54,7 @@ void sweep_observation(std::span<const double> x, std::span<const double> y,
   std::size_t p = 0;  // observations admitted so far (dist[0..p) <= h)
   for (std::size_t b = 0; b < k; ++b) {
     const Scalar h = static_cast<Scalar>(grid[b]);
-    while (p < n && dist[p] <= h) {
+    while (p < admissible && dist[p] <= h) {
       // Powers |d|^m accumulated incrementally: pw steps 1, |d|, |d|², …
       Scalar pw = Scalar{1};
       for (std::size_t m = 0; m < terms; ++m) {
@@ -112,8 +119,12 @@ void check_profile_inputs(const data::Dataset& data,
     throw std::invalid_argument("sweep_cv_profile: bandwidths must be > 0");
   }
   for (std::size_t b = 1; b < grid.size(); ++b) {
-    if (grid[b] < grid[b - 1]) {
-      throw std::invalid_argument("sweep_cv_profile: grid must be ascending");
+    // Strictly ascending: duplicates would make the incremental admission
+    // pointer re-test the same threshold and waste a profile entry, and a
+    // descending pair would silently skip admissions.
+    if (grid[b] <= grid[b - 1]) {
+      throw std::invalid_argument(
+          "sweep_cv_profile: grid must be strictly ascending");
     }
   }
   if (!is_sweepable(kernel)) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/detail/device_sweep.hpp"
+#include "core/window_sweep.hpp"
 
 namespace kreg {
 
@@ -14,6 +15,16 @@ std::string_view to_string(ResidualLayout layout) noexcept {
       return "observation-major";
     case ResidualLayout::kBandwidthMajor:
       return "bandwidth-major";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SweepAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case SweepAlgorithm::kPerRowSort:
+      return "per-row-sort";
+    case SweepAlgorithm::kWindow:
+      return "window";
   }
   return "unknown";
 }
@@ -28,9 +39,15 @@ SpmdGridSelector::SpmdGridSelector(spmd::Device& device,
 
 std::size_t SpmdGridSelector::estimated_bytes(std::size_t n, std::size_t k,
                                               Precision precision,
-                                              bool streaming) {
+                                              bool streaming,
+                                              SweepAlgorithm algorithm) {
   const std::size_t elem =
       precision == Precision::kFloat ? sizeof(float) : sizeof(double);
+  if (algorithm == SweepAlgorithm::kWindow) {
+    // Sorted x + y + scores + the n×k residual matrix; no row matrices and
+    // no per-thread sum matrices — the window sweep recombines in place.
+    return (2 * n + k + n * k) * elem;
+  }
   // x + y + scores + two n×k sum matrices + n×k residual matrix …
   std::size_t elems = 2 * n + k + 3 * n * k;
   // … plus the two n×n matrices unless streaming.
@@ -56,12 +73,24 @@ SelectionResult run_device_selection(spmd::Device& device,
                                    device.properties().max_threads_per_block);
   const SweepPolynomial poly = sweep_polynomial(config.kernel);
 
+  const bool window = config.algorithm == SweepAlgorithm::kWindow;
+
   // --- Host-side staging -------------------------------------------------
+  // The window sweep sorts (X, Y) once, on the host, before upload — the
+  // device threads then index into the globally sorted arrays instead of
+  // filling and quicksorting private rows. (The CV criterion sums over all
+  // observations, so visiting them in sorted order changes nothing.)
   std::vector<Scalar> host_x(n);
   std::vector<Scalar> host_y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    host_x[i] = static_cast<Scalar>(data.x[i]);
-    host_y[i] = static_cast<Scalar>(data.y[i]);
+  if (window) {
+    SortedDataset<Scalar> sorted = sort_dataset<Scalar>(data.x, data.y);
+    host_x = std::move(sorted.x);
+    host_y = std::move(sorted.y);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      host_x[i] = static_cast<Scalar>(data.x[i]);
+      host_y[i] = static_cast<Scalar>(data.y[i]);
+    }
   }
   std::vector<Scalar> host_grid(k);
   for (std::size_t b = 0; b < k; ++b) {
@@ -79,18 +108,24 @@ SelectionResult run_device_selection(spmd::Device& device,
   device.copy_to_device(d_y, std::span<const Scalar>(host_y));
 
   // Two n×n matrices for the per-thread sorted rows (skipped in streaming
-  // mode, the paper's future-work extension).
+  // mode, the paper's future-work extension, and by the window sweep, which
+  // has no private rows at all).
   spmd::DeviceBuffer<Scalar> d_dist;
   spmd::DeviceBuffer<Scalar> d_ymat;
-  if (!config.streaming) {
+  if (!window && !config.streaming) {
     d_dist = device.alloc_global<Scalar>(n * n);
     d_ymat = device.alloc_global<Scalar>(n * n);
   }
 
-  // Two n×k matrices of bandwidth-specific sums, and the n×k squared
-  // residual matrix.
-  spmd::DeviceBuffer<Scalar> d_sum_y = device.alloc_global<Scalar>(n * k);
-  spmd::DeviceBuffer<Scalar> d_sum_w = device.alloc_global<Scalar>(n * k);
+  // Two n×k matrices of bandwidth-specific sums (per-row-sort path only —
+  // the window sweep recombines its moments in place), and the n×k squared
+  // residual matrix feeding the reductions.
+  spmd::DeviceBuffer<Scalar> d_sum_y;
+  spmd::DeviceBuffer<Scalar> d_sum_w;
+  if (!window) {
+    d_sum_y = device.alloc_global<Scalar>(n * k);
+    d_sum_w = device.alloc_global<Scalar>(n * k);
+  }
   spmd::DeviceBuffer<Scalar> d_resid = device.alloc_global<Scalar>(n * k);
   spmd::DeviceBuffer<Scalar> d_scores = device.alloc_global<Scalar>(k);
 
@@ -114,6 +149,17 @@ SelectionResult run_device_selection(spmd::Device& device,
     const std::size_t j = t.global_idx();
     if (j >= n) {
       return;  // padding thread in the last block
+    }
+
+    if (window) {
+      // Window sweep: index into the device-global sorted X/Y, growing the
+      // two-pointer window across the ascending grid. No private rows, no
+      // per-thread sort; residuals land in the configured layout.
+      detail::window_sweep_thread<Scalar>(
+          xs, ys, hs, poly, j, [&](std::size_t b, Scalar sq) {
+            resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
+          });
+      return;
     }
 
     // Thread j's rows of the distance and Y matrices. In streaming mode the
@@ -237,6 +283,9 @@ std::string SpmdGridSelector::name() const {
   n += to_string(config_.layout);
   if (config_.streaming) {
     n += ",streaming";
+  }
+  if (config_.algorithm == SweepAlgorithm::kWindow) {
+    n += ",window";
   }
   n += ")";
   return n;

@@ -20,6 +20,20 @@ enum class ResidualLayout {
 };
 std::string_view to_string(ResidualLayout layout) noexcept;
 
+/// Which per-thread sweep the main kernel runs.
+enum class SweepAlgorithm {
+  /// Paper-faithful §IV-B: each thread fills and quicksorts a private
+  /// distance row (n×n global-memory matrices unless streaming).
+  kPerRowSort,
+  /// Window sweep: X/Y are sorted once on the host and uploaded; threads
+  /// index into the device-global sorted arrays growing a two-pointer
+  /// window — no private rows, no per-thread sort, O(n) global memory for
+  /// the data (the n×k residual matrix remains for the reductions). Lifts
+  /// the paper's §IV-A n ≤ 20,000 allocation limit without streaming.
+  kWindow,
+};
+std::string_view to_string(SweepAlgorithm algorithm) noexcept;
+
 /// Configuration of the SPMD (device) grid selector.
 struct SpmdSelectorConfig {
   KernelType kernel = KernelType::kEpanechnikov;
@@ -34,8 +48,12 @@ struct SpmdSelectorConfig {
   spmd::ReduceVariant reduce_variant = spmd::ReduceVariant::kSequential;
   /// Extension (the paper's stated future work): stream each observation's
   /// distance row through thread-local scratch instead of materializing the
-  /// two n×n global-memory matrices, lifting the n ≤ 20,000 limit.
+  /// two n×n global-memory matrices, lifting the n ≤ 20,000 limit. Only
+  /// meaningful for kPerRowSort — the window sweep has no rows to stream.
   bool streaming = false;
+  /// Per-thread sweep algorithm; defaults to the paper-faithful per-row
+  /// sort (the ablation baseline). kWindow is the fast path.
+  SweepAlgorithm algorithm = SweepAlgorithm::kPerRowSort;
 };
 
 /// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the
@@ -74,9 +92,11 @@ class SpmdGridSelector final : public Selector {
 
   /// Predicted device-memory footprint of a (n, k) problem in bytes —
   /// what select() will ask the ledger for. Used by the memory-limit bench
-  /// to chart the paper's n > 20,000 failure.
-  static std::size_t estimated_bytes(std::size_t n, std::size_t k,
-                                     Precision precision, bool streaming);
+  /// to chart the paper's n > 20,000 failure (and the window sweep's
+  /// removal of it).
+  static std::size_t estimated_bytes(
+      std::size_t n, std::size_t k, Precision precision, bool streaming,
+      SweepAlgorithm algorithm = SweepAlgorithm::kPerRowSort);
 
  private:
   spmd::Device& device_;

@@ -113,8 +113,9 @@ std::vector<double> weighted_sweep_cv_profile(const data::Dataset& data,
     throw std::invalid_argument("weighted sweep: grid must be positive");
   }
   for (std::size_t b = 1; b < grid.size(); ++b) {
-    if (grid[b] < grid[b - 1]) {
-      throw std::invalid_argument("weighted sweep: grid must be ascending");
+    if (grid[b] <= grid[b - 1]) {
+      throw std::invalid_argument(
+          "weighted sweep: grid must be strictly ascending");
     }
   }
   const SweepPolynomial poly = sweep_polynomial(kernel);  // throws if not sweepable

@@ -1,0 +1,158 @@
+#include "core/window_sweep.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/detail/device_sweep.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sort/argsort.hpp"
+
+namespace kreg {
+
+template <class Scalar>
+SortedDataset<Scalar> sort_dataset(std::span<const double> x,
+                                   std::span<const double> y) {
+  const std::vector<std::size_t> perm = sort::argsort<double>(x);
+  SortedDataset<Scalar> sorted;
+  sorted.x.reserve(x.size());
+  sorted.y.reserve(y.size());
+  for (std::size_t idx : perm) {
+    sorted.x.push_back(static_cast<Scalar>(x[idx]));
+    sorted.y.push_back(static_cast<Scalar>(y[idx]));
+  }
+  return sorted;
+}
+
+template SortedDataset<float> sort_dataset<float>(std::span<const double>,
+                                                  std::span<const double>);
+template SortedDataset<double> sort_dataset<double>(std::span<const double>,
+                                                    std::span<const double>);
+
+namespace {
+
+void check_window_inputs(const data::Dataset& data,
+                         std::span<const double> grid, KernelType kernel,
+                         const char* fn) {
+  if (data.empty()) {
+    throw std::invalid_argument(std::string(fn) + ": empty dataset");
+  }
+  if (grid.empty()) {
+    throw std::invalid_argument(std::string(fn) + ": empty bandwidth grid");
+  }
+  if (!(grid.front() > 0.0)) {
+    throw std::invalid_argument(std::string(fn) + ": bandwidths must be > 0");
+  }
+  for (std::size_t b = 1; b < grid.size(); ++b) {
+    if (grid[b] <= grid[b - 1]) {
+      throw std::invalid_argument(std::string(fn) +
+                                  ": grid must be strictly ascending");
+    }
+  }
+  if (!is_sweepable(kernel)) {
+    throw std::invalid_argument(
+        std::string(fn) + ": kernel '" + std::string(to_string(kernel)) +
+        "' is not supported by the window sweep; use the naive path");
+  }
+}
+
+template <class Scalar>
+std::vector<double> profile_sequential(const data::Dataset& data,
+                                       std::span<const double> grid,
+                                       KernelType kernel) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const SweepPolynomial poly = sweep_polynomial(kernel);
+  const SortedDataset<Scalar> sorted = sort_dataset<Scalar>(data.x, data.y);
+  std::vector<Scalar> host_grid(grid.begin(), grid.end());
+
+  // The CV criterion sums squared residuals over *all* observations, so the
+  // sweep can visit them in sorted order — no inverse permutation needed.
+  std::vector<double> totals(k, 0.0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    detail::window_sweep_thread<Scalar>(
+        std::span<const Scalar>(sorted.x), std::span<const Scalar>(sorted.y),
+        std::span<const Scalar>(host_grid), poly, pos,
+        [&](std::size_t b, Scalar sq) {
+          totals[b] += static_cast<double>(sq);
+        });
+  }
+  for (double& total : totals) {
+    total /= static_cast<double>(n);
+  }
+  return totals;
+}
+
+template <class Scalar>
+std::vector<double> profile_parallel(const data::Dataset& data,
+                                     std::span<const double> grid,
+                                     KernelType kernel,
+                                     parallel::ThreadPool* pool) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const SweepPolynomial poly = sweep_polynomial(kernel);
+  if (pool == nullptr) {
+    pool = &parallel::ThreadPool::global();
+  }
+
+  // One global sort, shared read-only by every worker.
+  const SortedDataset<Scalar> sorted = sort_dataset<Scalar>(data.x, data.y);
+  const std::vector<Scalar> host_grid(grid.begin(), grid.end());
+  const std::span<const Scalar> xs(sorted.x);
+  const std::span<const Scalar> ys(sorted.y);
+  const std::span<const Scalar> hs(host_grid);
+
+  // One private accumulator per worker slice; combined in slice order so
+  // the result is independent of scheduling.
+  const std::vector<parallel::BlockedRange> slices =
+      parallel::partition_evenly(n, pool->size());
+  std::vector<std::vector<double>> partials(slices.size(),
+                                            std::vector<double>(k, 0.0));
+
+  parallel::parallel_for(
+      slices.size(),
+      [&](std::size_t s) {
+        std::vector<double>& acc = partials[s];
+        for (std::size_t pos = slices[s].begin; pos < slices[s].end; ++pos) {
+          detail::window_sweep_thread<Scalar>(
+              xs, ys, hs, poly, pos, [&](std::size_t b, Scalar sq) {
+                acc[b] += static_cast<double>(sq);
+              });
+        }
+      },
+      pool);
+
+  std::vector<double> totals(k, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t b = 0; b < k; ++b) {
+      totals[b] += partial[b];
+    }
+  }
+  for (double& total : totals) {
+    total /= static_cast<double>(n);
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<double> window_cv_profile(const data::Dataset& data,
+                                      std::span<const double> grid,
+                                      KernelType kernel, Precision precision) {
+  check_window_inputs(data, grid, kernel, "window_cv_profile");
+  return precision == Precision::kFloat
+             ? profile_sequential<float>(data, grid, kernel)
+             : profile_sequential<double>(data, grid, kernel);
+}
+
+std::vector<double> window_cv_profile_parallel(const data::Dataset& data,
+                                               std::span<const double> grid,
+                                               KernelType kernel,
+                                               Precision precision,
+                                               parallel::ThreadPool* pool) {
+  check_window_inputs(data, grid, kernel, "window_cv_profile_parallel");
+  return precision == Precision::kFloat
+             ? profile_parallel<float>(data, grid, kernel, pool)
+             : profile_parallel<double>(data, grid, kernel, pool);
+}
+
+}  // namespace kreg

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace kreg::sort {
+
+/// Two-way partition of a key array with an auxiliary payload: moves every
+/// element with key <= bound to the front (in unspecified order) and returns
+/// the count. Single forward pass, O(n) swaps, no allocation — the standard
+/// Lomuto partition generalized to carry a payload alongside the keys.
+///
+/// Used by the per-row sorted sweep to truncate its quicksort at the largest
+/// grid bandwidth: rows are partitioned by dist <= h_max first, so only the
+/// candidates that some bandwidth can ever admit get sorted.
+template <class K, class V>
+inline std::size_t partition_kv(std::span<K> keys, std::span<V> values,
+                                K bound) {
+  std::size_t q = 0;
+  for (std::size_t l = 0; l < keys.size(); ++l) {
+    if (keys[l] <= bound) {
+      if (l != q) {
+        std::swap(keys[q], keys[l]);
+        std::swap(values[q], values[l]);
+      }
+      ++q;
+    }
+  }
+  return q;
+}
+
+/// Keys-only variant (same contract, no payload).
+template <class K>
+inline std::size_t partition_keys(std::span<K> keys, K bound) {
+  std::size_t q = 0;
+  for (std::size_t l = 0; l < keys.size(); ++l) {
+    if (keys[l] <= bound) {
+      if (l != q) {
+        std::swap(keys[q], keys[l]);
+      }
+      ++q;
+    }
+  }
+  return q;
+}
+
+}  // namespace kreg::sort

@@ -29,10 +29,33 @@ TEST(AutoRegress, MatchesExplicitPipeline) {
   const auto fitted = auto_regress(d, opts);
 
   const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(d, 200);
-  const auto manual = kreg::SortedGridSelector().select(d, grid);
+  const auto manual = kreg::WindowSweepSelector().select(d, grid);
   EXPECT_DOUBLE_EQ(fitted.bandwidth(), manual.bandwidth);
   const kreg::NadarayaWatson nw(d, manual.bandwidth);
   EXPECT_DOUBLE_EQ(fitted(0.5), nw(0.5));
+}
+
+TEST(AutoRegress, PerRowSortAlgorithmMatchesPaperPipeline) {
+  // algorithm = kPerRowSort routes to the paper-faithful Program 3.
+  const Dataset d = paper_data(400, 1);
+  AutoOptions opts;
+  opts.backend = AutoOptions::Backend::kSequential;
+  opts.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  const auto fitted = auto_regress(d, opts);
+
+  const kreg::BandwidthGrid grid = kreg::BandwidthGrid::default_for(d, 200);
+  const auto manual = kreg::SortedGridSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(fitted.bandwidth(), manual.bandwidth);
+  EXPECT_NE(fitted.selection().method.find("sorted-grid"), std::string::npos);
+}
+
+TEST(AutoRegress, WindowAndPerRowAlgorithmsSelectSameBandwidth) {
+  const Dataset d = paper_data(500, 15);
+  AutoOptions window_opts;
+  AutoOptions per_row_opts;
+  per_row_opts.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  EXPECT_DOUBLE_EQ(auto_regress(d, window_opts).bandwidth(),
+                   auto_regress(d, per_row_opts).bandwidth());
 }
 
 TEST(AutoRegress, BackendsAgreeOnSelection) {
@@ -62,12 +85,25 @@ TEST(AutoRegress, AutoHeuristicPicksBySampleSize) {
 }
 
 TEST(AutoRegress, AutoWithDeviceUsesItForLargeSamples) {
+  // The window sweep's sequential/parallel crossover sits near n ≈ 4,000,
+  // so the device only engages above it.
   kreg::spmd::Device device;
   AutoOptions opts;
   opts.device = &device;
-  const Dataset d = paper_data(1500, 5);
+  const Dataset d = paper_data(5000, 5);
   (void)auto_regress(d, opts);
   EXPECT_GT(device.stats().kernel_launches, 0u);  // device actually ran
+}
+
+TEST(AutoRegress, AutoWithDevicePerRowKeepsPaperCrossover) {
+  // The per-row-sort algorithm keeps the paper's §V crossover near 1,000.
+  kreg::spmd::Device device;
+  AutoOptions opts;
+  opts.device = &device;
+  opts.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  const Dataset d = paper_data(1500, 5);
+  (void)auto_regress(d, opts);
+  EXPECT_GT(device.stats().kernel_launches, 0u);
 }
 
 TEST(AutoRegress, GaussianFallsBackToDenseSearch) {

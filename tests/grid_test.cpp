@@ -80,4 +80,12 @@ TEST(BandwidthGrid, ValuesStrictlyIncreasing) {
   }
 }
 
+TEST(BandwidthGrid, RejectsDegenerateSpacing) {
+  // k so large the step underflows the range: consecutive values collide,
+  // which would silently break the incremental sweeps' two-pointer logic.
+  EXPECT_THROW(BandwidthGrid(1.0, 1.0 + 1e-13, 1000), std::invalid_argument);
+  // A single-value grid over the same degenerate range is fine: {max}.
+  EXPECT_NO_THROW(BandwidthGrid(1.0, 1.0 + 1e-13, 1));
+}
+
 }  // namespace

@@ -116,4 +116,90 @@ TEST(KdeSweep, WideGridCoversFullAdmission) {
   }
 }
 
+// ---- Window LSCV sweep (global sort + two-pointer windows) -----------------
+
+class KdeWindowKernelTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KdeWindowKernelTest, ProfileMatchesDirectLscv) {
+  const KernelType kernel = GetParam();
+  const std::vector<double> xs = sample(250, 71);
+  const BandwidthGrid grid(0.05, 2.0, 30);
+  const auto windowed =
+      kreg::kde_window_lscv_profile(xs, grid.values(), kernel);
+  ASSERT_EQ(windowed.size(), grid.size());
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    const double direct = kreg::kde_lscv_score(xs, grid[b], kernel);
+    ASSERT_NEAR(windowed[b], direct, 1e-10 * std::max(1.0, std::abs(direct)))
+        << to_string(kernel) << " h=" << grid[b];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepableKernels, KdeWindowKernelTest,
+                         ::testing::Values(KernelType::kEpanechnikov,
+                                           KernelType::kUniform),
+                         [](const auto& info) {
+                           return std::string(kreg::to_string(info.param));
+                         });
+
+TEST(KdeWindow, MatchesPerRowSweepProfile) {
+  const std::vector<double> xs = sample(400, 72);
+  const BandwidthGrid grid(0.05, 1.5, 40);
+  const auto per_row = kreg::kde_sweep_lscv_profile(xs, grid.values(),
+                                                    KernelType::kEpanechnikov);
+  const auto windowed = kreg::kde_window_lscv_profile(
+      xs, grid.values(), KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(windowed[b], per_row[b],
+                1e-11 * std::max(1.0, std::abs(per_row[b])));
+  }
+}
+
+TEST(KdeWindow, ParallelMatchesSequential) {
+  const std::vector<double> xs = sample(400, 73);
+  const BandwidthGrid grid(0.05, 1.5, 40);
+  const auto seq = kreg::kde_window_lscv_profile(xs, grid.values(),
+                                                 KernelType::kEpanechnikov);
+  const auto par = kreg::kde_window_lscv_profile_parallel(
+      xs, grid.values(), KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(par[b], seq[b], 1e-11 * std::max(1.0, std::abs(seq[b])));
+  }
+}
+
+TEST(KdeWindow, SelectionMatchesSweepSelect) {
+  const std::vector<double> xs = sample(300, 74);
+  const BandwidthGrid grid(0.05, 1.5, 25);
+  const auto swept = kreg::kde_select_sweep(xs, grid);
+  const auto windowed = kreg::kde_select_window(xs, grid);
+  EXPECT_DOUBLE_EQ(windowed.bandwidth, swept.bandwidth);
+  EXPECT_NE(windowed.method.find("kde-lscv-window"), std::string::npos);
+}
+
+TEST(KdeWindow, DuplicatePointsAndWideGrid) {
+  std::vector<double> xs = {0.5, 0.5, 0.5, 1.0, 1.5};
+  const std::vector<double> grid = {0.2, 1.0, 5.0, 50.0};
+  const auto windowed =
+      kreg::kde_window_lscv_profile(xs, grid, KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    const double direct = kreg::kde_lscv_score(xs, grid[b]);
+    EXPECT_NEAR(windowed[b], direct, 1e-12);
+  }
+}
+
+TEST(KdeWindow, RejectsBadInputs) {
+  const std::vector<double> one = {0.5};
+  const BandwidthGrid grid(0.1, 1.0, 5);
+  EXPECT_THROW(kreg::kde_window_lscv_profile(one, grid.values(),
+                                             KernelType::kEpanechnikov),
+               std::invalid_argument);
+  const std::vector<double> xs = sample(20, 75);
+  const std::vector<double> duplicate = {0.1, 0.1, 0.5};
+  EXPECT_THROW(kreg::kde_window_lscv_profile(xs, duplicate,
+                                             KernelType::kEpanechnikov),
+               std::invalid_argument);
+  EXPECT_THROW(kreg::kde_window_lscv_profile(xs, grid.values(),
+                                             KernelType::kGaussian),
+               std::invalid_argument);
+}
+
 }  // namespace

@@ -22,6 +22,7 @@ using kreg::OptimizeMethod;
 using kreg::ParallelSortedGridSelector;
 using kreg::SelectionResult;
 using kreg::SortedGridSelector;
+using kreg::WindowSweepSelector;
 using kreg::data::Dataset;
 using kreg::rng::Stream;
 
@@ -110,6 +111,46 @@ TEST(SelectorCrosscheck, AgreementAcrossSweepableKernels) {
   }
 }
 
+TEST(SelectorCrosscheck, WindowSweepMatchesNaiveOnPaperDgp) {
+  const Dataset d = paper_data(400, 3);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  const SelectionResult naive = NaiveGridSelector().select(d, grid);
+  const SelectionResult windowed = WindowSweepSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(naive.bandwidth, windowed.bandwidth);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(windowed.scores[b], naive.scores[b],
+                1e-9 * std::max(1.0, naive.scores[b]));
+  }
+}
+
+TEST(SelectorCrosscheck, WindowSweepAgreesWithSortedAcrossKernels) {
+  const Dataset d = paper_data(250, 5);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 20);
+  for (KernelType k :
+       {KernelType::kEpanechnikov, KernelType::kUniform,
+        KernelType::kTriangular, KernelType::kBiweight,
+        KernelType::kTriweight}) {
+    const SelectionResult sorted = SortedGridSelector(k).select(d, grid);
+    const SelectionResult windowed = WindowSweepSelector(k).select(d, grid);
+    EXPECT_DOUBLE_EQ(sorted.bandwidth, windowed.bandwidth) << to_string(k);
+  }
+}
+
+TEST(SelectorCrosscheck, WindowSweepParallelAndFloatVariantsAgree) {
+  const Dataset d = paper_data(400, 4);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  const SelectionResult seq = WindowSweepSelector().select(d, grid);
+  const SelectionResult par =
+      WindowSweepSelector(KernelType::kEpanechnikov, kreg::Precision::kDouble,
+                          /*parallel=*/true)
+          .select(d, grid);
+  EXPECT_DOUBLE_EQ(seq.bandwidth, par.bandwidth);
+  const SelectionResult flt =
+      WindowSweepSelector(KernelType::kEpanechnikov, kreg::Precision::kFloat)
+          .select(d, grid);
+  EXPECT_DOUBLE_EQ(seq.bandwidth, flt.bandwidth);  // same grid argmin
+}
+
 TEST(SelectorCrosscheck, OptimizerLandsNearGridMinimumOnSmoothSurface) {
   // The paper DGP has a well-behaved CV curve; Brent should land close to
   // the fine-grid argmin.
@@ -187,6 +228,13 @@ TEST(Selectors, NamesAreDescriptive) {
             std::string::npos);
   EXPECT_NE(NaiveGridSelector().name().find("naive"), std::string::npos);
   EXPECT_NE(ParallelSortedGridSelector().name().find("parallel"),
+            std::string::npos);
+  EXPECT_NE(WindowSweepSelector().name().find("window-sweep"),
+            std::string::npos);
+  EXPECT_NE(WindowSweepSelector(KernelType::kEpanechnikov,
+                                kreg::Precision::kDouble, /*parallel=*/true)
+                .name()
+                .find("parallel"),
             std::string::npos);
   CvOptimizerSelector::Config cfg;
   cfg.starts = 4;

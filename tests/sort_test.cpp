@@ -13,6 +13,7 @@
 #include "sort/insertion_sort.hpp"
 #include "sort/introsort.hpp"
 #include "sort/iterative_quicksort.hpp"
+#include "sort/partition.hpp"
 
 namespace {
 
@@ -200,6 +201,65 @@ TEST(IterativeQuicksort, CutoffVariantsAgree) {
     kreg::sort::iterative_quicksort(std::span<double>(v), cutoff);
     EXPECT_EQ(v, expected) << "cutoff=" << cutoff;
   }
+}
+
+// ---- partition -------------------------------------------------------------
+
+TEST(PartitionKv, SplitsAtBoundAndKeepsPairs) {
+  for (std::size_t n : {0u, 1u, 2u, 17u, 200u}) {
+    std::vector<double> keys = random_doubles(n, 3000 + n);
+    std::vector<int> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<int>(i);
+    }
+    const std::vector<double> keys_before = keys;
+    const std::vector<int> values_before = values;
+    const double bound = 25.0;
+
+    const std::size_t q = kreg::sort::partition_kv(
+        std::span<double>(keys), std::span<int>(values), bound);
+
+    std::size_t expected = 0;
+    for (double k : keys_before) {
+      expected += k <= bound ? 1 : 0;
+    }
+    EXPECT_EQ(q, expected) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < q) {
+        EXPECT_LE(keys[i], bound);
+      } else {
+        EXPECT_GT(keys[i], bound);
+      }
+    }
+    EXPECT_TRUE(kreg::sort::is_paired_permutation(
+        std::span<const double>(keys_before),
+        std::span<const int>(values_before), std::span<const double>(keys),
+        std::span<const int>(values)));
+  }
+}
+
+TEST(PartitionKv, BoundaryBounds) {
+  std::vector<double> keys = {3.0, 1.0, 2.0};
+  std::vector<int> values = {30, 10, 20};
+  // Bound below everything: nothing admitted.
+  EXPECT_EQ(kreg::sort::partition_kv(std::span<double>(keys),
+                                     std::span<int>(values), 0.5),
+            0u);
+  // Bound at the max (inclusive <=): everything admitted.
+  EXPECT_EQ(kreg::sort::partition_kv(std::span<double>(keys),
+                                     std::span<int>(values), 3.0),
+            3u);
+}
+
+TEST(PartitionKeys, MatchesKvOnKeys) {
+  std::vector<double> a = random_doubles(101, 11);
+  std::vector<double> b = a;
+  std::vector<int> payload(a.size(), 0);
+  const std::size_t qa =
+      kreg::sort::partition_keys(std::span<double>(a), 10.0);
+  const std::size_t qb = kreg::sort::partition_kv(
+      std::span<double>(b), std::span<int>(payload), 10.0);
+  EXPECT_EQ(qa, qb);
 }
 
 // ---- argsort ---------------------------------------------------------------

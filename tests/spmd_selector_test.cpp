@@ -24,6 +24,8 @@ using kreg::SelectionResult;
 using kreg::SortedGridSelector;
 using kreg::SpmdGridSelector;
 using kreg::SpmdSelectorConfig;
+using kreg::SweepAlgorithm;
+using kreg::WindowSweepSelector;
 using kreg::data::Dataset;
 using kreg::rng::Stream;
 using kreg::spmd::Device;
@@ -144,6 +146,150 @@ TEST(SpmdSelector, RejectsNonSweepableKernel) {
   cfg.kernel = KernelType::kGaussian;
   EXPECT_THROW(SpmdGridSelector(dev, cfg).select(d, grid),
                std::invalid_argument);
+}
+
+// ---- Window-sweep device algorithm -----------------------------------------
+
+TEST(SpmdWindowSweep, MatchesHostPathsInDouble) {
+  Device dev;
+  for (std::size_t n : {std::size_t{50}, std::size_t{1000}}) {
+    const Dataset d = paper_data(n, 20);
+    const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+    SpmdSelectorConfig cfg = double_cfg();
+    cfg.algorithm = SweepAlgorithm::kWindow;
+    const SelectionResult device = SpmdGridSelector(dev, cfg).select(d, grid);
+    const SelectionResult host = WindowSweepSelector().select(d, grid);
+    const SelectionResult sorted = SortedGridSelector().select(d, grid);
+    EXPECT_DOUBLE_EQ(device.bandwidth, host.bandwidth) << "n=" << n;
+    EXPECT_DOUBLE_EQ(device.bandwidth, sorted.bandwidth) << "n=" << n;
+    ASSERT_EQ(device.scores.size(), host.scores.size());
+    for (std::size_t b = 0; b < host.scores.size(); ++b) {
+      EXPECT_NEAR(device.scores[b], host.scores[b],
+                  1e-9 * std::max(1.0, host.scores[b]))
+          << "n=" << n << " b=" << b;
+    }
+  }
+}
+
+TEST(SpmdWindowSweep, FloatPathSelectsSameBandwidth) {
+  Device dev;
+  const Dataset d = paper_data(400, 21);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  SpmdSelectorConfig cfg;  // float, like the paper
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  const SelectionResult device = SpmdGridSelector(dev, cfg).select(d, grid);
+  const SelectionResult host = SortedGridSelector().select(d, grid);
+  EXPECT_DOUBLE_EQ(device.bandwidth, host.bandwidth);
+}
+
+TEST(SpmdWindowSweep, LayoutAndBlockSizeInvariant) {
+  Device dev;
+  const Dataset d = paper_data(257, 22);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 25);
+  SpmdSelectorConfig base = double_cfg();
+  base.algorithm = SweepAlgorithm::kWindow;
+  const SelectionResult reference = SpmdGridSelector(dev, base).select(d, grid);
+  for (std::size_t tpb : {std::size_t{32}, std::size_t{512}}) {
+    for (ResidualLayout layout : {ResidualLayout::kObservationMajor,
+                                  ResidualLayout::kBandwidthMajor}) {
+      SpmdSelectorConfig cfg = base;
+      cfg.threads_per_block = tpb;
+      cfg.layout = layout;
+      const SelectionResult r = SpmdGridSelector(dev, cfg).select(d, grid);
+      EXPECT_DOUBLE_EQ(r.bandwidth, reference.bandwidth);
+      for (std::size_t b = 0; b < reference.scores.size(); ++b) {
+        EXPECT_NEAR(r.scores[b], reference.scores[b],
+                    1e-9 * std::max(1.0, reference.scores[b]));
+      }
+    }
+  }
+}
+
+TEST(SpmdWindowSweep, LiftsMemoryLimitWithoutStreaming) {
+  // The same over-limit problem from GlobalMemoryOomReproducesOnSmallDevice
+  // fits once the n×n matrices are gone — no streaming needed.
+  Device dev(DeviceProperties::tiny(1 << 20));
+  const BandwidthGrid grid(0.01, 1.0, 8);
+  const Dataset big = paper_data(512, 23);
+  SpmdSelectorConfig cfg;  // float
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  EXPECT_NO_THROW(SpmdGridSelector(dev, cfg).select(big, grid));
+}
+
+TEST(SpmdWindowSweep, EstimatedBytesDropsQuadraticTerm) {
+  // Per-row-sort needs two n×n matrices; window keeps only O(n + n·k).
+  const std::size_t cap = 4ULL * 1024 * 1024 * 1024;
+  EXPECT_GT(SpmdGridSelector::estimated_bytes(25000, 50, Precision::kFloat,
+                                              false,
+                                              SweepAlgorithm::kPerRowSort),
+            cap);
+  EXPECT_LT(SpmdGridSelector::estimated_bytes(25000, 50, Precision::kFloat,
+                                              false, SweepAlgorithm::kWindow),
+            cap);
+  EXPECT_LT(SpmdGridSelector::estimated_bytes(1000000, 50, Precision::kFloat,
+                                              false, SweepAlgorithm::kWindow),
+            cap);
+}
+
+TEST(SpmdWindowSweep, EstimatedBytesMatchesLedgerPeak) {
+  Device dev;
+  const Dataset d = paper_data(100, 24);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
+  SpmdSelectorConfig cfg = double_cfg();
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  (void)SpmdGridSelector(dev, cfg).select(d, grid);
+  const std::size_t predicted = SpmdGridSelector::estimated_bytes(
+      100, 10, Precision::kDouble, /*streaming=*/false,
+      SweepAlgorithm::kWindow);
+  EXPECT_EQ(dev.global_peak(), predicted);
+}
+
+TEST(SpmdWindowSweep, TiedXAndTinyDatasets) {
+  Device dev;
+  SpmdSelectorConfig cfg = double_cfg();
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  {
+    Dataset d{{0.5, 0.5, 0.5, 0.7}, {1.0, 2.0, 3.0, 4.0}};
+    const BandwidthGrid grid(0.1, 0.8, 4);
+    const SelectionResult device = SpmdGridSelector(dev, cfg).select(d, grid);
+    const SelectionResult host = SortedGridSelector().select(d, grid);
+    EXPECT_DOUBLE_EQ(device.bandwidth, host.bandwidth);
+  }
+  {
+    Dataset d{{0.2, 0.8}, {1.0, 3.0}};
+    const BandwidthGrid grid(0.1, 1.0, 4);
+    const SelectionResult device = SpmdGridSelector(dev, cfg).select(d, grid);
+    const SelectionResult host = SortedGridSelector().select(d, grid);
+    EXPECT_DOUBLE_EQ(device.bandwidth, host.bandwidth);
+  }
+}
+
+TEST(SpmdWindowSweep, PaperScaleBeyondPerRowLimit) {
+  // n = 20,000 with k = 50 in float sits right at the per-row path's 4 GB
+  // cliff (two n×n matrices = 3.2 GB). The window path needs ~4 MB and must
+  // select the same bandwidth as the parallel host sweep.
+  Device dev;
+  const Dataset d = paper_data(20000, 25);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  SpmdSelectorConfig cfg;  // float
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  const SelectionResult device = SpmdGridSelector(dev, cfg).select(d, grid);
+  const SelectionResult host =
+      WindowSweepSelector(KernelType::kEpanechnikov, Precision::kDouble,
+                          /*parallel=*/true)
+          .select(d, grid);
+  EXPECT_DOUBLE_EQ(device.bandwidth, host.bandwidth);
+}
+
+TEST(SpmdWindowSweep, NameReportsAlgorithm) {
+  Device dev;
+  SpmdSelectorConfig cfg;
+  cfg.algorithm = SweepAlgorithm::kWindow;
+  EXPECT_NE(SpmdGridSelector(dev, cfg).name().find("window"),
+            std::string::npos);
+  EXPECT_EQ(std::string(kreg::to_string(SweepAlgorithm::kPerRowSort)),
+            "per-row-sort");
+  EXPECT_EQ(std::string(kreg::to_string(SweepAlgorithm::kWindow)), "window");
 }
 
 // ---- Capacity behaviour (paper §IV-A / §V) ----------------------------------

@@ -10,6 +10,7 @@
 #include "core/grid.hpp"
 #include "core/loocv.hpp"
 #include "core/sorted_sweep.hpp"
+#include "core/window_sweep.hpp"
 #include "data/dgp.hpp"
 #include "rng/stream.hpp"
 
@@ -21,6 +22,8 @@ using kreg::KernelType;
 using kreg::Precision;
 using kreg::sweep_cv_profile;
 using kreg::sweep_cv_profile_parallel;
+using kreg::window_cv_profile;
+using kreg::window_cv_profile_parallel;
 using kreg::data::Dataset;
 using kreg::rng::Stream;
 
@@ -200,6 +203,166 @@ TEST(Sweep, LargeGridDenseCheck) {
     ASSERT_NEAR(swept[b], naive[b], 1e-9 * std::max(1.0, naive[b]))
         << "b=" << b;
   }
+}
+
+// ---- Window sweep (global sort + two monotone pointers) --------------------
+
+class WindowSweepEquivalenceTest : public ::testing::TestWithParam<SweepParam> {
+};
+
+TEST_P(WindowSweepEquivalenceTest, MatchesNaiveProfile) {
+  const auto [kernel, dgp_idx] = GetParam();
+  Stream s(40 + dgp_idx);
+  const auto& dgp = kreg::data::all_dgps()[dgp_idx];
+  const Dataset d = dgp.generate(300, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 25);
+
+  const std::vector<double> naive = naive_profile(d, grid.values(), kernel);
+  const std::vector<double> windowed =
+      window_cv_profile(d, grid.values(), kernel, Precision::kDouble);
+
+  ASSERT_EQ(windowed.size(), naive.size());
+  for (std::size_t b = 0; b < naive.size(); ++b) {
+    ASSERT_NEAR(windowed[b], naive[b], 1e-9 * std::max(1.0, naive[b]))
+        << dgp.name << "/" << to_string(kernel) << " at h=" << grid[b];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndDgps, WindowSweepEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kSweepable),
+                       ::testing::Values<std::size_t>(0, 1, 2, 3, 4)),
+    [](const auto& info) {
+      return std::string(kreg::to_string(std::get<0>(info.param))) + "_" +
+             kreg::data::all_dgps()[std::get<1>(info.param)].name;
+    });
+
+TEST(WindowSweep, MatchesPerRowSortProfileClosely) {
+  // Both incremental paths accumulate the same moment sums (different
+  // admission order), so they agree far tighter than either does vs naive.
+  Stream s(41);
+  const Dataset d = kreg::data::paper_dgp(600, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  const auto per_row = sweep_cv_profile(d, grid.values(),
+                                        KernelType::kEpanechnikov);
+  const auto windowed = window_cv_profile(d, grid.values(),
+                                          KernelType::kEpanechnikov);
+  ASSERT_EQ(per_row.size(), windowed.size());
+  for (std::size_t b = 0; b < per_row.size(); ++b) {
+    EXPECT_NEAR(windowed[b], per_row[b], 1e-10 * std::max(1.0, per_row[b]));
+  }
+}
+
+TEST(WindowSweep, ParallelMatchesSequential) {
+  Stream s(42);
+  const Dataset d = kreg::data::paper_dgp(700, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  const auto seq = window_cv_profile(d, grid.values(),
+                                     KernelType::kEpanechnikov);
+  const auto par = window_cv_profile_parallel(d, grid.values(),
+                                              KernelType::kEpanechnikov);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t b = 0; b < seq.size(); ++b) {
+    EXPECT_NEAR(par[b], seq[b], 1e-11 * std::max(1.0, seq[b]));
+  }
+}
+
+TEST(WindowSweep, FloatTracksDoubleWithinSinglePrecision) {
+  Stream s(43);
+  const Dataset d = kreg::data::paper_dgp(500, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 40);
+  const auto dbl = window_cv_profile(d, grid.values(),
+                                     KernelType::kEpanechnikov,
+                                     Precision::kDouble);
+  const auto flt = window_cv_profile(d, grid.values(),
+                                     KernelType::kEpanechnikov,
+                                     Precision::kFloat);
+  for (std::size_t b = 0; b < dbl.size(); ++b) {
+    EXPECT_NEAR(flt[b], dbl[b], 1e-3 * std::max(1.0, dbl[b])) << "b=" << b;
+  }
+}
+
+TEST(WindowSweep, DuplicateXValuesHandled) {
+  // Ties in X collapse to zero distances; both pointers must admit all of
+  // them (and nothing twice).
+  Dataset d{{0.5, 0.5, 0.5, 0.7}, {1.0, 2.0, 3.0, 4.0}};
+  const std::vector<double> grid = {0.1, 0.3, 0.8};
+  const auto windowed = window_cv_profile(d, grid, KernelType::kEpanechnikov);
+  const auto naive = naive_profile(d, grid, KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(windowed[b], naive[b], 1e-12);
+  }
+}
+
+TEST(WindowSweep, TwoObservations) {
+  // n = 2 exercises both boundary pointers immediately.
+  Dataset d{{0.2, 0.8}, {1.0, 3.0}};
+  const std::vector<double> grid = {0.1, 0.5, 0.7, 1.0};
+  const auto windowed = window_cv_profile(d, grid, KernelType::kEpanechnikov);
+  const auto naive = naive_profile(d, grid, KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(windowed[b], naive[b], 1e-12) << "h=" << grid[b];
+  }
+}
+
+TEST(WindowSweep, EmptyNeighbourhoodContributesZero) {
+  // An isolated observation has M(X_i) = 0 at small h: its residual must be
+  // dropped, not produce a 0/0.
+  Dataset d{{0.0, 0.01, 5.0}, {1.0, 2.0, 100.0}};
+  const std::vector<double> grid = {0.05, 0.1};
+  const auto windowed = window_cv_profile(d, grid, KernelType::kEpanechnikov);
+  const auto naive = naive_profile(d, grid, KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(windowed[b], naive[b], 1e-12) << "h=" << grid[b];
+  }
+}
+
+TEST(WindowSweep, RejectsBadInputs) {
+  Stream s(44);
+  const Dataset d = kreg::data::paper_dgp(50, s);
+  const Dataset empty;
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 5);
+  EXPECT_THROW(window_cv_profile(empty, grid.values(),
+                                 KernelType::kEpanechnikov),
+               std::invalid_argument);
+  EXPECT_THROW(window_cv_profile(d, grid.values(), KernelType::kGaussian),
+               std::invalid_argument);
+  const std::vector<double> descending = {0.5, 0.2};
+  EXPECT_THROW(window_cv_profile(d, descending, KernelType::kEpanechnikov),
+               std::invalid_argument);
+  const std::vector<double> duplicate = {0.2, 0.2, 0.5};
+  EXPECT_THROW(window_cv_profile(d, duplicate, KernelType::kEpanechnikov),
+               std::invalid_argument);
+  const std::vector<double> non_positive = {0.0, 0.5};
+  EXPECT_THROW(window_cv_profile(d, non_positive, KernelType::kEpanechnikov),
+               std::invalid_argument);
+}
+
+TEST(WindowSweep, LargeGridDenseCheck) {
+  Stream s(45);
+  const Dataset d = kreg::data::paper_dgp(60, s);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 512);
+  const auto windowed = window_cv_profile(d, grid.values(),
+                                          KernelType::kEpanechnikov);
+  const auto naive = naive_profile(d, grid.values(),
+                                   KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    ASSERT_NEAR(windowed[b], naive[b], 1e-9 * std::max(1.0, naive[b]))
+        << "b=" << b;
+  }
+}
+
+TEST(WindowSweep, SortDatasetOrdersAndPairs) {
+  const std::vector<double> x = {0.9, 0.1, 0.5};
+  const std::vector<double> y = {9.0, 1.0, 5.0};
+  const auto sorted = kreg::sort_dataset<double>(x, y);
+  ASSERT_EQ(sorted.x.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted.x[0], 0.1);
+  EXPECT_DOUBLE_EQ(sorted.x[1], 0.5);
+  EXPECT_DOUBLE_EQ(sorted.x[2], 0.9);
+  EXPECT_DOUBLE_EQ(sorted.y[0], 1.0);
+  EXPECT_DOUBLE_EQ(sorted.y[1], 5.0);
+  EXPECT_DOUBLE_EQ(sorted.y[2], 9.0);
 }
 
 TEST(Sweep, MonotoneAdmissionProperty) {
