@@ -59,6 +59,9 @@ int main() {
       std::string faithful_cell;
       try {
         kreg::SpmdSelectorConfig cfg;
+        // The paper-faithful per-row plan is the one with the n×n cliff; the
+        // window default would sail through and hide the demonstration.
+        cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
         const auto r =
             kreg::SpmdGridSelector(small_device, cfg).select(data, grid);
         faithful_cell = "ok (h=" + Table::fmt_double(r.bandwidth, 3) + ")";
@@ -69,6 +72,7 @@ int main() {
       std::string streaming_cell;
       try {
         kreg::SpmdSelectorConfig cfg;
+        cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
         cfg.streaming = true;
         const auto r =
             kreg::SpmdGridSelector(small_device, cfg).select(data, grid);

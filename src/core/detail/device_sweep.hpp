@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 
+#include "core/detail/kde_polynomials.hpp"
 #include "core/kernels.hpp"
 #include "sort/iterative_quicksort.hpp"
 #include "sort/partition.hpp"
@@ -179,6 +181,40 @@ inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
       sq = e * e;
     }
     write(b, sq);
+  }
+}
+
+/// The window-sweep body of the device KDE LSCV kernel for one thread: the
+/// KDE counterpart of window_sweep_thread. Instead of filling and
+/// quicksorting a private |Δ| row, the thread indexes the *globally sorted*
+/// X (sorted once on the host before launch) with **two** admission windows
+/// per `kde_window_lscv_profile`: |Δ| ≤ h feeds the leave-one-out K sum and
+/// |Δ| ≤ 2h feeds the K̄ = K*K convolution sum, each a pair of monotone
+/// pointers growing outward across the ascending bandwidth grid.
+///
+/// Per observation this costs O(k + admitted) with O(1) extra memory — no
+/// O(n) private row, no per-thread sort — so the device drops the n×n row
+/// matrix that capped the per-row KDE selector's sample size.
+/// `write(b, conv, loo)` receives both per-bandwidth pair sums (self term
+/// already excluded) for every bandwidth index b in ascending order; the
+/// caller combines them into LSCV partials in whatever layout it wants.
+template <class WriteSums>
+inline void kde_window_sweep_thread(std::span<const double> xs_sorted,
+                                    std::span<const double> hs,
+                                    const SupportPolynomial& kpoly,
+                                    const SupportPolynomial& cpoly,
+                                    std::size_t pos, WriteSums&& write) {
+  const double xi = xs_sorted[pos];
+  WindowMomentSweep conv_sweep;  // admits |Δ| <= 2h
+  WindowMomentSweep loo_sweep;   // admits |Δ| <= h
+  conv_sweep.seed(pos);
+  loo_sweep.seed(pos);
+  const std::size_t max_power = std::max(kpoly.max_power, cpoly.max_power);
+  for (std::size_t b = 0; b < hs.size(); ++b) {
+    const double h = hs[b];
+    conv_sweep.expand(xs_sorted, xi, cpoly.support_scale * h, max_power);
+    loo_sweep.expand(xs_sorted, xi, kpoly.support_scale * h, max_power);
+    write(b, conv_sweep.combine(cpoly, h), loo_sweep.combine(kpoly, h));
   }
 }
 

@@ -137,13 +137,23 @@ struct WindowMomentSweep {
   }
 };
 
+/// One observation's LSCV contribution from its two pair sums. The
+/// combination is linear in (conv, loo), so Σ_i of these partials equals
+/// LSCV(h) − R(K)/(nh) — which lets the device window path keep a single
+/// n×k partial matrix instead of two contribution matrices.
+inline double lscv_pair_partial(double conv_i, double loo_i, std::size_t n,
+                                double h) {
+  const double dn = static_cast<double>(n);
+  return conv_i / (dn * dn * h) - 2.0 * loo_i / (dn * (dn - 1.0) * h);
+}
+
 /// Assembles LSCV(h) from the per-bandwidth totals of the two pair sums:
 /// LSCV = R(K)/(nh) + conv/(n²h) − 2·loo/(n(n−1)h).
 inline double assemble_lscv(double roughness_value, double conv_total,
                             double loo_total, std::size_t n, double h) {
   const double dn = static_cast<double>(n);
-  return roughness_value / (dn * h) + conv_total / (dn * dn * h) -
-         2.0 * loo_total / (dn * (dn - 1.0) * h);
+  return roughness_value / (dn * h) +
+         lscv_pair_partial(conv_total, loo_total, n, h);
 }
 
 }  // namespace kreg::detail

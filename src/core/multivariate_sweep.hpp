@@ -6,6 +6,7 @@
 #include "core/grid.hpp"
 #include "core/kernels.hpp"
 #include "core/multivariate.hpp"
+#include "core/sorted_sweep.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace kreg {
@@ -39,7 +40,10 @@ namespace kreg {
 
 /// Default ratios: r_j = domain of dimension j, so scales c play the role
 /// the bandwidth plays in the univariate default grid (c = 1 spans each
-/// dimension's full range).
+/// dimension's full range). A constant dimension (zero domain) is clamped
+/// to the largest positive domain (1.0 when every dimension is constant):
+/// its distances are all zero, so any positive ratio admits it everywhere
+/// and the clamp only keeps the ratio-positivity contract intact.
 std::vector<double> default_ray_ratios(const data::MDataset& data);
 
 /// CV profile over the ascending scale grid for h(c) = c·r.
@@ -56,10 +60,43 @@ std::vector<double> multi_ray_cv_profile_parallel(
     std::span<const double> scales, KernelType kernel,
     parallel::ThreadPool* pool = nullptr);
 
+/// Window-sweep ray profile: one global sort per ray, not one per row.
+///
+/// Sort the observations once by the scaled first coordinate z = x_0 / r_0.
+/// Because ρ = max_j |d_j|/r_j ≥ |d_0|/r_0 = |Δz|, the two-pointer window
+/// {l : |z_l − z_i| ≤ c} over the sorted coordinate is a *superset* of the
+/// admitted set at every scale c, and — like every admitted set — it is
+/// nested in c. Each candidate entering the window is filtered by the
+/// remaining dimensions exactly once: its true admission scale ρ is
+/// computed, its convolved polynomial coefficients are parked in the
+/// bucket of the first grid scale ≥ ρ (never a scale already swept, since
+/// ρ ≥ |Δz| > previous c), and each scale drains its bucket into the
+/// moment sums before the usual sweep-polynomial recombination. Candidates
+/// with ρ beyond the grid are dropped without coefficient work.
+///
+/// Total cost: O(n log n) for the one global sort plus
+/// O(n·(k·deg + superset·p·deg²)) for the sweeps — versus the per-row path's
+/// O(n² log n) sorting bill on top of the same admission work. Matches
+/// multi_ray_cv_profile to floating-point recombination error.
+std::vector<double> multi_ray_cv_profile_window(const data::MDataset& data,
+                                                std::span<const double> ratios,
+                                                std::span<const double> scales,
+                                                KernelType kernel);
+
+/// Same window profile with observations distributed across a thread pool
+/// (the global sort runs once, on the calling thread; deterministic).
+std::vector<double> multi_ray_cv_profile_window_parallel(
+    const data::MDataset& data, std::span<const double> ratios,
+    std::span<const double> scales, KernelType kernel,
+    parallel::ThreadPool* pool = nullptr);
+
 /// Selects the best scale on the ray and returns the bandwidth vector.
+/// `algorithm` routes between the window sweep (default) and the per-row
+/// sort (the paper-faithful ablation baseline).
 MultiSelectionResult multi_ray_select(
     const data::MDataset& data, std::span<const double> ratios,
     const BandwidthGrid& scales,
-    KernelType kernel = KernelType::kEpanechnikov);
+    KernelType kernel = KernelType::kEpanechnikov,
+    SweepAlgorithm algorithm = SweepAlgorithm::kWindow);
 
 }  // namespace kreg

@@ -14,6 +14,16 @@ std::string_view to_string(Precision precision) noexcept {
   return precision == Precision::kFloat ? "float" : "double";
 }
 
+std::string_view to_string(SweepAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case SweepAlgorithm::kPerRowSort:
+      return "per-row-sort";
+    case SweepAlgorithm::kWindow:
+      return "window";
+  }
+  return "unknown";
+}
+
 template <class Scalar>
 void sweep_observation(std::span<const double> x, std::span<const double> y,
                        std::size_t i, std::span<const double> grid,

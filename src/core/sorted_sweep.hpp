@@ -19,6 +19,22 @@ enum class Precision { kFloat, kDouble };
 
 std::string_view to_string(Precision precision) noexcept;
 
+/// Which per-observation sweep a grid search runs. Shared by the host
+/// selectors, the device (SPMD) regression and KDE selectors, and the
+/// multivariate ray search.
+enum class SweepAlgorithm {
+  /// Paper-faithful §III/§IV-B: each observation sorts a private distance
+  /// row (O(n² log n) total; n×n global-memory matrices on the device
+  /// unless streaming).
+  kPerRowSort,
+  /// Window sweep: the data is sorted once globally and every observation
+  /// grows monotone two-pointer admission windows over the sorted array
+  /// across the ascending grid — O(n log n + n·(k + admitted)) total, no
+  /// private rows, no per-observation sort.
+  kWindow,
+};
+std::string_view to_string(SweepAlgorithm algorithm) noexcept;
+
 /// Reusable scratch for one observation's sweep: the distance row, the
 /// permuted-Y row, and the moment accumulators. One instance per worker;
 /// re-used across observations so the inner loop allocates nothing.

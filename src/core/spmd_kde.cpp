@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/detail/device_sweep.hpp"
 #include "core/detail/kde_polynomials.hpp"
+#include "sort/introsort.hpp"
 #include "sort/iterative_quicksort.hpp"
 
 namespace kreg {
@@ -15,6 +17,16 @@ SpmdKdeSelector::SpmdKdeSelector(spmd::Device& device, SpmdKdeConfig config)
   if (config_.threads_per_block == 0) {
     throw std::invalid_argument("SpmdKdeSelector: threads_per_block == 0");
   }
+}
+
+std::size_t SpmdKdeSelector::estimated_bytes(std::size_t n, std::size_t k,
+                                             SweepAlgorithm algorithm) {
+  if (algorithm == SweepAlgorithm::kWindow) {
+    // Sorted x + scores + the n×k LSCV-partial matrix.
+    return (n + k + n * k) * sizeof(double);
+  }
+  // x + scores + the n×n row matrix + two n×k contribution matrices.
+  return (n + k + n * n + 2 * n * k) * sizeof(double);
 }
 
 SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
@@ -36,17 +48,36 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
   const detail::SupportPolynomial cpoly =
       detail::kde_convolution_poly(config_.kernel);
   const double roughness_value = roughness(config_.kernel);
+  const bool window = config_.algorithm == SweepAlgorithm::kWindow;
 
-  // Device memory plan: X, the |Δ| row matrix, two n×k contribution
-  // matrices (bandwidth-major), per-bandwidth sums, scores.
+  // Host-side staging: the window sweep sorts X once before upload — the
+  // LSCV sums run over all (i, l) pairs, so visiting observations in
+  // sorted order changes nothing.
+  std::vector<double> host_x(xs.begin(), xs.end());
+  if (window) {
+    sort::introsort(std::span<double>(host_x));
+  }
+
+  // Device memory plan: the bandwidth grid in constant memory (same
+  // 8 KB / 2,048-value cap as regression); X in global memory; per-row
+  // mode adds the n×n |Δ| row matrix and two n×k contribution matrices
+  // (bandwidth-major), window mode a single n×k LSCV-partial matrix.
   std::vector<double> host_grid(grid.values());
   spmd::ConstantBuffer<double> c_grid =
       device_.upload_constant<double>(host_grid);
   spmd::DeviceBuffer<double> d_x = device_.alloc_global<double>(n);
-  device_.copy_to_device(d_x, xs);
-  spmd::DeviceBuffer<double> d_rows = device_.alloc_global<double>(n * n);
-  spmd::DeviceBuffer<double> d_conv = device_.alloc_global<double>(n * k);
-  spmd::DeviceBuffer<double> d_loo = device_.alloc_global<double>(n * k);
+  device_.copy_to_device(d_x, std::span<const double>(host_x));
+  spmd::DeviceBuffer<double> d_rows;
+  spmd::DeviceBuffer<double> d_conv;
+  spmd::DeviceBuffer<double> d_loo;
+  spmd::DeviceBuffer<double> d_partial;
+  if (window) {
+    d_partial = device_.alloc_global<double>(n * k);
+  } else {
+    d_rows = device_.alloc_global<double>(n * n);
+    d_conv = device_.alloc_global<double>(n * k);
+    d_loo = device_.alloc_global<double>(n * k);
+  }
   spmd::DeviceBuffer<double> d_scores = device_.alloc_global<double>(k);
 
   std::span<const double> dxs = d_x.span();
@@ -54,13 +85,27 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
   std::span<double> rows = d_rows.span();
   std::span<double> conv_all = d_conv.span();
   std::span<double> loo_all = d_loo.span();
+  std::span<double> partial_all = d_partial.span();
 
-  // Main kernel: per-thread sort + double-pointer sweep.
+  // Main kernel, one thread per observation.
   const std::size_t max_power = std::max(kpoly.max_power, cpoly.max_power);
   device_.launch(
       spmd::LaunchConfig::cover(n, tpb), [&, n, k](const spmd::ThreadCtx& t) {
         const std::size_t i = t.global_idx();
         if (i >= n) {
+          return;
+        }
+        if (window) {
+          // Window sweep: two monotone admission windows over the
+          // device-global sorted X; no private row, no per-thread sort.
+          // The two pair sums combine immediately into the thread's
+          // bandwidth-major LSCV partials.
+          detail::kde_window_sweep_thread(
+              dxs, hs, kpoly, cpoly, i,
+              [&](std::size_t b, double conv, double loo) {
+                partial_all[b * n + i] =
+                    detail::lscv_pair_partial(conv, loo, n, hs[b]);
+              });
           return;
         }
         std::span<double> row = rows.subspan(i * n, n);
@@ -83,16 +128,23 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
         }
       });
 
-  // 2k single-block reductions, then assemble the LSCV scores.
+  // Single-block reductions (k window, 2k per-row), then assemble the
+  // LSCV scores.
   std::span<double> scores = d_scores.span();
   for (std::size_t b = 0; b < k; ++b) {
-    const double conv_total = spmd::reduce_sum<double>(
-        device_, conv_all.subspan(b * n, n), tpb, config_.reduce_variant);
-    const double loo_total = spmd::reduce_sum<double>(
-        device_, loo_all.subspan(b * n, n), tpb, config_.reduce_variant);
-    scores[b] =
-        detail::assemble_lscv(roughness_value, conv_total, loo_total, n,
-                              grid[b]);
+    if (window) {
+      const double partial_total = spmd::reduce_sum<double>(
+          device_, partial_all.subspan(b * n, n), tpb, config_.reduce_variant);
+      scores[b] = roughness_value / (static_cast<double>(n) * grid[b]) +
+                  partial_total;
+    } else {
+      const double conv_total = spmd::reduce_sum<double>(
+          device_, conv_all.subspan(b * n, n), tpb, config_.reduce_variant);
+      const double loo_total = spmd::reduce_sum<double>(
+          device_, loo_all.subspan(b * n, n), tpb, config_.reduce_variant);
+      scores[b] = detail::assemble_lscv(roughness_value, conv_total,
+                                        loo_total, n, grid[b]);
+    }
   }
   const spmd::ArgminResult<double> best = spmd::reduce_argmin<double>(
       device_, std::span<const double>(scores), tpb);
@@ -108,8 +160,14 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
 }
 
 std::string SpmdKdeSelector::name() const {
-  return "spmd-kde-lscv(" + std::string(to_string(config_.kernel)) +
-         ",tpb=" + std::to_string(config_.threads_per_block) + ")";
+  std::string n = "spmd-kde-lscv(";
+  n += to_string(config_.kernel);
+  n += ",tpb=" + std::to_string(config_.threads_per_block);
+  if (config_.algorithm == SweepAlgorithm::kWindow) {
+    n += ",window";
+  }
+  n += ")";
+  return n;
 }
 
 }  // namespace kreg

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/kde_sweep.hpp"
+#include "core/sorted_sweep.hpp"
 #include "core/types.hpp"
 #include "spmd/device.hpp"
 #include "spmd/reduce.hpp"
@@ -13,21 +14,34 @@ struct SpmdKdeConfig {
   KernelType kernel = KernelType::kEpanechnikov;
   std::size_t threads_per_block = 512;
   spmd::ReduceVariant reduce_variant = spmd::ReduceVariant::kSequential;
+  /// Per-thread sweep, mirroring SpmdSelectorConfig::algorithm. kWindow
+  /// (the default): X is sorted once on the host; device threads grow two
+  /// admission windows (supports h and 2h) over the sorted array — no n×n
+  /// row matrix, no per-thread sort, and a single n×k LSCV-partial matrix
+  /// instead of the two contribution matrices, lifting the per-row path's
+  /// device-memory sample limit. kPerRowSort keeps the paper-style
+  /// per-thread quicksort as the ablation baseline.
+  SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
 };
 
 /// KDE LSCV bandwidth selection on the simulated SPMD device — the paper's
 /// §II extension ("optimal bandwidth selection for kernel density
 /// estimation") executed with the paper's own GPU recipe:
 ///
-///   1. X and two n×k contribution matrices in global memory; the
-///      bandwidth grid in constant memory (same 8 KB / 2,048-value cap).
-///   2. Main kernel, one thread per observation: sort the thread's |Δ| row
-///      (iterative quicksort), then sweep the ascending grid with two
-///      admission pointers (supports h and 2h), writing per-(i, h) leave-
-///      one-out and convolution sums, bandwidth-major.
-///   3. 2k single-block Harris reductions produce Σ_i of both matrices;
-///      the LSCV scores assemble on the host and one argmin reduction
-///      picks the bandwidth.
+///   1. X and the contribution matrices in global memory; the bandwidth
+///      grid in constant memory (same 8 KB / 2,048-value cap). Per-row
+///      mode stages an n×n |Δ| row matrix and two n×k contribution
+///      matrices; window mode uploads the host-sorted X and keeps only one
+///      n×k matrix of per-(i, h) LSCV partials.
+///   2. Main kernel, one thread per observation. Per-row: sort the
+///      thread's |Δ| row (iterative quicksort), then sweep the ascending
+///      grid with two admission pointers (supports h and 2h), writing
+///      per-(i, h) leave-one-out and convolution sums, bandwidth-major.
+///      Window: grow the two admission windows over the globally sorted X
+///      (kde_window_sweep_thread) and write the combined LSCV partial.
+///   3. Single-block Harris reductions (2k per-row, k window) produce the
+///      per-bandwidth totals; the LSCV scores assemble on the host and one
+///      argmin reduction picks the bandwidth.
 ///
 /// Only double precision is offered (LSCV subtracts two near-equal O(1)
 /// terms, where float's 7 digits are marginal). Requires
@@ -39,6 +53,14 @@ class SpmdKdeSelector {
   SelectionResult select(std::span<const double> xs,
                          const BandwidthGrid& grid) const;
   std::string name() const;
+
+  /// Predicted device-memory footprint of an (n, k) problem in bytes —
+  /// what select() will ask the ledger for (doubles throughout). The
+  /// per-row path carries the n×n row matrix that caps n; the window path
+  /// is O(n + n·k).
+  static std::size_t estimated_bytes(
+      std::size_t n, std::size_t k,
+      SweepAlgorithm algorithm = SweepAlgorithm::kWindow);
 
  private:
   spmd::Device& device_;

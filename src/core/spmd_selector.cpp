@@ -19,16 +19,6 @@ std::string_view to_string(ResidualLayout layout) noexcept {
   return "unknown";
 }
 
-std::string_view to_string(SweepAlgorithm algorithm) noexcept {
-  switch (algorithm) {
-    case SweepAlgorithm::kPerRowSort:
-      return "per-row-sort";
-    case SweepAlgorithm::kWindow:
-      return "window";
-  }
-  return "unknown";
-}
-
 SpmdGridSelector::SpmdGridSelector(spmd::Device& device,
                                    SpmdSelectorConfig config)
     : device_(device), config_(config) {

@@ -20,20 +20,6 @@ enum class ResidualLayout {
 };
 std::string_view to_string(ResidualLayout layout) noexcept;
 
-/// Which per-thread sweep the main kernel runs.
-enum class SweepAlgorithm {
-  /// Paper-faithful §IV-B: each thread fills and quicksorts a private
-  /// distance row (n×n global-memory matrices unless streaming).
-  kPerRowSort,
-  /// Window sweep: X/Y are sorted once on the host and uploaded; threads
-  /// index into the device-global sorted arrays growing a two-pointer
-  /// window — no private rows, no per-thread sort, O(n) global memory for
-  /// the data (the n×k residual matrix remains for the reductions). Lifts
-  /// the paper's §IV-A n ≤ 20,000 allocation limit without streaming.
-  kWindow,
-};
-std::string_view to_string(SweepAlgorithm algorithm) noexcept;
-
 /// Configuration of the SPMD (device) grid selector.
 struct SpmdSelectorConfig {
   KernelType kernel = KernelType::kEpanechnikov;
@@ -51,9 +37,13 @@ struct SpmdSelectorConfig {
   /// two n×n global-memory matrices, lifting the n ≤ 20,000 limit. Only
   /// meaningful for kPerRowSort — the window sweep has no rows to stream.
   bool streaming = false;
-  /// Per-thread sweep algorithm; defaults to the paper-faithful per-row
-  /// sort (the ablation baseline). kWindow is the fast path.
-  SweepAlgorithm algorithm = SweepAlgorithm::kPerRowSort;
+  /// Per-thread sweep algorithm. kWindow (the default, after parity soak):
+  /// threads index into the host-sorted X/Y in device-global memory with a
+  /// two-pointer window — no private rows, no per-thread sort, and no n×n
+  /// matrices, lifting the paper's §IV-A n ≤ 20,000 allocation limit
+  /// without streaming. kPerRowSort stays selectable as the paper-faithful
+  /// §IV-B ablation baseline.
+  SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
 };
 
 /// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the

@@ -93,6 +93,8 @@ TEST_P(FuzzSweep, DeviceMatchesHostOnRandomConfig) {
   cfg.layout = GetParam() % 2 == 0 ? kreg::ResidualLayout::kBandwidthMajor
                                    : kreg::ResidualLayout::kObservationMajor;
   cfg.streaming = GetParam() % 4 == 1;
+  cfg.algorithm = GetParam() % 3 == 0 ? kreg::SweepAlgorithm::kPerRowSort
+                                      : kreg::SweepAlgorithm::kWindow;
 
   const auto host = kreg::SortedGridSelector(c.kernel).select(c.data, grid);
   const auto device_result =
@@ -124,6 +126,100 @@ TEST_P(FuzzKde, KdeSweepMatchesDirectOnRandomConfig) {
   }
 }
 
+TEST_P(FuzzKde, DeviceKdeMatchesDirectOnRandomConfig) {
+  const FuzzCase c = make_case(1000 + GetParam());
+  const KernelType kernel = GetParam() % 2 == 0 ? KernelType::kEpanechnikov
+                                                : KernelType::kUniform;
+  const BandwidthGrid grid(c.h_min, c.h_max, c.k);
+  kreg::spmd::Device device;
+  kreg::SpmdKdeConfig cfg;
+  cfg.kernel = kernel;
+  cfg.threads_per_block = 32u << (GetParam() % 5);
+  cfg.algorithm = GetParam() % 3 == 0 ? kreg::SweepAlgorithm::kPerRowSort
+                                      : kreg::SweepAlgorithm::kWindow;
+  const auto r = kreg::SpmdKdeSelector(device, cfg).select(c.data.x, grid);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    const double direct = kreg::kde_lscv_score(c.data.x, grid[b], kernel);
+    ASSERT_NEAR(r.scores[b], direct, 1e-8 * std::max(1.0, std::abs(direct)))
+        << "case " << GetParam() << " b=" << b;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Cases, FuzzKde, ::testing::Range(0u, 12u));
+
+/// Random multivariate ray configurations: dimension, ratios, duplicated
+/// rows, and tied leading coordinates all drawn from the case stream.
+class FuzzRay : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FuzzRay, RayWindowMatchesPerRowAndDirectOnRandomConfig) {
+  const std::uint32_t index = GetParam();
+  kreg::rng::Philox4x32 eng({index, 0xABCDu}, {0, 0, 0, 0});
+  auto next_unit = [&] {
+    return static_cast<double>(eng()) / 4294967296.0;
+  };
+
+  kreg::data::MDataset data;
+  data.dim = 1 + eng() % 3;
+  const std::size_t n = 20 + static_cast<std::size_t>(next_unit() * 80);
+  std::vector<double> scale(data.dim);
+  std::vector<double> shift(data.dim);
+  for (std::size_t j = 0; j < data.dim; ++j) {
+    scale[j] = 0.1 + next_unit() * 10.0;
+    shift[j] = (next_unit() - 0.5) * 20.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (std::size_t j = 0; j < data.dim; ++j) {
+      const double u = next_unit();
+      data.x.push_back(shift[j] + scale[j] * u);
+      mean += std::sin(4.0 * u);
+    }
+    data.y.push_back(mean + 0.3 * (next_unit() - 0.5));
+  }
+  if (index % 3 == 0) {
+    // Duplicate some full rows (identical regressors, distinct y).
+    for (std::size_t i = 0; i + 1 < n / 5; ++i) {
+      for (std::size_t j = 0; j < data.dim; ++j) {
+        data.x[(i + 1) * data.dim + j] = data.x[j];
+      }
+    }
+  } else if (index % 3 == 1) {
+    // Tie the sort coordinate only: stresses the z-window's equal keys.
+    for (std::size_t i = 0; i + 1 < n / 4; ++i) {
+      data.x[(i + 1) * data.dim] = data.x[0];
+    }
+  }
+
+  const auto ratios = kreg::default_ray_ratios(data);
+  const std::size_t k = 4 + eng() % 12;
+  const BandwidthGrid scales(0.05 + 0.2 * next_unit(), 1.0 + next_unit(), k);
+  static constexpr std::array<KernelType, 4> kRayKernels = {
+      KernelType::kEpanechnikov, KernelType::kUniform,
+      KernelType::kTriangular, KernelType::kBiweight};
+  const KernelType kernel = kRayKernels[eng() % kRayKernels.size()];
+
+  const auto window = kreg::multi_ray_cv_profile_window(
+      data, ratios, scales.values(), kernel);
+  const auto per_row =
+      kreg::multi_ray_cv_profile(data, ratios, scales.values(), kernel);
+  ASSERT_EQ(window.size(), k);
+  for (std::size_t b = 0; b < k; ++b) {
+    ASSERT_NEAR(window[b], per_row[b], 1e-9 * std::max(1.0, per_row[b]))
+        << "case " << index << " dim=" << data.dim << " b=" << b << " kernel "
+        << to_string(kernel);
+    std::vector<double> h(data.dim);
+    for (std::size_t j = 0; j < data.dim; ++j) {
+      h[j] = scales[b] * ratios[j];
+    }
+    const double direct = kreg::cv_score_multi(data, h, kernel);
+    // The sweep-vs-direct recombination error grows with the domain scale
+    // (high powers of |d|/r cancel); 1e-6 relative bounds it on these wide
+    // off-origin domains while window-vs-per-row stays at 1e-9.
+    ASSERT_NEAR(window[b], direct, 1e-6 * std::max(1.0, direct))
+        << "case " << index << " dim=" << data.dim << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, FuzzRay, ::testing::Range(0u, 18u));
 
 }  // namespace

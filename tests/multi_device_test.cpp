@@ -99,6 +99,9 @@ TEST(MultiDevice, CapacityDoublesAcrossTwoSmallDevices) {
   const Dataset d = paper_data(448, 4);
   const BandwidthGrid grid = BandwidthGrid::default_for(d, 8);
   SpmdSelectorConfig cfg;  // float
+  // The per-row plan is the one with the n×n matrices; the window default
+  // would fit on the lone device and defeat the capacity demonstration.
+  cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
 
   Device lone(DeviceProperties::tiny(1 << 20));
   EXPECT_THROW(kreg::SpmdGridSelector(lone, cfg).select(d, grid),

@@ -101,6 +101,109 @@ TEST(SpmdKde, MemoryReleasedAfterSelect) {
   EXPECT_EQ(dev.global_allocated(), 0u);
 }
 
+// ---- Window-sweep device algorithm --------------------------------------
+
+TEST(SpmdKdeWindow, DefaultIsWindowAndMatchesHostWindowProfile) {
+  SpmdKdeConfig def;
+  EXPECT_EQ(def.algorithm, kreg::SweepAlgorithm::kWindow);
+
+  Device dev;
+  const auto xs = sample(300, 190);
+  const BandwidthGrid grid(0.05, 1.5, 30);
+  const auto host =
+      kreg::kde_window_lscv_profile(xs, grid.values(),
+                                    KernelType::kEpanechnikov);
+  const auto device = SpmdKdeSelector(dev).select(xs, grid);
+  ASSERT_EQ(device.scores.size(), host.size());
+  for (std::size_t b = 0; b < host.size(); ++b) {
+    EXPECT_NEAR(device.scores[b], host[b],
+                1e-10 * std::max(1.0, std::abs(host[b])));
+  }
+}
+
+TEST(SpmdKdeWindow, PerRowStaysSelectableAndAgrees) {
+  Device dev;
+  const auto xs = sample(250, 191);
+  const BandwidthGrid grid(0.05, 1.2, 20);
+  SpmdKdeConfig per_row;
+  per_row.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  const auto p = SpmdKdeSelector(dev, per_row).select(xs, grid);
+  const auto w = SpmdKdeSelector(dev).select(xs, grid);
+  EXPECT_DOUBLE_EQ(p.bandwidth, w.bandwidth);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(w.scores[b], p.scores[b],
+                1e-9 * std::max(1.0, std::abs(p.scores[b])));
+  }
+}
+
+TEST(SpmdKdeWindow, UniformKernelAgreesWithDirectLscv) {
+  Device dev;
+  const auto xs = sample(150, 192);
+  const BandwidthGrid grid(0.1, 1.0, 10);
+  SpmdKdeConfig cfg;
+  cfg.kernel = KernelType::kUniform;
+  const auto r = SpmdKdeSelector(dev, cfg).select(xs, grid);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(r.scores[b],
+                kreg::kde_lscv_score(xs, grid[b], KernelType::kUniform),
+                1e-10 * std::max(1.0, std::abs(r.scores[b])));
+  }
+}
+
+TEST(SpmdKdeWindow, LiftsThePerRowDeviceLimit) {
+  // On a 1 MB device the per-row path's n×n double row matrix overflows
+  // well before n = 512; the window path's O(n + n·k) plan sails through
+  // and still matches the host profile.
+  kreg::spmd::Device small_dev(kreg::spmd::DeviceProperties::tiny(1 << 20));
+  const auto xs = sample(512, 193);
+  const BandwidthGrid grid(0.1, 1.0, 8);
+
+  SpmdKdeConfig per_row;
+  per_row.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  EXPECT_THROW(SpmdKdeSelector(small_dev, per_row).select(xs, grid),
+               kreg::spmd::DeviceAllocError);
+
+  const auto r = SpmdKdeSelector(small_dev).select(xs, grid);
+  const auto host =
+      kreg::kde_window_lscv_profile(xs, grid.values(),
+                                    KernelType::kEpanechnikov);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(r.scores[b], host[b],
+                1e-10 * std::max(1.0, std::abs(host[b])));
+  }
+}
+
+TEST(SpmdKdeWindow, EstimatedBytesMatchesLedgerPeak) {
+  const auto xs = sample(100, 194);
+  const BandwidthGrid grid(0.1, 1.0, 10);
+  {
+    Device dev;
+    (void)SpmdKdeSelector(dev).select(xs, grid);
+    EXPECT_EQ(dev.global_peak(),
+              SpmdKdeSelector::estimated_bytes(100, 10,
+                                               kreg::SweepAlgorithm::kWindow));
+  }
+  {
+    Device dev;
+    SpmdKdeConfig cfg;
+    cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+    (void)SpmdKdeSelector(dev, cfg).select(xs, grid);
+    EXPECT_EQ(dev.global_peak(),
+              SpmdKdeSelector::estimated_bytes(
+                  100, 10, kreg::SweepAlgorithm::kPerRowSort));
+  }
+}
+
+TEST(SpmdKdeWindow, NameReportsAlgorithm) {
+  Device dev;
+  SpmdKdeConfig cfg;
+  EXPECT_NE(SpmdKdeSelector(dev, cfg).name().find("window"),
+            std::string::npos);
+  cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  EXPECT_EQ(SpmdKdeSelector(dev, cfg).name().find("window"),
+            std::string::npos);
+}
+
 // ---- KDE confidence bands ----------------------------------------------
 
 TEST(KdeBand, ShapeOrderingAndClamping) {

@@ -301,6 +301,7 @@ TEST(SpmdSelector, GlobalMemoryOomReproducesOnSmallDevice) {
   const BandwidthGrid grid(0.01, 1.0, 8);
   const Dataset small = paper_data(128, 7);
   SpmdSelectorConfig cfg;  // float
+  cfg.algorithm = SweepAlgorithm::kPerRowSort;  // the plan with the cliff
   EXPECT_NO_THROW(SpmdGridSelector(dev, cfg).select(small, grid));
   const Dataset big = paper_data(512, 8);
   EXPECT_THROW(SpmdGridSelector(dev, cfg).select(big, grid),
@@ -314,6 +315,7 @@ TEST(SpmdSelector, StreamingModeLiftsTheLimit) {
   const BandwidthGrid grid(0.01, 1.0, 8);
   const Dataset big = paper_data(512, 9);
   SpmdSelectorConfig cfg;
+  cfg.algorithm = SweepAlgorithm::kPerRowSort;
   cfg.streaming = true;
   EXPECT_NO_THROW(SpmdGridSelector(dev, cfg).select(big, grid));
 }
@@ -349,12 +351,47 @@ TEST(SpmdSelector, EstimatedBytesMatchesLedgerPeak) {
   Device dev;
   const Dataset d = paper_data(100, 13);
   const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
-  (void)SpmdGridSelector(dev, double_cfg()).select(d, grid);
+  SpmdSelectorConfig cfg = double_cfg();
+  cfg.algorithm = SweepAlgorithm::kPerRowSort;
+  (void)SpmdGridSelector(dev, cfg).select(d, grid);
   const std::size_t predicted = SpmdGridSelector::estimated_bytes(
-      100, 10, Precision::kDouble, /*streaming=*/false);
+      100, 10, Precision::kDouble, /*streaming=*/false,
+      SweepAlgorithm::kPerRowSort);
   // Peak also includes the grid-reduction partials etc. if any; here the
   // faithful path allocates exactly the predicted set.
   EXPECT_EQ(dev.global_peak(), predicted);
+}
+
+TEST(SpmdSelector, WindowEstimatedBytesMatchesLedgerPeak) {
+  Device dev;
+  const Dataset d = paper_data(100, 13);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
+  (void)SpmdGridSelector(dev, double_cfg()).select(d, grid);  // window default
+  const std::size_t predicted = SpmdGridSelector::estimated_bytes(
+      100, 10, Precision::kDouble, /*streaming=*/false,
+      SweepAlgorithm::kWindow);
+  EXPECT_EQ(dev.global_peak(), predicted);
+}
+
+TEST(SpmdSelector, DefaultAlgorithmIsWindowAndMatchesPerRowSort) {
+  // The flipped default (ROADMAP soak item): a default-constructed config
+  // runs the window sweep, and on the paper's grid it picks the same
+  // bandwidth as the paper-faithful per-row-sort path.
+  SpmdSelectorConfig def;
+  EXPECT_EQ(def.algorithm, SweepAlgorithm::kWindow);
+
+  Device dev;
+  const Dataset d = paper_data(300, 21);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 50);
+  SpmdSelectorConfig window_cfg = double_cfg();
+  SpmdSelectorConfig per_row_cfg = double_cfg();
+  per_row_cfg.algorithm = SweepAlgorithm::kPerRowSort;
+  const SelectionResult w = SpmdGridSelector(dev, window_cfg).select(d, grid);
+  const SelectionResult p = SpmdGridSelector(dev, per_row_cfg).select(d, grid);
+  EXPECT_DOUBLE_EQ(w.bandwidth, p.bandwidth);
+  for (std::size_t b = 0; b < p.scores.size(); ++b) {
+    EXPECT_NEAR(w.scores[b], p.scores[b], 1e-9 * std::max(1.0, p.scores[b]));
+  }
 }
 
 TEST(SpmdSelector, EstimatedBytesPaperScale) {
