@@ -8,16 +8,33 @@
 // live on a proportionally scaled-down device (so the bench itself does not
 // need gigabytes), and shows the streaming extension sailing past the same
 // limit.
+// With KREG_SPMD_SANITIZE set (any truthy value), Part 2 runs on a
+// CheckedDevice with a counting sink — the sanitizer's log-and-count bench
+// mode — and reports findings and leaked allocations alongside the ledger
+// peak, demonstrating the instrumented device on the real selector.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
 
 #include "common/bench_util.hpp"
 #include "core/kreg.hpp"
 #include "spmd/device.hpp"
 #include "spmd/errors.hpp"
+#include "spmd/sanitizer/checked_device.hpp"
 
 namespace {
 
 using kreg::bench::Table;
+
+bool sanitize_requested() {
+  const char* env = std::getenv("KREG_SPMD_SANITIZE");
+  if (env == nullptr) {
+    return false;
+  }
+  const std::string_view value(env);
+  return !value.empty() && value != "0" && value != "off";
+}
 
 }  // namespace
 
@@ -48,7 +65,20 @@ int main() {
       "MEMORY LIMIT — live demonstration on a 1/1024-scale device (4 MB)");
   {
     // 4 MB device: the same arithmetic places the cliff near n = 700.
-    kreg::spmd::Device small_device(kreg::spmd::DeviceProperties::tiny(4 << 20));
+    // Under KREG_SPMD_SANITIZE the same runs go through the checked device
+    // (log-and-count sink, so alloc failures still surface as exceptions).
+    const bool sanitize = sanitize_requested();
+    std::shared_ptr<kreg::spmd::CountingSink> sink;
+    std::unique_ptr<kreg::spmd::Device> device_holder;
+    if (sanitize) {
+      sink = std::make_shared<kreg::spmd::CountingSink>();
+      device_holder = std::make_unique<kreg::spmd::CheckedDevice>(
+          kreg::spmd::DeviceProperties::tiny(4 << 20), nullptr, sink);
+    } else {
+      device_holder = std::make_unique<kreg::spmd::Device>(
+          kreg::spmd::DeviceProperties::tiny(4 << 20));
+    }
+    kreg::spmd::Device& small_device = *device_holder;
     kreg::rng::Stream stream(7);
     Table table({"n", "faithful", "streaming"}, 24);
     for (std::size_t n : {256u, 512u, 700u, 1024u, 2048u}) {
@@ -89,6 +119,26 @@ int main() {
         "ledger, exactly like the\npaper's n > 20,000 failure on 4 GB; the "
         "streaming extension (the paper's stated future\nwork) removes the "
         "n x n matrices and keeps running.\n\n");
+    std::printf("ledger peak: %.2f MB of %.2f MB\n",
+                small_device.global_peak() / 1048576.0,
+                small_device.properties().global_memory_bytes / 1048576.0);
+    if (sanitize) {
+      const std::size_t live = small_device.check_leaks();
+      std::printf(
+          "kreg-sanitizer: findings=%zu (races=%zu oob=%zu uninit=%zu "
+          "leaks=%zu) live-allocations=%zu\n",
+          small_device.sanitizer()->findings(),
+          small_device.sanitizer()->races_detected(),
+          small_device.sanitizer()->oobs_detected(),
+          small_device.sanitizer()->uninits_detected(),
+          small_device.sanitizer()->leaks_detected(), live);
+      if (sink->total() != 0) {
+        for (const auto& report : sink->reports()) {
+          std::printf("  %s\n", report.format().c_str());
+        }
+        return 1;  // a clean selector run must produce zero findings
+      }
+    }
   }
   return 0;
 }

@@ -22,12 +22,18 @@ namespace kreg::detail {
 /// exclusion, M guard, squared residual — handing each residual to
 /// `write(b, value)` so the caller controls the output layout
 /// (bandwidth-major, observation-major, sliced, …).
-template <class Scalar, class WriteResid>
+///
+/// `HView`/`SumView` abstract the grid and sum containers: raw spans run
+/// unchecked, the sanitizer's checked views (spmd::MemView) run with
+/// memcheck/initcheck instrumentation. The dist/Y rows stay raw spans —
+/// the in-place quicksort needs raw element references — so row storage is
+/// outside the checked surface by design.
+template <class Scalar, class HView, class SumView, class WriteResid>
 inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
-                         std::span<const Scalar> hs,
+                         HView hs,
                          const SweepPolynomial& poly, std::size_t obs,
                          std::span<Scalar> dist, std::span<Scalar> yrow,
-                         std::span<Scalar> sum_y, std::span<Scalar> sum_w,
+                         SumView sum_y, SumView sum_w,
                          WriteResid&& write) {
   const std::size_t n = xs.size();
   const std::size_t k = hs.size();
@@ -46,8 +52,8 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
   // Truncate the sort at the largest grid bandwidth: no h can ever admit a
   // distance beyond hs[k-1], so partition those candidates out first and
   // quicksort only the admissible prefix (Y stays the auxiliary variable).
-  const std::size_t admissible =
-      sort::partition_kv(dist, yrow, hs[k - 1]);
+  const Scalar h_max = hs[k - 1];
+  const std::size_t admissible = sort::partition_kv(dist, yrow, h_max);
   sort::iterative_quicksort_kv(dist.first(admissible),
                                yrow.first(admissible));
 
@@ -118,10 +124,10 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
 /// subtracted analytically in the recombination, exactly as in the per-row
 /// paths; M(X_pos) = 0 cases emit a 0 residual. `write(b, sq)` receives the
 /// squared LOO residual for every bandwidth index b in ascending order.
-template <class Scalar, class WriteResid>
+template <class Scalar, class HView, class WriteResid>
 inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
                                 std::span<const Scalar> ys_sorted,
-                                std::span<const Scalar> hs,
+                                HView hs,
                                 const SweepPolynomial& poly, std::size_t pos,
                                 WriteResid&& write) {
   const std::size_t n = xs_sorted.size();
@@ -198,9 +204,9 @@ inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
 /// `write(b, conv, loo)` receives both per-bandwidth pair sums (self term
 /// already excluded) for every bandwidth index b in ascending order; the
 /// caller combines them into LSCV partials in whatever layout it wants.
-template <class WriteSums>
+template <class HView, class WriteSums>
 inline void kde_window_sweep_thread(std::span<const double> xs_sorted,
-                                    std::span<const double> hs,
+                                    HView hs,
                                     const SupportPolynomial& kpoly,
                                     const SupportPolynomial& cpoly,
                                     std::size_t pos, WriteSums&& write) {

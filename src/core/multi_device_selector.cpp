@@ -79,37 +79,42 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
     // Device-side data: the full X/Y (distances need every observation),
     // the grid in constant memory, and slice-sized working matrices.
     spmd::ConstantBuffer<Scalar> c_grid =
-        device.upload_constant<Scalar>(host_grid);
-    spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n);
-    spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n);
+        device.upload_constant<Scalar>(host_grid, "bandwidth-grid");
+    spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n, "x");
+    spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n, "y");
     device.copy_to_device(d_x, std::span<const Scalar>(host_x));
     device.copy_to_device(d_y, std::span<const Scalar>(host_y));
 
     spmd::DeviceBuffer<Scalar> d_dist;
     spmd::DeviceBuffer<Scalar> d_ymat;
     if (!streaming) {
-      d_dist = device.alloc_global<Scalar>(rows * n);
-      d_ymat = device.alloc_global<Scalar>(rows * n);
+      d_dist = device.alloc_global<Scalar>(rows * n, "dist-rows");
+      d_ymat = device.alloc_global<Scalar>(rows * n, "y-rows");
     }
-    spmd::DeviceBuffer<Scalar> d_sum_y = device.alloc_global<Scalar>(rows * k);
-    spmd::DeviceBuffer<Scalar> d_sum_w = device.alloc_global<Scalar>(rows * k);
-    spmd::DeviceBuffer<Scalar> d_resid = device.alloc_global<Scalar>(rows * k);
-    spmd::DeviceBuffer<Scalar> d_scores = device.alloc_global<Scalar>(k);
+    spmd::DeviceBuffer<Scalar> d_sum_y =
+        device.alloc_global<Scalar>(rows * k, "sum-y");
+    spmd::DeviceBuffer<Scalar> d_sum_w =
+        device.alloc_global<Scalar>(rows * k, "sum-w");
+    spmd::DeviceBuffer<Scalar> d_resid =
+        device.alloc_global<Scalar>(rows * k, "residuals");
+    spmd::DeviceBuffer<Scalar> d_scores =
+        device.alloc_global<Scalar>(k, "slice-scores");
 
     std::span<const Scalar> xs = d_x.span();
     std::span<const Scalar> ys = d_y.span();
-    std::span<const Scalar> hs = c_grid.span();
+    spmd::MemView<const Scalar> hs = c_grid.view();
     std::span<Scalar> dist_all = d_dist.span();
     std::span<Scalar> ymat_all = d_ymat.span();
-    std::span<Scalar> sum_y_all = d_sum_y.span();
-    std::span<Scalar> sum_w_all = d_sum_w.span();
-    std::span<Scalar> resid_all = d_resid.span();
+    spmd::MemView<Scalar> sum_y_all = d_sum_y.view();
+    spmd::MemView<Scalar> sum_w_all = d_sum_w.view();
+    spmd::MemView<Scalar> resid_all = d_resid.view();
 
     // Main kernel over this device's slice; residuals are written
     // bandwidth-major within the slice (k groups of `rows`).
     const spmd::LaunchConfig cfg = spmd::LaunchConfig::cover(rows, tpb);
     const std::size_t base = slice.begin;
-    device.launch(cfg, [&, base, rows, n, k](const spmd::ThreadCtx& t) {
+    device.launch("cv_sweep_slice", cfg,
+                  [&, base, rows, n, k](const spmd::ThreadCtx& t) {
       const std::size_t r = t.global_idx();
       if (r >= rows) {
         return;
@@ -129,16 +134,16 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
         yrow = ymat_all.subspan(r * n, n);
       }
       detail::sweep_thread<Scalar>(
-          xs, ys, hs, poly, obs, dist, yrow, sum_y_all.subspan(r * k, k),
-          sum_w_all.subspan(r * k, k),
+          xs, ys, hs, poly, obs, dist, yrow, sum_y_all.subview(r * k, k),
+          sum_w_all.subview(r * k, k),
           [&](std::size_t b, Scalar sq) { resid_all[b * rows + r] = sq; });
     });
 
     // Per-bandwidth slice reductions on this device.
-    std::span<Scalar> scores = d_scores.span();
+    spmd::MemView<Scalar> scores = d_scores.view();
     for (std::size_t b = 0; b < k; ++b) {
       scores[b] = spmd::reduce_sum<Scalar>(device,
-                                           resid_all.subspan(b * rows, rows),
+                                           resid_all.subview(b * rows, rows),
                                            tpb, config.reduce_variant);
     }
     for (std::size_t b = 0; b < k; ++b) {
@@ -153,10 +158,11 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
     combined_scalar[b] = static_cast<Scalar>(combined[b]);
   }
   spmd::Device& primary = *devices.front();
-  spmd::DeviceBuffer<Scalar> d_combined = primary.alloc_global<Scalar>(k);
+  spmd::DeviceBuffer<Scalar> d_combined =
+      primary.alloc_global<Scalar>(k, "combined-scores");
   primary.copy_to_device(d_combined, std::span<const Scalar>(combined_scalar));
   const spmd::ArgminResult<Scalar> best = spmd::reduce_argmin<Scalar>(
-      primary, std::span<const Scalar>(d_combined.span()),
+      primary, spmd::MemView<const Scalar>(d_combined.view()),
       std::min(config.threads_per_block,
                primary.properties().max_threads_per_block));
 

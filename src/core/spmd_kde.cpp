@@ -64,33 +64,38 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
   // (bandwidth-major), window mode a single n×k LSCV-partial matrix.
   std::vector<double> host_grid(grid.values());
   spmd::ConstantBuffer<double> c_grid =
-      device_.upload_constant<double>(host_grid);
-  spmd::DeviceBuffer<double> d_x = device_.alloc_global<double>(n);
+      device_.upload_constant<double>(host_grid, "bandwidth-grid");
+  spmd::DeviceBuffer<double> d_x = device_.alloc_global<double>(n, "x");
   device_.copy_to_device(d_x, std::span<const double>(host_x));
   spmd::DeviceBuffer<double> d_rows;
   spmd::DeviceBuffer<double> d_conv;
   spmd::DeviceBuffer<double> d_loo;
   spmd::DeviceBuffer<double> d_partial;
   if (window) {
-    d_partial = device_.alloc_global<double>(n * k);
+    d_partial = device_.alloc_global<double>(n * k, "lscv-partials");
   } else {
-    d_rows = device_.alloc_global<double>(n * n);
-    d_conv = device_.alloc_global<double>(n * k);
-    d_loo = device_.alloc_global<double>(n * k);
+    d_rows = device_.alloc_global<double>(n * n, "dist-rows");
+    d_conv = device_.alloc_global<double>(n * k, "conv-sums");
+    d_loo = device_.alloc_global<double>(n * k, "loo-sums");
   }
-  spmd::DeviceBuffer<double> d_scores = device_.alloc_global<double>(k);
+  spmd::DeviceBuffer<double> d_scores =
+      device_.alloc_global<double>(k, "lscv-scores");
 
+  // X and the row matrix stay raw spans (the per-thread quicksort needs raw
+  // element references); the grid, contribution sums, partials, and scores
+  // go through checked views for the sanitizer.
   std::span<const double> dxs = d_x.span();
-  std::span<const double> hs = c_grid.span();
+  spmd::MemView<const double> hs = c_grid.view();
   std::span<double> rows = d_rows.span();
-  std::span<double> conv_all = d_conv.span();
-  std::span<double> loo_all = d_loo.span();
-  std::span<double> partial_all = d_partial.span();
+  spmd::MemView<double> conv_all = d_conv.view();
+  spmd::MemView<double> loo_all = d_loo.view();
+  spmd::MemView<double> partial_all = d_partial.view();
 
   // Main kernel, one thread per observation.
   const std::size_t max_power = std::max(kpoly.max_power, cpoly.max_power);
   device_.launch(
-      spmd::LaunchConfig::cover(n, tpb), [&, n, k](const spmd::ThreadCtx& t) {
+      "kde_lscv_sweep", spmd::LaunchConfig::cover(n, tpb),
+      [&, n, k](const spmd::ThreadCtx& t) {
         const std::size_t i = t.global_idx();
         if (i >= n) {
           return;
@@ -130,30 +135,32 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
 
   // Single-block reductions (k window, 2k per-row), then assemble the
   // LSCV scores.
-  std::span<double> scores = d_scores.span();
+  spmd::MemView<double> scores = d_scores.view();
   for (std::size_t b = 0; b < k; ++b) {
     if (window) {
       const double partial_total = spmd::reduce_sum<double>(
-          device_, partial_all.subspan(b * n, n), tpb, config_.reduce_variant);
+          device_, partial_all.subview(b * n, n), tpb, config_.reduce_variant);
       scores[b] = roughness_value / (static_cast<double>(n) * grid[b]) +
                   partial_total;
     } else {
       const double conv_total = spmd::reduce_sum<double>(
-          device_, conv_all.subspan(b * n, n), tpb, config_.reduce_variant);
+          device_, conv_all.subview(b * n, n), tpb, config_.reduce_variant);
       const double loo_total = spmd::reduce_sum<double>(
-          device_, loo_all.subspan(b * n, n), tpb, config_.reduce_variant);
+          device_, loo_all.subview(b * n, n), tpb, config_.reduce_variant);
       scores[b] = detail::assemble_lscv(roughness_value, conv_total,
                                         loo_total, n, grid[b]);
     }
   }
   const spmd::ArgminResult<double> best = spmd::reduce_argmin<double>(
-      device_, std::span<const double>(scores), tpb);
+      device_, spmd::MemView<const double>(scores), tpb);
 
   SelectionResult result;
   result.bandwidth = grid[best.index];
   result.cv_score = best.value;
   result.grid = grid.values();
-  result.scores.assign(scores.begin(), scores.end());
+  std::vector<double> host_scores(k);
+  device_.copy_to_host(std::span<double>(host_scores), d_scores);
+  result.scores = std::move(host_scores);
   result.evaluations = k;
   result.method = name();
   return result;

@@ -90,10 +90,10 @@ SelectionResult run_device_selection(spmd::Device& device,
   // --- Device memory plan (paper §IV-A) -----------------------------------
   // Bandwidths live in constant memory; the 8 KB working set caps k.
   spmd::ConstantBuffer<Scalar> c_grid =
-      device.upload_constant<Scalar>(host_grid);
+      device.upload_constant<Scalar>(host_grid, "bandwidth-grid");
 
-  spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n);
-  spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n);
+  spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n, "x");
+  spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n, "y");
   device.copy_to_device(d_x, std::span<const Scalar>(host_x));
   device.copy_to_device(d_y, std::span<const Scalar>(host_y));
 
@@ -103,8 +103,8 @@ SelectionResult run_device_selection(spmd::Device& device,
   spmd::DeviceBuffer<Scalar> d_dist;
   spmd::DeviceBuffer<Scalar> d_ymat;
   if (!window && !config.streaming) {
-    d_dist = device.alloc_global<Scalar>(n * n);
-    d_ymat = device.alloc_global<Scalar>(n * n);
+    d_dist = device.alloc_global<Scalar>(n * n, "dist-rows");
+    d_ymat = device.alloc_global<Scalar>(n * n, "y-rows");
   }
 
   // Two n×k matrices of bandwidth-specific sums (per-row-sort path only —
@@ -113,20 +113,25 @@ SelectionResult run_device_selection(spmd::Device& device,
   spmd::DeviceBuffer<Scalar> d_sum_y;
   spmd::DeviceBuffer<Scalar> d_sum_w;
   if (!window) {
-    d_sum_y = device.alloc_global<Scalar>(n * k);
-    d_sum_w = device.alloc_global<Scalar>(n * k);
+    d_sum_y = device.alloc_global<Scalar>(n * k, "sum-y");
+    d_sum_w = device.alloc_global<Scalar>(n * k, "sum-w");
   }
-  spmd::DeviceBuffer<Scalar> d_resid = device.alloc_global<Scalar>(n * k);
-  spmd::DeviceBuffer<Scalar> d_scores = device.alloc_global<Scalar>(k);
+  spmd::DeviceBuffer<Scalar> d_resid =
+      device.alloc_global<Scalar>(n * k, "residuals");
+  spmd::DeviceBuffer<Scalar> d_scores =
+      device.alloc_global<Scalar>(k, "cv-scores");
 
+  // X/Y and the row matrices stay raw spans: the per-thread quicksort needs
+  // raw element references. The grid, sums, residuals, and scores go
+  // through checked views so a sanitizer-enabled device instruments them.
   std::span<const Scalar> xs = d_x.span();
   std::span<const Scalar> ys = d_y.span();
-  std::span<const Scalar> hs = c_grid.span();
+  spmd::MemView<const Scalar> hs = c_grid.view();
   std::span<Scalar> dist_all = d_dist.span();
   std::span<Scalar> ymat_all = d_ymat.span();
-  std::span<Scalar> sum_y_all = d_sum_y.span();
-  std::span<Scalar> sum_w_all = d_sum_w.span();
-  std::span<Scalar> resid_all = d_resid.span();
+  spmd::MemView<Scalar> sum_y_all = d_sum_y.view();
+  spmd::MemView<Scalar> sum_w_all = d_sum_w.view();
+  spmd::MemView<Scalar> resid_all = d_resid.view();
   const bool bandwidth_major = config.layout == ResidualLayout::kBandwidthMajor;
   const bool streaming = config.streaming;
 
@@ -135,7 +140,7 @@ SelectionResult run_device_selection(spmd::Device& device,
   // coordination, so an independent launch.
   const spmd::LaunchConfig main_cfg =
       spmd::LaunchConfig::cover(n, tpb);
-  device.launch(main_cfg, [&, n, k](const spmd::ThreadCtx& t) {
+  device.launch("cv_sweep", main_cfg, [&, n, k](const spmd::ThreadCtx& t) {
     const std::size_t j = t.global_idx();
     if (j >= n) {
       return;  // padding thread in the last block
@@ -174,8 +179,8 @@ SelectionResult run_device_selection(spmd::Device& device,
     // "to facilitate efficient caching… the array is indexed as k separate
     // groups of n".
     detail::sweep_thread<Scalar>(
-        xs, ys, hs, poly, j, dist, yrow, sum_y_all.subspan(j * k, k),
-        sum_w_all.subspan(j * k, k), [&](std::size_t b, Scalar sq) {
+        xs, ys, hs, poly, j, dist, yrow, sum_y_all.subview(j * k, k),
+        sum_w_all.subview(j * k, k), [&](std::size_t b, Scalar sq) {
           resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
         });
   });
@@ -183,21 +188,21 @@ SelectionResult run_device_selection(spmd::Device& device,
   // --- Reductions (paper §IV-B) --------------------------------------------
   // One single-block sum reduction per bandwidth. Bandwidth-major layout
   // reads a contiguous run; observation-major reads with stride k.
-  std::span<Scalar> scores = d_scores.span();
+  spmd::MemView<Scalar> scores = d_scores.view();
   const std::size_t block_dim = spmd::detail::reduction_block_dim(
       device, tpb);
   for (std::size_t b = 0; b < k; ++b) {
     if (bandwidth_major) {
       scores[b] = spmd::reduce_sum<Scalar>(
-          device, resid_all.subspan(b * n, n), tpb,
+          device, resid_all.subview(b * n, n), tpb,
           config.reduce_variant);
     } else {
       // Strided single-block reduction over resid[j*k + b].
       Scalar total{};
       device.launch_cooperative(
-          spmd::LaunchConfig{1, block_dim}, block_dim * sizeof(Scalar),
-          [&](spmd::BlockCtx& ctx) {
-            std::span<Scalar> shared = ctx.template shared_as<Scalar>(block_dim);
+          "strided_score_reduce", spmd::LaunchConfig{1, block_dim},
+          block_dim * sizeof(Scalar), [&](spmd::BlockCtx& ctx) {
+            auto shared = ctx.template shared_as<Scalar>(block_dim);
             ctx.for_each_thread([&](std::size_t tid) {
               Scalar acc{};
               for (std::size_t j = tid; j < n; j += block_dim) {
@@ -221,7 +226,7 @@ SelectionResult run_device_selection(spmd::Device& device,
   // Argmin reduction over the k scores (2T shared elements: values +
   // payload, per the paper; index payload per its footnote 2).
   const spmd::ArgminResult<Scalar> best = spmd::reduce_argmin<Scalar>(
-      device, std::span<const Scalar>(scores), tpb);
+      device, spmd::MemView<const Scalar>(scores), tpb);
 
   // --- Assemble the result --------------------------------------------------
   std::vector<Scalar> host_scores(k);

@@ -6,6 +6,8 @@
 #include <span>
 #include <utility>
 
+#include "spmd/sanitizer/access.hpp"
+
 namespace kreg::spmd {
 
 namespace detail {
@@ -35,16 +37,32 @@ struct MemoryLedger {
 /// has a unified address space), but library code treats the contents as
 /// device-resident and moves data with Device::copy_to_device /
 /// copy_to_host to keep the CUDA structure of the algorithms explicit.
+///
+/// On a sanitizer-enabled device each buffer carries an AllocShadow:
+/// `view()` returns a MemView whose accesses run memcheck (bounds,
+/// moved-from) and initcheck (valid bits), and the shadow's liveness at
+/// device teardown is the leak signal. The raw span()/data()/operator[]
+/// escape hatches stay unchecked, matching host pointer arithmetic.
 template <class T>
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
 
-  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer(DeviceBuffer&& other) noexcept {
+    swap(other);
+    // The source keeps its sanitizer connection (but not the shadow: the
+    // allocation's liveness moved with the storage) so a later access can
+    // be reported as use-after-move.
+    other.state_ = state_;
+    other.moved_from_ = true;
+  }
   DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
     if (this != &other) {
       release();
+      moved_from_ = false;
       swap(other);
+      other.state_ = state_;
+      other.moved_from_ = true;
     }
     return *this;
   }
@@ -63,8 +81,24 @@ class DeviceBuffer {
   std::span<T> span() noexcept { return {storage_.get(), count_}; }
   std::span<const T> span() const noexcept { return {storage_.get(), count_}; }
 
+  /// Checked window over the allocation. On a sanitizer-enabled device
+  /// every indexed access is bounds-checked, reads run the initcheck
+  /// valid-bit lookup, and calling view() on a moved-from buffer reports a
+  /// memcheck finding; on a plain device this is a raw span with proxies.
+  MemView<T> view() {
+    ensure_not_moved_from();
+    return MemView<T>(storage_.get(), count_, shadow_.get());
+  }
+  MemView<const T> view() const {
+    ensure_not_moved_from();
+    return MemView<const T>(storage_.get(), count_, shadow_.get());
+  }
+
   T& operator[](std::size_t i) noexcept {
     assert(i < count_);
+    if (shadow_) {
+      shadow_->mark_valid(i);  // host-side writes count as initialization
+    }
     return storage_[i];
   }
   const T& operator[](std::size_t i) const noexcept {
@@ -80,12 +114,25 @@ class DeviceBuffer {
         storage_(new T[count]()),
         count_(count) {}
 
+  void ensure_not_moved_from() const {
+    if (!moved_from_ || state_ == nullptr) {
+      return;
+    }
+    SanitizerReport report;
+    report.kind = HazardKind::kOob;
+    report.kernel = state_->current_kernel();
+    report.object = "<moved-from buffer>";
+    report.message = "use of a moved-from DeviceBuffer";
+    state_->deliver(report);
+  }
+
   void release() noexcept {
     if (ledger_) {
       ledger_->allocated_bytes -= size_bytes();
       ledger_.reset();
     }
     storage_.reset();
+    shadow_.reset();
     count_ = 0;
   }
 
@@ -93,11 +140,17 @@ class DeviceBuffer {
     std::swap(ledger_, other.ledger_);
     std::swap(storage_, other.storage_);
     std::swap(count_, other.count_);
+    std::swap(shadow_, other.shadow_);
+    std::swap(state_, other.state_);
+    std::swap(moved_from_, other.moved_from_);
   }
 
   std::shared_ptr<detail::MemoryLedger> ledger_;
   std::unique_ptr<T[]> storage_;
   std::size_t count_ = 0;
+  std::shared_ptr<detail::AllocShadow> shadow_;
+  std::shared_ptr<detail::SanitizerState> state_;
+  bool moved_from_ = false;
 };
 
 /// RAII handle to a constant-memory allocation: read-only from kernels,
@@ -127,6 +180,13 @@ class ConstantBuffer {
 
   const T* data() const noexcept { return storage_.get(); }
   std::span<const T> span() const noexcept { return {storage_.get(), count_}; }
+
+  /// Bounds-checked read-only window (constant memory is fully written at
+  /// upload, so only memcheck applies).
+  MemView<const T> view() const {
+    return MemView<const T>(storage_.get(), count_, shadow_.get());
+  }
+
   const T& operator[](std::size_t i) const noexcept {
     assert(i < count_);
     return storage_[i];
@@ -148,6 +208,7 @@ class ConstantBuffer {
       ledger_.reset();
     }
     storage_.reset();
+    shadow_.reset();
     count_ = 0;
   }
 
@@ -155,11 +216,13 @@ class ConstantBuffer {
     std::swap(ledger_, other.ledger_);
     std::swap(storage_, other.storage_);
     std::swap(count_, other.count_);
+    std::swap(shadow_, other.shadow_);
   }
 
   std::shared_ptr<detail::MemoryLedger> ledger_;
   std::unique_ptr<T[]> storage_;
   std::size_t count_ = 0;
+  std::shared_ptr<detail::AllocShadow> shadow_;
 };
 
 }  // namespace kreg::spmd

@@ -1,6 +1,37 @@
 #include "spmd/device.hpp"
 
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
 namespace kreg::spmd {
+
+namespace {
+
+/// Resolves KREG_SPMD_SANITIZE from the environment (unset/"0"/"off" →
+/// disabled, "count"/"log" → counting sink on stderr, anything else →
+/// throwing sink). The KREG_SPMD_SANITIZE CMake option compiles the
+/// default-unset case to a throwing sink instead.
+std::shared_ptr<SanitizerSink> sanitizer_sink_from_env() {
+  const char* env = std::getenv("KREG_SPMD_SANITIZE");
+  if (env == nullptr) {
+#ifdef KREG_SPMD_SANITIZE_DEFAULT
+    return std::make_shared<ThrowSink>();
+#else
+    return nullptr;
+#endif
+  }
+  const std::string_view value(env);
+  if (value.empty() || value == "0" || value == "off") {
+    return nullptr;
+  }
+  if (value == "count" || value == "log") {
+    return std::make_shared<CountingSink>(&std::cerr);
+  }
+  return std::make_shared<ThrowSink>();
+}
+
+}  // namespace
 
 Device::Device(DeviceProperties props, parallel::ThreadPool* pool)
     : props_(std::move(props)),
@@ -10,6 +41,23 @@ Device::Device(DeviceProperties props, parallel::ThreadPool* pool)
   props_.validate();
   global_->capacity_bytes = props_.global_memory_bytes;
   constant_->capacity_bytes = props_.constant_cache_bytes;
+  if (auto sink = sanitizer_sink_from_env()) {
+    enable_sanitizer(std::move(sink));
+  }
+}
+
+Device::~Device() {
+  if (sanitizer_) {
+    sanitizer_->leak_check(/*may_throw=*/false);
+  }
+}
+
+void Device::enable_sanitizer(std::shared_ptr<SanitizerSink> sink) {
+  sanitizer_ = std::make_shared<detail::SanitizerState>(std::move(sink));
+}
+
+std::size_t Device::check_leaks() {
+  return sanitizer_ ? sanitizer_->leak_check(/*may_throw=*/true) : 0;
 }
 
 void Device::charge(const std::shared_ptr<detail::MemoryLedger>& ledger,

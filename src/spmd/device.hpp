@@ -5,6 +5,8 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -12,6 +14,8 @@
 #include "spmd/buffer.hpp"
 #include "spmd/device_properties.hpp"
 #include "spmd/errors.hpp"
+#include "spmd/sanitizer/report.hpp"
+#include "spmd/sanitizer/shadow.hpp"
 
 namespace kreg::spmd {
 
@@ -73,25 +77,53 @@ struct ThreadCtx {
 /// Within a phase the simulator may run threads in any order (the current
 /// implementation runs them sequentially on the block's worker, which is a
 /// legal schedule), so — exactly as on real hardware — a phase must not
-/// read locations another thread of the same phase writes.
+/// read locations another thread of the same phase writes. On a
+/// sanitizer-enabled device a per-block SharedShadow records every access
+/// made through shared_as() views and reports exactly those intra-phase
+/// RAW/WAR/WAW hazards.
 class BlockCtx {
  public:
   BlockCtx(std::size_t block_idx, std::size_t block_dim, std::size_t grid_dim,
-           std::span<std::byte> shared) noexcept
+           std::span<std::byte> shared,
+           detail::SharedShadow* shadow = nullptr) noexcept
       : block_idx_(block_idx),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
-        shared_(shared) {}
+        shared_(shared),
+        shadow_(shadow) {}
 
   std::size_t block_idx() const noexcept { return block_idx_; }
   std::size_t block_dim() const noexcept { return block_dim_; }
   std::size_t grid_dim() const noexcept { return grid_dim_; }
 
-  /// The block's shared memory reinterpreted as an array of T. The caller
-  /// is responsible for staying within the bytes requested at launch.
+  /// The block's shared memory reinterpreted as an array of T starting at
+  /// `byte_offset` (for carving one shared arena into typed sections, e.g.
+  /// argmin's index + value arrays). Throws LaunchConfigError when the
+  /// request exceeds the bytes requested at launch or breaks T's alignment
+  /// — on a sanitizer-enabled device a memcheck report is emitted first.
   template <class T>
-  std::span<T> shared_as(std::size_t count) noexcept {
-    return {reinterpret_cast<T*>(shared_.data()), count};
+  SharedSpan<T> shared_as(std::size_t count, std::size_t byte_offset = 0) {
+    const std::size_t need = byte_offset + count * sizeof(T);
+    if (need > shared_.size()) {
+      if (shadow_ != nullptr) {
+        shadow_->report_oob(
+            byte_offset, "shared_as request of " + std::to_string(need) +
+                             " bytes exceeds the " +
+                             std::to_string(shared_.size()) +
+                             " shared bytes requested at launch");
+      }
+      throw LaunchConfigError(
+          "shared_as: request of " + std::to_string(need) +
+          " bytes exceeds the " + std::to_string(shared_.size()) +
+          " shared bytes requested at launch");
+    }
+    if (byte_offset % alignof(T) != 0) {
+      throw LaunchConfigError("shared_as: byte offset " +
+                              std::to_string(byte_offset) +
+                              " breaks the requested type's alignment");
+    }
+    return SharedSpan<T>(reinterpret_cast<T*>(shared_.data() + byte_offset),
+                         count, shadow_, byte_offset);
   }
 
   std::size_t shared_bytes() const noexcept { return shared_.size(); }
@@ -100,6 +132,15 @@ class BlockCtx {
   /// block_dim). Returning = __syncthreads().
   template <class F>
   void for_each_thread(F&& f) {
+    if (shadow_ != nullptr) {
+      shadow_->begin_phase();
+      for (std::size_t tid = 0; tid < block_dim_; ++tid) {
+        shadow_->set_tid(tid);
+        f(tid);
+      }
+      shadow_->end_phase();
+      return;
+    }
     for (std::size_t tid = 0; tid < block_dim_; ++tid) {
       f(tid);
     }
@@ -110,6 +151,7 @@ class BlockCtx {
   std::size_t block_dim_;
   std::size_t grid_dim_;
   std::span<std::byte> shared_;
+  detail::SharedShadow* shadow_;
 };
 
 /// Cumulative execution counters, for tests and the bench harness.
@@ -130,24 +172,58 @@ struct LaunchStats {
 /// host thread pool. Launches are synchronous: they return after every
 /// block has finished, like a kernel launch followed by
 /// cudaDeviceSynchronize().
+///
+/// The sanitizer layer (src/spmd/sanitizer/) hooks in here: when enabled —
+/// via enable_sanitizer(), the CheckedDevice subclass, the
+/// KREG_SPMD_SANITIZE environment variable, or the KREG_SPMD_SANITIZE
+/// CMake option — every launch gets per-block racecheck shadows, every
+/// allocation an initcheck valid-bit shadow, and checked views report
+/// memcheck violations, all through a pluggable SanitizerSink.
 class Device {
  public:
   /// Creates a device with the given capabilities, executing on `pool`
-  /// (nullptr = the process-global pool).
+  /// (nullptr = the process-global pool). Honors KREG_SPMD_SANITIZE in the
+  /// environment: unset/"0"/"off" leaves the sanitizer disabled (unless the
+  /// KREG_SPMD_SANITIZE CMake option compiled it default-on), "count"/"log"
+  /// installs a CountingSink on stderr, anything else a ThrowSink.
   explicit Device(DeviceProperties props = DeviceProperties::tesla_s10(),
                   parallel::ThreadPool* pool = nullptr);
 
+  /// Runs a non-throwing leak check over still-live allocations (the
+  /// compute-sanitizer "leaked N bytes" summary at context teardown).
+  ~Device();
+
   const DeviceProperties& properties() const noexcept { return props_; }
   const LaunchStats& stats() const noexcept { return stats_; }
+
+  /// ---- Sanitizer ---------------------------------------------------------
+
+  /// Installs `sink` and turns on full instrumentation for every later
+  /// allocation and launch.
+  void enable_sanitizer(std::shared_ptr<SanitizerSink> sink);
+  bool sanitizer_enabled() const noexcept { return sanitizer_ != nullptr; }
+  /// The live sanitizer state (counters, registry), or nullptr.
+  detail::SanitizerState* sanitizer() noexcept { return sanitizer_.get(); }
+  /// Reports every still-live allocation as a leak (throwing sinks throw on
+  /// the first) and returns how many are live. No-op without a sanitizer.
+  std::size_t check_leaks();
 
   /// ---- Global memory ----------------------------------------------------
 
   /// Allocates `count` zero-initialized elements of global memory. Throws
   /// DeviceAllocError when the request exceeds the remaining capacity.
+  /// `label` names the allocation in sanitizer reports.
   template <class T>
-  DeviceBuffer<T> alloc_global(std::size_t count) {
+  DeviceBuffer<T> alloc_global(std::size_t count,
+                               std::string_view label = "global") {
     charge(global_, count * sizeof(T));
-    return DeviceBuffer<T>(global_, count);
+    DeviceBuffer<T> buf(global_, count);
+    if (sanitizer_) {
+      buf.shadow_ =
+          sanitizer_->register_alloc(std::string(label), sizeof(T), count);
+      buf.state_ = sanitizer_;
+    }
+    return buf;
   }
 
   /// Bytes of global memory currently allocated / ever allocated at peak.
@@ -164,30 +240,48 @@ class Device {
   /// Uploads `values` into constant memory. Throws ConstantCapacityError
   /// when the data exceeds the constant-cache working set.
   template <class T>
-  ConstantBuffer<T> upload_constant(std::span<const T> values) {
+  ConstantBuffer<T> upload_constant(std::span<const T> values,
+                                    std::string_view label = "constant") {
     charge_constant(values.size() * sizeof(T));
     ConstantBuffer<T> buf(constant_, values.size());
     std::memcpy(buf.mutable_span().data(), values.data(),
                 values.size() * sizeof(T));
+    if (sanitizer_) {
+      buf.shadow_ = sanitizer_->register_alloc(std::string(label), sizeof(T),
+                                               values.size());
+      buf.shadow_->mark_all_valid();  // fully written at upload
+    }
     return buf;
   }
 
   /// ---- Transfers ----------------------------------------------------------
 
-  /// Host → device copy; sizes must match.
+  /// Host → device copy; sizes must match. Marks the destination fully
+  /// initialized in the initcheck shadow.
   template <class T>
   void copy_to_device(DeviceBuffer<T>& dst, std::span<const T> src) {
+    dst.ensure_not_moved_from();
     if (dst.size() != src.size()) {
       throw LaunchConfigError("copy_to_device: size mismatch");
     }
     std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+    if (dst.shadow_) {
+      dst.shadow_->mark_all_valid();
+    }
   }
 
-  /// Device → host copy; sizes must match.
+  /// Device → host copy; sizes must match. Reading back an allocation the
+  /// device never fully wrote is an initcheck finding.
   template <class T>
   void copy_to_host(std::span<T> dst, const DeviceBuffer<T>& src) {
+    src.ensure_not_moved_from();
     if (dst.size() != src.size()) {
       throw LaunchConfigError("copy_to_host: size mismatch");
+    }
+    if (src.shadow_) {
+      if (auto bad = src.shadow_->first_invalid()) {
+        src.shadow_->check_read(*bad);
+      }
     }
     std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
   }
@@ -198,13 +292,14 @@ class Device {
   /// thread with no intra-block communication (the paper's main kernel
   /// "does not use shared memory or coordination across threads"). Blocks
   /// execute concurrently on the pool; threads within a block execute on
-  /// the block's worker. Synchronous.
+  /// the block's worker. Synchronous. `name` labels sanitizer reports.
   template <class F>
-  void launch(LaunchConfig cfg, F&& kernel) {
+  void launch(const char* name, LaunchConfig cfg, F&& kernel) {
     validate(cfg, 0);
     ++stats_.kernel_launches;
     stats_.blocks_executed += cfg.grid_blocks;
     stats_.threads_executed += cfg.total_threads();
+    detail::KernelScope scope(sanitizer_.get(), name);
     parallel::parallel_for(
         cfg.grid_blocks,
         [&](std::size_t block) {
@@ -219,26 +314,46 @@ class Device {
         },
         pool_);
   }
+  template <class F>
+  void launch(LaunchConfig cfg, F&& kernel) {
+    launch("<kernel>", cfg, std::forward<F>(kernel));
+  }
 
   /// Launches a cooperative kernel: `body(BlockCtx&)` runs once per block
   /// with `shared_bytes` of shared memory; intra-block barriers are the
-  /// phase boundaries of BlockCtx::for_each_thread. Synchronous.
+  /// phase boundaries of BlockCtx::for_each_thread. Synchronous. On a
+  /// sanitizer-enabled device each block gets a byte-granular racecheck
+  /// shadow of its shared memory. `name` labels sanitizer reports.
   template <class F>
-  void launch_cooperative(LaunchConfig cfg, std::size_t shared_bytes,
-                          F&& body) {
+  void launch_cooperative(const char* name, LaunchConfig cfg,
+                          std::size_t shared_bytes, F&& body) {
     validate(cfg, shared_bytes);
     ++stats_.cooperative_launches;
     stats_.blocks_executed += cfg.grid_blocks;
     stats_.threads_executed += cfg.total_threads();
+    detail::KernelScope scope(sanitizer_.get(), name);
+    detail::SanitizerState* state = sanitizer_.get();
     parallel::parallel_for(
         cfg.grid_blocks,
         [&](std::size_t block) {
           std::vector<std::byte> shared(shared_bytes);
-          BlockCtx ctx(block, cfg.threads_per_block, cfg.grid_blocks,
-                       std::span<std::byte>(shared));
-          body(ctx);
+          if (state != nullptr) {
+            detail::SharedShadow shadow(state, name, block, shared_bytes);
+            BlockCtx ctx(block, cfg.threads_per_block, cfg.grid_blocks,
+                         std::span<std::byte>(shared), &shadow);
+            body(ctx);
+          } else {
+            BlockCtx ctx(block, cfg.threads_per_block, cfg.grid_blocks,
+                         std::span<std::byte>(shared));
+            body(ctx);
+          }
         },
         pool_);
+  }
+  template <class F>
+  void launch_cooperative(LaunchConfig cfg, std::size_t shared_bytes,
+                          F&& body) {
+    launch_cooperative("<kernel>", cfg, shared_bytes, std::forward<F>(body));
   }
 
  private:
@@ -251,6 +366,7 @@ class Device {
   parallel::ThreadPool* pool_;
   std::shared_ptr<detail::MemoryLedger> global_;
   std::shared_ptr<detail::MemoryLedger> constant_;
+  std::shared_ptr<detail::SanitizerState> sanitizer_;
   LaunchStats stats_;
 };
 

@@ -50,28 +50,22 @@ inline std::size_t reduction_block_dim(const Device& device,
   return std::size_t{1} << (std::bit_width(dim) - 1);
 }
 
-}  // namespace detail
-
-/// Single-block device sum, exactly the paper's §IV-B schedule: thread t
-/// first accumulates the elements j with j ≡ t (mod T) into shared[t], then
-/// a tree reduction leaves the total in shared[0].
-///
-/// `input` must be a device-resident span (a DeviceBuffer's span). The
-/// requested block size is rounded down to a power of two and clamped to
-/// the device limit.
-template <class T>
-T reduce_sum(Device& device, std::span<const T> input,
-             std::size_t threads_per_block = 512,
-             ReduceVariant variant = ReduceVariant::kSequential) {
+/// Generic body shared by the span and MemView entry points: `View` only
+/// needs size()/empty() and an operator[] whose result converts to T —
+/// raw spans run unchecked, MemViews run under the sanitizer shadows.
+template <class T, class View>
+T reduce_sum_impl(Device& device, View input, std::size_t threads_per_block,
+                  ReduceVariant variant) {
   if (input.empty()) {
     return T{0};
   }
   const std::size_t block_dim =
-      detail::reduction_block_dim(device, threads_per_block);
+      reduction_block_dim(device, threads_per_block);
   T result{};
   device.launch_cooperative(
-      LaunchConfig{1, block_dim}, block_dim * sizeof(T), [&](BlockCtx& ctx) {
-        std::span<T> shared = ctx.template shared_as<T>(block_dim);
+      "reduce_sum", LaunchConfig{1, block_dim}, block_dim * sizeof(T),
+      [&](BlockCtx& ctx) {
+        auto shared = ctx.template shared_as<T>(block_dim);
         // Phase 1: strided load-and-add. Thread t owns j ≡ t (mod T).
         ctx.for_each_thread([&](std::size_t t) {
           T acc{};
@@ -103,44 +97,27 @@ T reduce_sum(Device& device, std::span<const T> input,
   return result;
 }
 
-/// Single-block device minimum (same schedule as reduce_sum with `min`
-/// replacing `+`).
-template <class T>
-T reduce_min(Device& device, std::span<const T> input,
-             std::size_t threads_per_block = 512) {
-  ArgminResult<T> r = reduce_argmin(device, input, threads_per_block);
-  return r.value;
-}
-
-/// Single-block device argmin — the paper's bandwidth-selection reduction.
-///
-/// The paper stores 2T elements in shared memory: T cross-validation scores
-/// and T corresponding bandwidths, updated in tandem. Following the paper's
-/// own footnote 2 ("we can simply save the integer-value of the thread
-/// index… and access that element of the bandwidth array… after the
-/// procedure"), the payload here is the input *index*, which the caller
-/// maps back to a bandwidth. Ties resolve to the smallest index.
-template <class T>
-ArgminResult<T> reduce_argmin(Device& device, std::span<const T> input,
-                              std::size_t threads_per_block = 512) {
+template <class T, class View>
+ArgminResult<T> reduce_argmin_impl(Device& device, View input,
+                                   std::size_t threads_per_block) {
   ArgminResult<T> result;
   if (input.empty()) {
     return result;
   }
   const std::size_t block_dim =
-      detail::reduction_block_dim(device, threads_per_block);
-  // 2T shared elements: T values followed by T payload indices.
+      reduction_block_dim(device, threads_per_block);
+  // 2T shared elements: T values following T payload indices.
   const std::size_t shared_bytes =
       block_dim * (sizeof(T) + sizeof(std::size_t));
   device.launch_cooperative(
-      LaunchConfig{1, block_dim}, shared_bytes, [&](BlockCtx& ctx) {
+      "reduce_argmin", LaunchConfig{1, block_dim}, shared_bytes,
+      [&](BlockCtx& ctx) {
         // Payload indices first: sizeof(size_t) >= alignof(T) for the
         // float/double instantiations, so the value array that follows is
         // correctly aligned for any power-of-two block size.
-        std::span<std::size_t> idxs =
-            ctx.template shared_as<std::size_t>(block_dim);
-        auto* val_base = reinterpret_cast<T*>(idxs.data() + block_dim);
-        std::span<T> vals{val_base, block_dim};
+        auto idxs = ctx.template shared_as<std::size_t>(block_dim);
+        auto vals = ctx.template shared_as<T>(
+            block_dim, block_dim * sizeof(std::size_t));
 
         ctx.for_each_thread([&](std::size_t t) {
           T best = std::numeric_limits<T>::infinity();
@@ -168,33 +145,30 @@ ArgminResult<T> reduce_argmin(Device& device, std::span<const T> input,
           });
         }
         result.value = vals[0];
-        result.index = idxs[0] < input.size() ? idxs[0] : 0;
+        result.index = idxs[0] < input.size() ? idxs[0] : std::size_t{0};
       });
   return result;
 }
 
-/// Two-level grid-wide sum for inputs too large for one block to chew
-/// through efficiently: a grid of blocks each reduces a contiguous chunk to
-/// a partial (in global memory), then a single-block pass reduces the
-/// partials. Mirrors the multi-launch structure of Harris's full reduction.
-template <class T>
-T reduce_sum_grid(Device& device, std::span<const T> input,
-                  std::size_t threads_per_block = 512) {
+template <class T, class View>
+T reduce_sum_grid_impl(Device& device, View input,
+                       std::size_t threads_per_block) {
   if (input.empty()) {
     return T{0};
   }
   const std::size_t block_dim =
-      detail::reduction_block_dim(device, threads_per_block);
+      reduction_block_dim(device, threads_per_block);
   const std::size_t chunk = 2 * block_dim;  // first add during global load
   std::size_t blocks = (input.size() + chunk - 1) / chunk;
   blocks = std::min(blocks, device.properties().max_grid_blocks);
 
-  DeviceBuffer<T> partials = device.template alloc_global<T>(blocks);
-  std::span<T> partial_span = partials.span();
+  DeviceBuffer<T> partials =
+      device.template alloc_global<T>(blocks, "reduce-partials");
+  MemView<T> partial_view = partials.view();
   device.launch_cooperative(
-      LaunchConfig{blocks, block_dim}, block_dim * sizeof(T),
-      [&](BlockCtx& ctx) {
-        std::span<T> shared = ctx.template shared_as<T>(block_dim);
+      "reduce_sum_grid", LaunchConfig{blocks, block_dim},
+      block_dim * sizeof(T), [&](BlockCtx& ctx) {
+        auto shared = ctx.template shared_as<T>(block_dim);
         const std::size_t b = ctx.block_idx();
         ctx.for_each_thread([&](std::size_t t) {
           // Grid-stride over the whole array so any block count covers it;
@@ -221,10 +195,78 @@ T reduce_sum_grid(Device& device, std::span<const T> input,
             }
           });
         }
-        partial_span[b] = shared[0];
+        partial_view[b] = shared[0];
       });
-  return reduce_sum(device, std::span<const T>(partial_span),
-                    threads_per_block);
+  return reduce_sum_impl<T>(device, partial_view, threads_per_block,
+                            ReduceVariant::kSequential);
+}
+
+}  // namespace detail
+
+/// Single-block device sum, exactly the paper's §IV-B schedule: thread t
+/// first accumulates the elements j with j ≡ t (mod T) into shared[t], then
+/// a tree reduction leaves the total in shared[0].
+///
+/// `input` is a device-resident span (a DeviceBuffer's span) or, on a
+/// sanitizer-enabled device, a checked MemView (DeviceBuffer::view()). The
+/// requested block size is rounded down to a power of two and clamped to
+/// the device limit.
+template <class T>
+T reduce_sum(Device& device, std::span<const T> input,
+             std::size_t threads_per_block = 512,
+             ReduceVariant variant = ReduceVariant::kSequential) {
+  return detail::reduce_sum_impl<T>(device, input, threads_per_block,
+                                    variant);
+}
+template <class T>
+T reduce_sum(Device& device, MemView<const T> input,
+             std::size_t threads_per_block = 512,
+             ReduceVariant variant = ReduceVariant::kSequential) {
+  return detail::reduce_sum_impl<T>(device, input, threads_per_block,
+                                    variant);
+}
+
+/// Single-block device argmin — the paper's bandwidth-selection reduction.
+///
+/// The paper stores 2T elements in shared memory: T cross-validation scores
+/// and T corresponding bandwidths, updated in tandem. Following the paper's
+/// own footnote 2 ("we can simply save the integer-value of the thread
+/// index… and access that element of the bandwidth array… after the
+/// procedure"), the payload here is the input *index*, which the caller
+/// maps back to a bandwidth. Ties resolve to the smallest index.
+template <class T>
+ArgminResult<T> reduce_argmin(Device& device, std::span<const T> input,
+                              std::size_t threads_per_block = 512) {
+  return detail::reduce_argmin_impl<T>(device, input, threads_per_block);
+}
+template <class T>
+ArgminResult<T> reduce_argmin(Device& device, MemView<const T> input,
+                              std::size_t threads_per_block = 512) {
+  return detail::reduce_argmin_impl<T>(device, input, threads_per_block);
+}
+
+/// Single-block device minimum (same schedule as reduce_sum with `min`
+/// replacing `+`).
+template <class T>
+T reduce_min(Device& device, std::span<const T> input,
+             std::size_t threads_per_block = 512) {
+  ArgminResult<T> r = reduce_argmin(device, input, threads_per_block);
+  return r.value;
+}
+
+/// Two-level grid-wide sum for inputs too large for one block to chew
+/// through efficiently: a grid of blocks each reduces a contiguous chunk to
+/// a partial (in global memory), then a single-block pass reduces the
+/// partials. Mirrors the multi-launch structure of Harris's full reduction.
+template <class T>
+T reduce_sum_grid(Device& device, std::span<const T> input,
+                  std::size_t threads_per_block = 512) {
+  return detail::reduce_sum_grid_impl<T>(device, input, threads_per_block);
+}
+template <class T>
+T reduce_sum_grid(Device& device, MemView<const T> input,
+                  std::size_t threads_per_block = 512) {
+  return detail::reduce_sum_grid_impl<T>(device, input, threads_per_block);
 }
 
 }  // namespace kreg::spmd

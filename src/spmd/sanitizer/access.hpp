@@ -1,0 +1,217 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <type_traits>
+
+#include "spmd/sanitizer/shadow.hpp"
+
+namespace kreg::spmd {
+
+/// Proxy reference to one element of a checked global allocation.
+///
+/// Reads (the implicit conversion to the value type) run the initcheck
+/// valid-bit lookup; writes (assignment / compound assignment) mark the
+/// element written. With a null shadow the proxy degrades to a raw
+/// pointer dereference, so the same algorithm code runs checked and
+/// unchecked. Copy assignment copies the *value* across — a proxy never
+/// rebinds, exactly like std::vector<bool>::reference.
+template <class T>
+class MemRef {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  MemRef(T* ptr, detail::AllocShadow* shadow, std::size_t elem) noexcept
+      : ptr_(ptr), shadow_(shadow), elem_(elem) {}
+
+  operator value_type() const {  // NOLINT(google-explicit-constructor)
+    if (shadow_ != nullptr) {
+      shadow_->check_read(elem_);
+    }
+    return *ptr_;
+  }
+
+  MemRef& operator=(const value_type& v) {
+    *ptr_ = v;
+    if (shadow_ != nullptr) {
+      shadow_->mark_valid(elem_);
+    }
+    return *this;
+  }
+  MemRef& operator=(const MemRef& other) {
+    return *this = static_cast<value_type>(other);
+  }
+
+  MemRef& operator+=(const value_type& v) {
+    if (shadow_ != nullptr) {
+      shadow_->check_read(elem_);
+    }
+    *ptr_ += v;
+    if (shadow_ != nullptr) {
+      shadow_->mark_valid(elem_);
+    }
+    return *this;
+  }
+
+ private:
+  T* ptr_;
+  detail::AllocShadow* shadow_;
+  std::size_t elem_;
+};
+
+/// Bounds- and initcheck-instrumented window over a checked global
+/// allocation — the device-side counterpart of DeviceBuffer::span().
+/// Indexing returns a MemRef proxy; an out-of-range index reports a
+/// memcheck OOB (and throws) when a shadow is attached, and asserts like
+/// the raw span path otherwise.
+template <class T>
+class MemView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  MemView() = default;
+  MemView(T* data, std::size_t size, detail::AllocShadow* shadow) noexcept
+      : data_(data), size_(size), shadow_(shadow) {}
+
+  /// MemView<T> → MemView<const T>.
+  template <class U = T,
+            class = std::enable_if_t<std::is_const_v<U>>>
+  MemView(const MemView<value_type>& other) noexcept  // NOLINT
+      : data_(other.data()), size_(other.size()), shadow_(other.shadow()) {
+    elem_offset_ = other.elem_offset_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  T* data() const noexcept { return data_; }
+  detail::AllocShadow* shadow() const noexcept { return shadow_; }
+
+  MemRef<T> operator[](std::size_t i) const {
+    if (i >= size_) {
+      if (shadow_ != nullptr) {
+        shadow_->report_oob(elem_offset_ + i, elem_offset_ + size_,
+                            "buffer index");
+      }
+      assert(i < size_ && "MemView index out of range");
+    }
+    return MemRef<T>(data_ + i, shadow_, elem_offset_ + i);
+  }
+
+  MemView subview(std::size_t offset, std::size_t count) const {
+    if (offset + count > size_) {
+      if (shadow_ != nullptr) {
+        shadow_->report_oob(offset + count, size_, "buffer subview");
+      }
+      assert(offset + count <= size_ && "MemView subview out of range");
+    }
+    // Element indices in the shadow stay absolute only for a full view;
+    // subviews are windows over the same storage, so the shadow is carried
+    // with an element offset baked into the proxies.
+    MemView v(data_ + offset, count, shadow_);
+    v.elem_offset_ = elem_offset_ + offset;
+    return v;
+  }
+
+ private:
+  template <class>
+  friend class MemView;
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  detail::AllocShadow* shadow_ = nullptr;
+  std::size_t elem_offset_ = 0;
+};
+
+/// Proxy reference to one element of checked shared memory: every read and
+/// write lands in the block's per-phase racecheck shadow.
+template <class T>
+class SharedRef {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  SharedRef(T* ptr, detail::SharedShadow* shadow,
+            std::size_t byte_offset) noexcept
+      : ptr_(ptr), shadow_(shadow), byte_(byte_offset) {}
+
+  operator value_type() const {  // NOLINT(google-explicit-constructor)
+    if (shadow_ != nullptr) {
+      shadow_->record(byte_, sizeof(T), /*is_write=*/false);
+    }
+    return *ptr_;
+  }
+
+  SharedRef& operator=(const value_type& v) {
+    if (shadow_ != nullptr) {
+      shadow_->record(byte_, sizeof(T), /*is_write=*/true);
+    }
+    *ptr_ = v;
+    return *this;
+  }
+  SharedRef& operator=(const SharedRef& other) {
+    return *this = static_cast<value_type>(other);
+  }
+
+  SharedRef& operator+=(const value_type& v) {
+    if (shadow_ != nullptr) {
+      shadow_->record(byte_, sizeof(T), /*is_write=*/false);
+      shadow_->record(byte_, sizeof(T), /*is_write=*/true);
+    }
+    *ptr_ += v;
+    return *this;
+  }
+
+ private:
+  T* ptr_;
+  detail::SharedShadow* shadow_;
+  std::size_t byte_;
+};
+
+/// The view BlockCtx::shared_as<T>() returns: shared memory reinterpreted
+/// as T with racecheck recording and index bounds checks. With a null
+/// shadow (plain Device) the checks reduce to the debug assert.
+template <class T>
+class SharedSpan {
+ public:
+  SharedSpan() = default;
+  SharedSpan(T* data, std::size_t count, detail::SharedShadow* shadow,
+             std::size_t base_byte_offset) noexcept
+      : data_(data), count_(count), shadow_(shadow), base_(base_byte_offset) {}
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  T* data() const noexcept { return data_; }
+
+  SharedRef<T> operator[](std::size_t i) const {
+    if (i >= count_) {
+      if (shadow_ != nullptr) {
+        shadow_->report_oob(
+            base_ + i * sizeof(T),
+            "shared index " + std::to_string(i) + " out of range [0, " +
+                std::to_string(count_) + ")");
+      }
+      assert(i < count_ && "shared index out of range");
+    }
+    return SharedRef<T>(data_ + i, shadow_, base_ + i * sizeof(T));
+  }
+
+  SharedSpan subspan(std::size_t offset, std::size_t count) const {
+    if (offset + count > count_) {
+      if (shadow_ != nullptr) {
+        shadow_->report_oob(base_ + offset * sizeof(T),
+                            "shared subspan out of range");
+      }
+      assert(offset + count <= count_ && "shared subspan out of range");
+    }
+    return SharedSpan(data_ + offset, count, shadow_,
+                      base_ + offset * sizeof(T));
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+  detail::SharedShadow* shadow_ = nullptr;
+  std::size_t base_ = 0;
+};
+
+}  // namespace kreg::spmd

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "spmd/device.hpp"
+#include "spmd/sanitizer/report.hpp"
+
+namespace kreg::spmd {
+
+/// Drop-in replacement for Device with the sanitizer always on — the
+/// simulator's `compute-sanitizer ./app`: racecheck over shared memory,
+/// memcheck on buffer/shared accessors, initcheck valid-bit shadows and a
+/// teardown leak scan. The API is exactly Device's, so any code templated
+/// on or referencing Device runs unchanged.
+///
+/// Default sink is ThrowSink (findings surface as SanitizerError on the
+/// launching thread — the testing mode); pass a CountingSink to
+/// log-and-count instead (the bench mode).
+class CheckedDevice : public Device {
+ public:
+  explicit CheckedDevice(DeviceProperties props = DeviceProperties::tesla_s10(),
+                         parallel::ThreadPool* pool = nullptr,
+                         std::shared_ptr<SanitizerSink> sink = nullptr)
+      : Device(std::move(props), pool) {
+    enable_sanitizer(sink != nullptr ? std::move(sink)
+                                     : std::make_shared<ThrowSink>());
+  }
+};
+
+}  // namespace kreg::spmd

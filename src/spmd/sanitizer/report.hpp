@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spmd/errors.hpp"
+
+namespace kreg::spmd {
+
+/// The hazard classes the sanitizer layer detects, mirroring
+/// `compute-sanitizer --tool racecheck|memcheck|initcheck` plus the leak
+/// report compute-sanitizer folds into memcheck:
+///   kRace   racecheck: two distinct tids touch the same shared-memory byte
+///           inside one barrier-delimited phase (RAW / WAR / WAW).
+///   kOob    memcheck: out-of-bounds index into a device buffer or shared
+///           span, a shared_as<T>() request over the launch's shared bytes,
+///           or use of a moved-from buffer.
+///   kUninit initcheck: a kernel (or copy_to_host) reads global memory no
+///           write ever reached.
+///   kLeak   device teardown with live global allocations.
+enum class HazardKind { kRace, kOob, kUninit, kLeak };
+
+std::string_view to_string(HazardKind kind) noexcept;
+
+/// One sanitizer finding. Fields that do not apply to a hazard kind keep
+/// their sentinel values (kNoTid / 0 / empty).
+struct SanitizerReport {
+  static constexpr std::size_t kNoTid = static_cast<std::size_t>(-1);
+
+  HazardKind kind = HazardKind::kRace;
+  /// Kernel name passed at launch ("<host>" for host-side accesses).
+  std::string kernel = "<host>";
+  /// The object involved: a buffer's allocation label, or "shared".
+  std::string object;
+  /// for_each_thread phase index within the launch (races / shared OOB).
+  std::size_t phase = 0;
+  std::size_t block = 0;
+  /// Offending tids: for races, tid_a made the earlier access and tid_b the
+  /// later conflicting one; for OOB/uninit inside a phase, tid_b is the
+  /// accessing thread.
+  std::size_t tid_a = kNoTid;
+  std::size_t tid_b = kNoTid;
+  /// Byte offset of the access within the object.
+  std::size_t byte_offset = 0;
+  std::string message;
+
+  /// "kreg-sanitizer [racecheck] ..." one-line rendering.
+  std::string format() const;
+};
+
+/// Thrown by ThrowSink (the testing sink): a sanitizer finding as a
+/// catchable device error carrying the structured report.
+class SanitizerError : public DeviceError {
+ public:
+  explicit SanitizerError(SanitizerReport report);
+  const SanitizerReport& report() const noexcept { return report_; }
+
+ private:
+  SanitizerReport report_;
+};
+
+/// Destination for sanitizer findings. Must be safe to call from multiple
+/// device worker threads concurrently.
+class SanitizerSink {
+ public:
+  virtual ~SanitizerSink() = default;
+  virtual void report(const SanitizerReport& report) = 0;
+};
+
+/// Test sink: every finding throws SanitizerError (the exception surfaces
+/// on the launching thread, like compute-sanitizer's default abort).
+class ThrowSink final : public SanitizerSink {
+ public:
+  void report(const SanitizerReport& report) override;
+};
+
+/// Bench sink: counts findings per kind, keeps the first `max_kept` reports
+/// for inspection, and optionally logs each one to a stream.
+class CountingSink final : public SanitizerSink {
+ public:
+  explicit CountingSink(std::ostream* log = nullptr, std::size_t max_kept = 64)
+      : log_(log), max_kept_(max_kept) {}
+
+  void report(const SanitizerReport& report) override;
+
+  std::size_t count(HazardKind kind) const;
+  std::size_t total() const;
+  std::vector<SanitizerReport> reports() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<std::size_t, 4> counts_{};
+  std::vector<SanitizerReport> kept_;
+  std::ostream* log_;
+  std::size_t max_kept_;
+};
+
+}  // namespace kreg::spmd

@@ -1,0 +1,117 @@
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "spmd/sanitizer/access.hpp"
+#include "spmd/sanitizer/report.hpp"
+#include "spmd/sanitizer/shadow.hpp"
+
+namespace kreg::spmd {
+
+std::string_view to_string(HazardKind kind) noexcept {
+  switch (kind) {
+    case HazardKind::kRace:
+      return "racecheck";
+    case HazardKind::kOob:
+      return "memcheck";
+    case HazardKind::kUninit:
+      return "initcheck";
+    case HazardKind::kLeak:
+      return "leakcheck";
+  }
+  return "unknown";
+}
+
+std::string SanitizerReport::format() const {
+  std::ostringstream out;
+  out << "kreg-sanitizer [" << to_string(kind) << "] kernel=" << kernel
+      << " object=" << (object.empty() ? "<none>" : object);
+  if (kind == HazardKind::kRace || tid_a != kNoTid || tid_b != kNoTid) {
+    out << " phase=" << phase << " block=" << block;
+  }
+  if (tid_a != kNoTid && tid_b != kNoTid) {
+    out << " tids=" << tid_a << "," << tid_b;
+  } else if (tid_b != kNoTid) {
+    out << " tid=" << tid_b;
+  }
+  out << " byte=" << byte_offset << ": " << message;
+  return out.str();
+}
+
+SanitizerError::SanitizerError(SanitizerReport report)
+    : DeviceError(report.format()), report_(std::move(report)) {}
+
+void ThrowSink::report(const SanitizerReport& report) {
+  throw SanitizerError(report);
+}
+
+void CountingSink::report(const SanitizerReport& report) {
+  std::lock_guard lock(mutex_);
+  ++counts_[static_cast<std::size_t>(report.kind)];
+  if (kept_.size() < max_kept_) {
+    kept_.push_back(report);
+  }
+  if (log_ != nullptr) {
+    *log_ << report.format() << '\n';
+  }
+}
+
+std::size_t CountingSink::count(HazardKind kind) const {
+  std::lock_guard lock(mutex_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t CountingSink::total() const {
+  std::lock_guard lock(mutex_);
+  std::size_t sum = 0;
+  for (std::size_t c : counts_) {
+    sum += c;
+  }
+  return sum;
+}
+
+std::vector<SanitizerReport> CountingSink::reports() const {
+  std::lock_guard lock(mutex_);
+  return kept_;
+}
+
+namespace detail {
+
+void AllocShadow::check_read(std::size_t elem) {
+  if (is_valid(elem)) {
+    return;
+  }
+  // One report per allocation: with a counting sink a single uninitialized
+  // buffer read in a hot kernel would otherwise emit n reports.
+  if (uninit_reported_.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  SanitizerReport report;
+  report.kind = HazardKind::kUninit;
+  report.kernel = state_->current_kernel();
+  report.object = label_;
+  report.byte_offset = elem * elem_size_;
+  report.message = "read of never-written element " + std::to_string(elem) +
+                   " of allocation '" + label_ + "'";
+  state_->deliver(report);
+}
+
+void AllocShadow::report_oob(std::size_t i, std::size_t bound,
+                             const char* what) {
+  SanitizerReport report;
+  report.kind = HazardKind::kOob;
+  report.kernel = state_->current_kernel();
+  report.object = label_;
+  report.byte_offset = i * elem_size_;
+  report.message = std::string(what) + " " + std::to_string(i) +
+                   " out of range [0, " + std::to_string(bound) +
+                   ") in allocation '" + label_ + "'";
+  state_->deliver(report);
+  // A counting sink returns; there is still no valid element to hand back,
+  // so out-of-bounds escalates to the device's launch-error type.
+  throw LaunchConfigError("out-of-bounds access to allocation '" + label_ +
+                          "'");
+}
+
+}  // namespace detail
+}  // namespace kreg::spmd

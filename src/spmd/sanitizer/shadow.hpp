@@ -1,0 +1,365 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spmd/sanitizer/report.hpp"
+
+namespace kreg::spmd::detail {
+
+class SanitizerState;
+
+/// Valid-bit shadow of one global (or constant) allocation: one byte per
+/// element, set on the first write that reaches it (device-side store
+/// through a checked view, copy_to_device, or a host-side non-const
+/// element access), checked on device-side reads and copy_to_host.
+///
+/// The shadow is co-owned by the buffer and (weakly) by the device's
+/// SanitizerState registry, and pins the state itself so a buffer that
+/// outlives its device can still deliver reports.
+class AllocShadow {
+ public:
+  AllocShadow(std::shared_ptr<SanitizerState> state, std::size_t id,
+              std::string label, std::size_t elem_size, std::size_t count)
+      : state_(std::move(state)),
+        id_(id),
+        label_(std::move(label)),
+        elem_size_(elem_size),
+        count_(count),
+        valid_(count > 0 ? std::make_unique<std::atomic<std::uint8_t>[]>(count)
+                         : nullptr) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      valid_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t id() const noexcept { return id_; }
+  const std::string& label() const noexcept { return label_; }
+  std::size_t count() const noexcept { return count_; }
+  std::size_t elem_size() const noexcept { return elem_size_; }
+  std::size_t size_bytes() const noexcept { return count_ * elem_size_; }
+
+  SanitizerState& state() noexcept { return *state_; }
+
+  void mark_valid(std::size_t elem) noexcept {
+    valid_[elem].store(1, std::memory_order_relaxed);
+  }
+  void mark_all_valid() noexcept {
+    for (std::size_t i = 0; i < count_; ++i) {
+      valid_[i].store(1, std::memory_order_relaxed);
+    }
+  }
+  bool is_valid(std::size_t elem) const noexcept {
+    return valid_[elem].load(std::memory_order_relaxed) != 0;
+  }
+  /// First never-written element, or nullopt when fully initialized.
+  std::optional<std::size_t> first_invalid() const noexcept {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (!is_valid(i)) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// initcheck hook for a device-side read of element `elem`. To keep
+  /// non-throwing sinks from flooding, only the first uninitialized read of
+  /// each allocation is reported.
+  void check_read(std::size_t elem);
+
+  /// memcheck hook: index `i` is outside [0, bound). Reports and, when the
+  /// sink returns (log-and-count mode), throws LaunchConfigError anyway —
+  /// there is no safe element to redirect the access to.
+  [[noreturn]] void report_oob(std::size_t i, std::size_t bound,
+                               const char* what);
+
+  /// Marks this allocation as already reported by a leak pass so a second
+  /// pass (explicit check_leaks() followed by device teardown) stays quiet.
+  bool claim_leak_report() noexcept {
+    return !leak_reported_.exchange(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<SanitizerState> state_;
+  std::size_t id_;
+  std::string label_;
+  std::size_t elem_size_;
+  std::size_t count_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> valid_;
+  std::atomic<bool> uninit_reported_{false};
+  std::atomic<bool> leak_reported_{false};
+};
+
+/// Per-device sanitizer state: the sink, the registry of live global
+/// allocations (weak, so RAII release is the liveness signal), hazard
+/// counters, and the name of the kernel currently launching.
+class SanitizerState : public std::enable_shared_from_this<SanitizerState> {
+ public:
+  explicit SanitizerState(std::shared_ptr<SanitizerSink> sink)
+      : sink_(std::move(sink)) {}
+
+  SanitizerSink& sink() noexcept { return *sink_; }
+
+  /// Counts the finding, then hands it to the sink (which may throw).
+  void deliver(const SanitizerReport& report) {
+    count(report.kind);
+    sink_->report(report);
+  }
+  /// Destructor-safe delivery: still counted, sink exceptions swallowed.
+  void deliver_noexcept(const SanitizerReport& report) noexcept {
+    count(report.kind);
+    try {
+      sink_->report(report);
+    } catch (...) {  // teardown path must not throw
+    }
+  }
+
+  std::shared_ptr<AllocShadow> register_alloc(std::string label,
+                                              std::size_t elem_size,
+                                              std::size_t count) {
+    std::lock_guard lock(mutex_);
+    auto shadow = std::make_shared<AllocShadow>(
+        shared_from_this(), next_id_++, std::move(label), elem_size, count);
+    allocs_.push_back(shadow);
+    return shadow;
+  }
+
+  /// Number of registered allocations whose buffers are still alive.
+  std::size_t live_allocations() const {
+    std::lock_guard lock(mutex_);
+    std::size_t live = 0;
+    for (const auto& weak : allocs_) {
+      if (!weak.expired()) {
+        ++live;
+      }
+    }
+    return live;
+  }
+
+  /// Reports every live allocation as a leak (each at most once across
+  /// repeated passes) and returns how many were still live. `may_throw`
+  /// selects deliver() vs the destructor-safe path.
+  std::size_t leak_check(bool may_throw) {
+    std::vector<std::shared_ptr<AllocShadow>> live;
+    {
+      std::lock_guard lock(mutex_);
+      for (const auto& weak : allocs_) {
+        if (auto shadow = weak.lock()) {
+          live.push_back(std::move(shadow));
+        }
+      }
+    }
+    for (const auto& shadow : live) {
+      if (!shadow->claim_leak_report()) {
+        continue;
+      }
+      SanitizerReport report;
+      report.kind = HazardKind::kLeak;
+      report.object = shadow->label();
+      report.byte_offset = 0;
+      report.message = "allocation '" + shadow->label() + "' (" +
+                       std::to_string(shadow->size_bytes()) +
+                       " bytes) still live at device teardown";
+      if (may_throw) {
+        deliver(report);
+      } else {
+        deliver_noexcept(report);
+      }
+    }
+    return live.size();
+  }
+
+  std::size_t races_detected() const noexcept { return load(counts_[0]); }
+  std::size_t oobs_detected() const noexcept { return load(counts_[1]); }
+  std::size_t uninits_detected() const noexcept { return load(counts_[2]); }
+  std::size_t leaks_detected() const noexcept { return load(counts_[3]); }
+  std::size_t findings() const noexcept {
+    return races_detected() + oobs_detected() + uninits_detected() +
+           leaks_detected();
+  }
+
+  void set_current_kernel(const char* name) noexcept {
+    current_kernel_.store(name, std::memory_order_relaxed);
+  }
+  /// Name of the kernel currently launching, or "<host>" between launches.
+  const char* current_kernel() const noexcept {
+    const char* name = current_kernel_.load(std::memory_order_relaxed);
+    return name != nullptr ? name : "<host>";
+  }
+
+ private:
+  static std::size_t load(const std::atomic<std::size_t>& c) noexcept {
+    return c.load(std::memory_order_relaxed);
+  }
+  void count(HazardKind kind) noexcept {
+    counts_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<SanitizerSink> sink_;
+  mutable std::mutex mutex_;
+  std::vector<std::weak_ptr<AllocShadow>> allocs_;
+  std::size_t next_id_ = 1;
+  std::atomic<std::size_t> counts_[4] = {};
+  std::atomic<const char*> current_kernel_{nullptr};
+};
+
+/// RAII setter for SanitizerState::current_kernel across a launch.
+class KernelScope {
+ public:
+  KernelScope(SanitizerState* state, const char* name) noexcept
+      : state_(state) {
+    if (state_ != nullptr) {
+      state_->set_current_kernel(name);
+    }
+  }
+  ~KernelScope() {
+    if (state_ != nullptr) {
+      state_->set_current_kernel(nullptr);
+    }
+  }
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  SanitizerState* state_;
+};
+
+/// Byte-granular racecheck shadow of one block's shared memory for one
+/// cooperative launch.
+///
+/// The hazard model matches the simulator's barrier semantics: each
+/// BlockCtx::for_each_thread call is one phase, returning from it is the
+/// barrier, and within a phase the thread schedule is unspecified. Hence
+/// any shared-memory byte written by tid A and touched (read: RAW, write:
+/// WAW) by a different tid B in the *same* phase — or read by A then
+/// written by B (WAR) — is a data race on a conforming parallel schedule,
+/// even though the sequential simulator happens to pick one legal order.
+/// Cross-phase communication is ordered by the barrier and never flagged.
+///
+/// Cells are epoch-stamped per phase instead of cleared, so a phase costs
+/// O(bytes actually touched), not O(shared bytes).
+class SharedShadow {
+ public:
+  static constexpr std::uint16_t kNone = 0xFFFF;
+
+  SharedShadow(SanitizerState* state, const char* kernel,
+               std::size_t block_idx, std::size_t bytes)
+      : state_(state), kernel_(kernel), block_(block_idx), cells_(bytes) {}
+
+  std::size_t phase() const noexcept { return phase_; }
+  bool in_phase() const noexcept { return in_phase_; }
+
+  void begin_phase() noexcept {
+    ++epoch_;
+    phase_ = phases_run_++;
+    in_phase_ = true;
+  }
+  void end_phase() noexcept { in_phase_ = false; }
+  void set_tid(std::size_t tid) noexcept {
+    tid_ = static_cast<std::uint16_t>(tid);
+  }
+
+  /// Records one access of `size` bytes at `offset` by the current tid.
+  /// Reports at most one hazard per access (the first offending byte).
+  void record(std::size_t offset, std::size_t size, bool is_write) {
+    if (!in_phase_) {
+      return;  // block prologue/epilogue code: barrier-ordered, no hazards
+    }
+    bool reported = false;
+    for (std::size_t i = 0; i < size; ++i) {
+      Cell& cell = cells_[offset + i];
+      if (cell.epoch != epoch_) {
+        cell = Cell{epoch_, kNone, kNone, kNone};
+      }
+      if (!reported) {
+        if (is_write) {
+          if (cell.writer != kNone && cell.writer != tid_) {
+            reported = true;
+            report_race("WAW", cell.writer, offset + i);
+          } else if (cell.reader1 != kNone && cell.reader1 != tid_) {
+            reported = true;
+            report_race("WAR", cell.reader1, offset + i);
+          } else if (cell.reader2 != kNone && cell.reader2 != tid_) {
+            reported = true;
+            report_race("WAR", cell.reader2, offset + i);
+          }
+        } else if (cell.writer != kNone && cell.writer != tid_) {
+          reported = true;
+          report_race("RAW", cell.writer, offset + i);
+        }
+      }
+      if (is_write) {
+        if (cell.writer == kNone) {
+          cell.writer = tid_;
+        }
+      } else if (cell.reader1 == kNone) {
+        cell.reader1 = tid_;
+      } else if (cell.reader1 != tid_ && cell.reader2 == kNone) {
+        cell.reader2 = tid_;
+      }
+    }
+  }
+
+  /// memcheck hook for an out-of-range shared access; always throws (via
+  /// the sink or, for log-and-count sinks, LaunchConfigError).
+  [[noreturn]] void report_oob(std::size_t byte_offset, std::string what) {
+    SanitizerReport report;
+    report.kind = HazardKind::kOob;
+    report.kernel = kernel_;
+    report.object = "shared";
+    report.phase = phase_;
+    report.block = block_;
+    report.tid_b = in_phase_ ? tid_ : SanitizerReport::kNoTid;
+    report.byte_offset = byte_offset;
+    report.message = std::move(what);
+    state_->deliver(report);
+    throw LaunchConfigError("shared-memory out-of-bounds access in kernel '" +
+                            std::string(kernel_) + "'");
+  }
+
+ private:
+  struct Cell {
+    std::uint32_t epoch = 0;
+    std::uint16_t writer = kNone;
+    std::uint16_t reader1 = kNone;
+    std::uint16_t reader2 = kNone;
+  };
+
+  void report_race(const char* hazard, std::uint16_t earlier,
+                   std::size_t byte) {
+    SanitizerReport report;
+    report.kind = HazardKind::kRace;
+    report.kernel = kernel_;
+    report.object = "shared";
+    report.phase = phase_;
+    report.block = block_;
+    report.tid_a = earlier;
+    report.tid_b = tid_;
+    report.byte_offset = byte;
+    report.message = std::string(hazard) + " hazard on shared byte " +
+                     std::to_string(byte) + ": tids " +
+                     std::to_string(earlier) + " and " + std::to_string(tid_) +
+                     " touch it inside phase " + std::to_string(phase_) +
+                     " (missing barrier?)";
+    state_->deliver(report);
+  }
+
+  SanitizerState* state_;
+  const char* kernel_;
+  std::size_t block_;
+  std::vector<Cell> cells_;
+  std::uint32_t epoch_ = 0;
+  std::size_t phase_ = 0;
+  std::size_t phases_run_ = 0;
+  std::uint16_t tid_ = kNone;
+  bool in_phase_ = false;
+};
+
+}  // namespace kreg::spmd::detail

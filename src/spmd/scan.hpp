@@ -9,39 +9,35 @@
 
 namespace kreg::spmd {
 
-/// Device-side inclusive prefix sum (Hillis & Steele 1986), the classic
-/// companion primitive to the Harris reduction: log2(T) barrier-separated
-/// phases of stride doubling inside a block, then a block-offset fix-up
-/// pass. Completes the substrate's parallel-primitive set (map: launch;
-/// reduce: reduce.hpp; scan: here).
-///
-/// `data` must be a device-resident span; the scan is in place. The
-/// requested block size is rounded down to a power of two and clamped to
-/// the device limit.
-template <class T>
-void inclusive_scan(Device& device, std::span<T> data,
-                    std::size_t threads_per_block = 512) {
+namespace detail {
+
+/// Generic body shared by the span and MemView entry points (`View` needs
+/// size() and an element-proxy operator[]); see inclusive_scan below.
+template <class T, class View>
+void inclusive_scan_impl(Device& device, View data,
+                         std::size_t threads_per_block) {
   if (data.size() < 2) {
     return;
   }
   // Block dim of at least 2 guarantees the recursion shrinks: with
   // one-thread blocks the block-totals array would equal the input forever.
   const std::size_t block_dim = std::max<std::size_t>(
-      2, detail::reduction_block_dim(device, threads_per_block));
+      2, reduction_block_dim(device, threads_per_block));
   const std::size_t blocks = (data.size() + block_dim - 1) / block_dim;
 
   // Per-block totals, scanned on a second level to produce block offsets.
-  DeviceBuffer<T> totals = device.template alloc_global<T>(blocks);
-  std::span<T> totals_span = totals.span();
+  DeviceBuffer<T> totals =
+      device.template alloc_global<T>(blocks, "scan-block-totals");
+  MemView<T> totals_view = totals.view();
 
   // Pass 1: intra-block Hillis-Steele scan. Double-buffer in shared memory
   // (2T elements) so each phase reads the previous phase's values only.
   device.launch_cooperative(
-      LaunchConfig{blocks, block_dim}, 2 * block_dim * sizeof(T),
-      [&](BlockCtx& ctx) {
-        std::span<T> shared = ctx.template shared_as<T>(2 * block_dim);
-        std::span<T> ping = shared.subspan(0, block_dim);
-        std::span<T> pong = shared.subspan(block_dim, block_dim);
+      "inclusive_scan", LaunchConfig{blocks, block_dim},
+      2 * block_dim * sizeof(T), [&](BlockCtx& ctx) {
+        auto shared = ctx.template shared_as<T>(2 * block_dim);
+        auto ping = shared.subspan(0, block_dim);
+        auto pong = shared.subspan(block_dim, block_dim);
         const std::size_t base = ctx.block_idx() * block_dim;
         const std::size_t valid =
             base < data.size()
@@ -49,42 +45,66 @@ void inclusive_scan(Device& device, std::span<T> data,
                 : std::size_t{0};
 
         ctx.for_each_thread([&](std::size_t t) {
-          ping[t] = t < valid ? data[base + t] : T{};
+          ping[t] = t < valid ? static_cast<T>(data[base + t]) : T{};
         });
         bool flipped = false;
         for (std::size_t stride = 1; stride < block_dim; stride *= 2) {
-          std::span<T> src = flipped ? pong : ping;
-          std::span<T> dst = flipped ? ping : pong;
+          auto src = flipped ? pong : ping;
+          auto dst = flipped ? ping : pong;
           ctx.for_each_thread([&](std::size_t t) {
-            dst[t] = t >= stride ? src[t] + src[t - stride] : src[t];
+            dst[t] = t >= stride ? static_cast<T>(src[t] + src[t - stride])
+                                 : static_cast<T>(src[t]);
           });
           flipped = !flipped;
         }
-        std::span<T> result = flipped ? pong : ping;
+        auto result = flipped ? pong : ping;
         ctx.for_each_thread([&](std::size_t t) {
           if (t < valid) {
             data[base + t] = result[t];
           }
         });
-        totals_span[ctx.block_idx()] = result[block_dim - 1];
+        totals_view[ctx.block_idx()] = result[block_dim - 1];
       });
 
   if (blocks > 1) {
     // Pass 2: scan the block totals (recursively; depth is logarithmic).
-    inclusive_scan(device, totals_span, threads_per_block);
+    inclusive_scan_impl<T>(device, totals_view, threads_per_block);
 
     // Pass 3: add each preceding blocks' total to this block's elements.
-    device.launch(LaunchConfig{blocks, block_dim},
+    device.launch("scan_fixup", LaunchConfig{blocks, block_dim},
                   [&](const ThreadCtx& t) {
                     if (t.block_idx == 0) {
                       return;
                     }
                     const std::size_t j = t.global_idx();
                     if (j < data.size()) {
-                      data[j] += totals_span[t.block_idx - 1];
+                      data[j] += totals_view[t.block_idx - 1];
                     }
                   });
   }
+}
+
+}  // namespace detail
+
+/// Device-side inclusive prefix sum (Hillis & Steele 1986), the classic
+/// companion primitive to the Harris reduction: log2(T) barrier-separated
+/// phases of stride doubling inside a block, then a block-offset fix-up
+/// pass. Completes the substrate's parallel-primitive set (map: launch;
+/// reduce: reduce.hpp; scan: here).
+///
+/// `data` is a device-resident span (a DeviceBuffer's span) or, on a
+/// sanitizer-enabled device, a checked MemView (DeviceBuffer::view()); the
+/// scan is in place. The requested block size is rounded down to a power
+/// of two and clamped to the device limit.
+template <class T>
+void inclusive_scan(Device& device, std::span<T> data,
+                    std::size_t threads_per_block = 512) {
+  detail::inclusive_scan_impl<T>(device, data, threads_per_block);
+}
+template <class T>
+void inclusive_scan(Device& device, MemView<T> data,
+                    std::size_t threads_per_block = 512) {
+  detail::inclusive_scan_impl<T>(device, data, threads_per_block);
 }
 
 }  // namespace kreg::spmd
