@@ -18,6 +18,9 @@
 //   --hmax    maximum bandwidth (default: domain of X)
 //   --refine  run 3 zoom rounds after the grid search
 //   --curve N print the fitted regression curve at N points
+//   --k-block N       stream the spmd window sweep in k-blocks of N
+//   --memory-budget S device-memory budget for auto k-blocking, e.g. 128MiB
+//                     (spmd window methods; sizes accept b/KB/KiB/MB/MiB/...)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +39,8 @@ namespace {
                "spmd-per-row|optimizer|silverman|scott]\n"
                "  [--kernel epanechnikov|uniform|triangular|biweight|"
                "triweight|cosine|gaussian]\n"
-               "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n",
+               "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n"
+               "  [--k-block N] [--memory-budget SIZE]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   double hmax = 0.0;
   bool refine = false;
   std::size_t curve_points = 0;
+  kreg::StreamingConfig stream;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +97,15 @@ int main(int argc, char** argv) {
       refine = true;
     } else if (arg == "--curve") {
       curve_points = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--k-block") {
+      stream.k_block = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--memory-budget") {
+      try {
+        stream.memory_budget_bytes = kreg::parse_memory_budget(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        usage(argv[0]);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else {
@@ -153,6 +167,7 @@ int main(int argc, char** argv) {
       cfg.algorithm = method == "spmd-per-row"
                           ? kreg::SweepAlgorithm::kPerRowSort
                           : kreg::SweepAlgorithm::kWindow;
+      cfg.stream = stream;
       selector = std::make_unique<kreg::SpmdGridSelector>(*device, cfg);
     } else if (method == "parallel") {
       selector = std::make_unique<kreg::ParallelSortedGridSelector>(kernel);
@@ -164,6 +179,7 @@ int main(int argc, char** argv) {
       device = std::make_unique<kreg::spmd::Device>();
       kreg::SpmdSelectorConfig cfg;
       cfg.kernel = kernel;
+      cfg.stream = stream;
       selector = std::make_unique<kreg::SpmdGridSelector>(*device, cfg);
     } else if (method == "optimizer") {
       kreg::CvOptimizerSelector::Config cfg;

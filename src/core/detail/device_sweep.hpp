@@ -124,24 +124,46 @@ inline void sweep_thread(std::span<const Scalar> xs, std::span<const Scalar> ys,
 /// subtracted analytically in the recombination, exactly as in the per-row
 /// paths; M(X_pos) = 0 cases emit a 0 residual. `write(b, sq)` receives the
 /// squared LOO residual for every bandwidth index b in ascending order.
+///
+/// The body is split so the grid can be *streamed in k-blocks*: the window
+/// state — the two pointers plus the moment sums — is externalized into
+/// caller storage, `window_sweep_seed` initializes it once, and
+/// `window_sweep_resume` sweeps any contiguous ascending slice of the grid
+/// continuing from where the previous slice stopped. Because each slice
+/// performs exactly the admissions and recombinations the full-grid sweep
+/// would, a streamed profile matches the resident profile bitwise.
+
+/// Seeds one observation's window state: pointers collapsed onto `pos`,
+/// moment sums holding only the self term (1 into S_0, Y_pos into T_0).
+/// `s_m`/`t_m` must each hold poly.max_power + 1 elements.
+template <class Scalar>
+inline void window_sweep_seed(std::span<const Scalar> ys_sorted,
+                              std::size_t pos, std::size_t& lo,
+                              std::size_t& hi, std::span<Scalar> s_m,
+                              std::span<Scalar> t_m) {
+  lo = hi = pos;
+  std::fill(s_m.begin(), s_m.end(), Scalar{});
+  std::fill(t_m.begin(), t_m.end(), Scalar{});
+  s_m[0] = Scalar{1};
+  t_m[0] = ys_sorted[pos];
+}
+
+/// Sweeps `hs` — the full grid, or one ascending k-block slice of it —
+/// resuming from the carried window state. `write(b, sq)` receives the
+/// squared LOO residual for every index b *within the slice*.
 template <class Scalar, class HView, class WriteResid>
-inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
+inline void window_sweep_resume(std::span<const Scalar> xs_sorted,
                                 std::span<const Scalar> ys_sorted,
                                 HView hs,
                                 const SweepPolynomial& poly, std::size_t pos,
+                                std::size_t& lo, std::size_t& hi,
+                                std::span<Scalar> s_m, std::span<Scalar> t_m,
                                 WriteResid&& write) {
   const std::size_t n = xs_sorted.size();
   const std::size_t k = hs.size();
   const std::size_t terms = poly.max_power + 1;
   const Scalar xi = xs_sorted[pos];
   const Scalar yi = ys_sorted[pos];
-
-  // Moment sums over the admitted window, seeded with the self term: at
-  // distance 0 it contributes 1 to S_0 and Y_i to T_0, nothing above.
-  Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
-  Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
-  s_m[0] = Scalar{1};
-  t_m[0] = yi;
 
   const auto admit = [&](std::size_t l) {
     const Scalar d = xs_sorted[l] < xi ? xi - xs_sorted[l] : xs_sorted[l] - xi;
@@ -154,8 +176,6 @@ inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
     }
   };
 
-  std::size_t lo = pos;  // inclusive left edge of the admitted window
-  std::size_t hi = pos;  // inclusive right edge
   for (std::size_t b = 0; b < k; ++b) {
     const Scalar h = hs[b];
     while (lo > 0 && xi - xs_sorted[lo - 1] <= h) {
@@ -190,6 +210,28 @@ inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
   }
 }
 
+/// The whole-grid window sweep: seed + resume over all k bandwidths with
+/// thread-local state. This is the resident (non-streamed) kernel body.
+template <class Scalar, class HView, class WriteResid>
+inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
+                                std::span<const Scalar> ys_sorted,
+                                HView hs,
+                                const SweepPolynomial& poly, std::size_t pos,
+                                WriteResid&& write) {
+  Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+  Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+  const std::size_t terms = poly.max_power + 1;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  window_sweep_seed<Scalar>(ys_sorted, pos, lo, hi,
+                            std::span<Scalar>(s_m, terms),
+                            std::span<Scalar>(t_m, terms));
+  window_sweep_resume<Scalar>(xs_sorted, ys_sorted, hs, poly, pos, lo, hi,
+                              std::span<Scalar>(s_m, terms),
+                              std::span<Scalar>(t_m, terms),
+                              std::forward<WriteResid>(write));
+}
+
 /// The window-sweep body of the device KDE LSCV kernel for one thread: the
 /// KDE counterpart of window_sweep_thread. Instead of filling and
 /// quicksorting a private |Δ| row, the thread indexes the *globally sorted*
@@ -204,17 +246,22 @@ inline void window_sweep_thread(std::span<const Scalar> xs_sorted,
 /// `write(b, conv, loo)` receives both per-bandwidth pair sums (self term
 /// already excluded) for every bandwidth index b in ascending order; the
 /// caller combines them into LSCV partials in whatever layout it wants.
+///
+/// Like the regression sweep above, the body is split for k-block
+/// streaming: `kde_window_sweep_resume` carries the two WindowMomentSweep
+/// states in caller storage and sweeps any ascending slice of the grid,
+/// continuing where the previous slice stopped — streamed LSCV partials
+/// match the resident ones bitwise.
 template <class HView, class WriteSums>
-inline void kde_window_sweep_thread(std::span<const double> xs_sorted,
+inline void kde_window_sweep_resume(std::span<const double> xs_sorted,
                                     HView hs,
                                     const SupportPolynomial& kpoly,
                                     const SupportPolynomial& cpoly,
-                                    std::size_t pos, WriteSums&& write) {
+                                    std::size_t pos,
+                                    WindowMomentSweep& conv_sweep,
+                                    WindowMomentSweep& loo_sweep,
+                                    WriteSums&& write) {
   const double xi = xs_sorted[pos];
-  WindowMomentSweep conv_sweep;  // admits |Δ| <= 2h
-  WindowMomentSweep loo_sweep;   // admits |Δ| <= h
-  conv_sweep.seed(pos);
-  loo_sweep.seed(pos);
   const std::size_t max_power = std::max(kpoly.max_power, cpoly.max_power);
   for (std::size_t b = 0; b < hs.size(); ++b) {
     const double h = hs[b];
@@ -222,6 +269,22 @@ inline void kde_window_sweep_thread(std::span<const double> xs_sorted,
     loo_sweep.expand(xs_sorted, xi, kpoly.support_scale * h, max_power);
     write(b, conv_sweep.combine(cpoly, h), loo_sweep.combine(kpoly, h));
   }
+}
+
+/// The whole-grid KDE window sweep: seeds both admission windows and
+/// resumes over all k bandwidths with thread-local state.
+template <class HView, class WriteSums>
+inline void kde_window_sweep_thread(std::span<const double> xs_sorted,
+                                    HView hs,
+                                    const SupportPolynomial& kpoly,
+                                    const SupportPolynomial& cpoly,
+                                    std::size_t pos, WriteSums&& write) {
+  WindowMomentSweep conv_sweep;  // admits |Δ| <= 2h
+  WindowMomentSweep loo_sweep;   // admits |Δ| <= h
+  conv_sweep.seed(pos);
+  loo_sweep.seed(pos);
+  kde_window_sweep_resume(xs_sorted, hs, kpoly, cpoly, pos, conv_sweep,
+                          loo_sweep, std::forward<WriteSums>(write));
 }
 
 }  // namespace kreg::detail

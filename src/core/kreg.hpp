@@ -36,6 +36,7 @@
 #include "core/sorted_sweep.hpp"
 #include "core/spmd_kde.hpp"
 #include "core/spmd_selector.hpp"
+#include "core/streaming.hpp"
 #include "core/types.hpp"
 #include "core/version.hpp"
 #include "core/weighted.hpp"

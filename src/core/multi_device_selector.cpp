@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/detail/device_sweep.hpp"
+#include "core/window_sweep.hpp"
 #include "parallel/blocked_range.hpp"
 #include "spmd/reduce.hpp"
 
@@ -24,13 +25,22 @@ MultiDeviceGridSelector::MultiDeviceGridSelector(
 
 std::size_t MultiDeviceGridSelector::estimated_bytes_per_device(
     std::size_t n, std::size_t k, std::size_t devices, Precision precision,
-    bool streaming) {
+    bool streaming, SweepAlgorithm algorithm, std::size_t k_block,
+    KernelType kernel) {
   if (devices == 0) {
     throw std::invalid_argument("estimated_bytes_per_device: devices == 0");
   }
   const std::size_t elem =
       precision == Precision::kFloat ? sizeof(float) : sizeof(double);
   const std::size_t slice = (n + devices - 1) / devices;  // worst slice
+  if (algorithm == SweepAlgorithm::kWindow) {
+    // Replicated sorted x + y, the slice's carried window state, and one
+    // slice×k_block residual block (k_block = 0 keeps the whole grid).
+    const std::size_t kb = k_block == 0 ? k : std::min(k_block, k);
+    const std::size_t terms = sweep_polynomial(kernel).max_power + 1;
+    return 2 * n * elem + 2 * slice * terms * elem +
+           2 * slice * sizeof(std::size_t) + slice * kb * elem;
+  }
   // Full x + y replicated, plus slice-sized matrices and per-device scores.
   std::size_t elems = 2 * n + k + 3 * slice * k;
   if (!streaming) {
@@ -52,11 +62,21 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
   const SweepPolynomial poly = sweep_polynomial(config.kernel);
   const bool streaming = config.streaming;
 
+  const bool window = config.algorithm == SweepAlgorithm::kWindow;
+
   std::vector<Scalar> host_x(n);
   std::vector<Scalar> host_y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    host_x[i] = static_cast<Scalar>(data.x[i]);
-    host_y[i] = static_cast<Scalar>(data.y[i]);
+  if (window) {
+    // One global sort on the host; every device indexes the same sorted
+    // arrays, each sweeping its contiguous slice of *positions*.
+    SortedDataset<Scalar> sorted = sort_dataset<Scalar>(data.x, data.y);
+    host_x = std::move(sorted.x);
+    host_y = std::move(sorted.y);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      host_x[i] = static_cast<Scalar>(data.x[i]);
+      host_y[i] = static_cast<Scalar>(data.y[i]);
+    }
   }
   std::vector<Scalar> host_grid(k);
   for (std::size_t b = 0; b < k; ++b) {
@@ -69,7 +89,111 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
   // Combined per-bandwidth sums of squared residuals across devices.
   std::vector<double> combined(k, 0.0);
 
-  for (std::size_t d = 0; d < slices.size(); ++d) {
+  if (window) {
+    // Window path: shards are (device × k-block). Each device keeps the
+    // full sorted arrays plus O(rows) carry state and ONE rows×k_block
+    // residual block; the bandwidth grid streams through in k-blocks sized
+    // to that device's own memory budget (a resident plan is simply the
+    // single-block degenerate, so one code path serves both). Only the
+    // per-bandwidth slice totals leave the device.
+    const std::size_t terms = poly.max_power + 1;
+    for (std::size_t d = 0; d < slices.size(); ++d) {
+      spmd::Device& device = *devices[d];
+      const parallel::BlockedRange slice = slices[d];
+      const std::size_t rows = slice.size();
+      const std::size_t base = slice.begin;
+      const std::size_t tpb = std::min(
+          config.threads_per_block, device.properties().max_threads_per_block);
+      const std::size_t elem = sizeof(Scalar);
+      const std::size_t base_bytes = 2 * n * elem + 2 * rows * terms * elem +
+                                     2 * rows * sizeof(std::size_t);
+      const std::size_t per_k_bytes = rows * elem;
+      const StreamingPlan plan = resolve_streaming(
+          config.stream, k, base_bytes + k * per_k_bytes, base_bytes,
+          per_k_bytes, device.properties().memory_budget().global_bytes);
+
+      spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n, "x");
+      spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n, "y");
+      device.copy_to_device(d_x, std::span<const Scalar>(host_x));
+      device.copy_to_device(d_y, std::span<const Scalar>(host_y));
+
+      spmd::DeviceBuffer<std::size_t> d_lo =
+          device.alloc_global<std::size_t>(rows, "window-lo");
+      spmd::DeviceBuffer<std::size_t> d_hi =
+          device.alloc_global<std::size_t>(rows, "window-hi");
+      spmd::DeviceBuffer<Scalar> d_sm =
+          device.alloc_global<Scalar>(rows * terms, "moment-s");
+      spmd::DeviceBuffer<Scalar> d_tm =
+          device.alloc_global<Scalar>(rows * terms, "moment-t");
+      spmd::DeviceBuffer<Scalar> d_resid =
+          device.alloc_global<Scalar>(rows * plan.k_block, "residual-block");
+
+      std::span<const Scalar> xs = d_x.span();
+      std::span<const Scalar> ys = d_y.span();
+      spmd::MemView<std::size_t> lo_all = d_lo.view();
+      spmd::MemView<std::size_t> hi_all = d_hi.view();
+      spmd::MemView<Scalar> sm_all = d_sm.view();
+      spmd::MemView<Scalar> tm_all = d_tm.view();
+      spmd::MemView<Scalar> resid_all = d_resid.view();
+
+      const spmd::LaunchConfig cfg = spmd::LaunchConfig::cover(rows, tpb);
+      for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+        const std::size_t kb = std::min(plan.k_block, k - b0);
+        const std::vector<Scalar> host_block(host_grid.begin() + b0,
+                                             host_grid.begin() + b0 + kb);
+        spmd::ConstantBuffer<Scalar> c_block = device.upload_constant<Scalar>(
+            host_block, "bandwidth-grid-block");
+        spmd::MemView<const Scalar> hs = c_block.view();
+        const bool first = b0 == 0;
+
+        device.launch("cv_sweep_slice_kblock", cfg,
+                      [&, base, rows, kb, first](const spmd::ThreadCtx& t) {
+          const std::size_t r = t.global_idx();
+          if (r >= rows) {
+            return;
+          }
+          const std::size_t pos = base + r;
+          Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+          Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+          std::size_t lo = 0;
+          std::size_t hi = 0;
+          if (first) {
+            detail::window_sweep_seed<Scalar>(ys, pos, lo, hi,
+                                              std::span<Scalar>(s_m, terms),
+                                              std::span<Scalar>(t_m, terms));
+          } else {
+            lo = lo_all[r];
+            hi = hi_all[r];
+            for (std::size_t m = 0; m < terms; ++m) {
+              s_m[m] = sm_all[r * terms + m];
+              t_m[m] = tm_all[r * terms + m];
+            }
+          }
+          detail::window_sweep_resume<Scalar>(
+              xs, ys, hs, poly, pos, lo, hi, std::span<Scalar>(s_m, terms),
+              std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+                resid_all[b * rows + r] = sq;
+              });
+          lo_all[r] = lo;
+          hi_all[r] = hi;
+          for (std::size_t m = 0; m < terms; ++m) {
+            sm_all[r * terms + m] = s_m[m];
+            tm_all[r * terms + m] = t_m[m];
+          }
+        });
+
+        for (std::size_t b = 0; b < kb; ++b) {
+          combined[b0 + b] += static_cast<double>(spmd::reduce_sum<Scalar>(
+              device, resid_all.subview(b * rows, rows), tpb,
+              config.reduce_variant));
+        }
+      }
+    }
+  }
+
+  // Per-row-sort path (the paper-faithful baseline): skipped entirely when
+  // the window algorithm ran above.
+  for (std::size_t d = 0; !window && d < slices.size(); ++d) {
     spmd::Device& device = *devices[d];
     const parallel::BlockedRange slice = slices[d];
     const std::size_t rows = slice.size();
@@ -207,6 +331,15 @@ std::string MultiDeviceGridSelector::name() const {
   n += to_string(config_.precision);
   if (config_.streaming) {
     n += ",streaming";
+  }
+  if (config_.algorithm == SweepAlgorithm::kWindow) {
+    n += ",window";
+  }
+  if (config_.stream.k_block != 0) {
+    n += ",kblock=" + std::to_string(config_.stream.k_block);
+  }
+  if (config_.stream.memory_budget_bytes != 0) {
+    n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);
   }
   n += ")";
   return n;

@@ -19,7 +19,12 @@ namespace kreg {
 /// device 0.
 ///
 /// Uses the same SpmdSelectorConfig as the single-device selector;
-/// streaming mode composes with it.
+/// streaming mode composes with it. With the window algorithm (the config
+/// default) the shards become (device × k-block): each device sweeps its
+/// observation slice over the bandwidth grid in k-blocks sized to its own
+/// memory budget (see core/streaming.hpp), carrying the slice's window
+/// state across blocks, so heterogeneous devices each stream at their own
+/// block size while the host accumulates one combined score per bandwidth.
 class MultiDeviceGridSelector final : public Selector {
  public:
   /// All devices must outlive the selector. Throws std::invalid_argument
@@ -32,11 +37,14 @@ class MultiDeviceGridSelector final : public Selector {
   std::string name() const override;
 
   /// Per-device footprint for an (n, k) problem split across `devices`
-  /// devices (worst slice).
-  static std::size_t estimated_bytes_per_device(std::size_t n, std::size_t k,
-                                                std::size_t devices,
-                                                Precision precision,
-                                                bool streaming);
+  /// devices (worst slice). For the window algorithm, `k_block` is the
+  /// resident bandwidth block (0 = the whole grid) and the estimate covers
+  /// the replicated sorted arrays, the slice's carried window state, and
+  /// one slice×k_block residual block.
+  static std::size_t estimated_bytes_per_device(
+      std::size_t n, std::size_t k, std::size_t devices, Precision precision,
+      bool streaming, SweepAlgorithm algorithm = SweepAlgorithm::kPerRowSort,
+      std::size_t k_block = 0, KernelType kernel = KernelType::kEpanechnikov);
 
  private:
   std::vector<spmd::Device*> devices_;

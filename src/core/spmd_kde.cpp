@@ -1,5 +1,6 @@
 #include "core/spmd_kde.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -29,6 +30,142 @@ std::size_t SpmdKdeSelector::estimated_bytes(std::size_t n, std::size_t k,
   return (n + k + n * n + 2 * n * k) * sizeof(double);
 }
 
+std::size_t SpmdKdeSelector::estimated_streamed_bytes(std::size_t n,
+                                                      std::size_t k_block) {
+  constexpr std::size_t kSums = detail::kKdeMaxMoment + 1;
+  // Sorted x, the two carried moment-sum arrays, the four carried window
+  // pointers, and one resident n×k_block LSCV-partial block.
+  return n * sizeof(double) + 2 * n * kSums * sizeof(double) +
+         4 * n * sizeof(std::size_t) + n * k_block * sizeof(double);
+}
+
+namespace {
+
+/// The k-block streamed KDE window sweep: the LSCV counterpart of the
+/// regression selector's streamed path. One n×k_block partial block stays
+/// resident; both admission windows' moment sums and pointers carry across
+/// launches in O(n) buffers; each block reduces to its per-bandwidth totals
+/// immediately and only the k scores plus a running argmin survive on the
+/// host. Constant memory holds one grid slice at a time.
+SelectionResult run_streamed_kde_selection(
+    spmd::Device& device, const SpmdKdeConfig& config,
+    const std::vector<double>& host_x, const BandwidthGrid& grid,
+    const detail::SupportPolynomial& kpoly,
+    const detail::SupportPolynomial& cpoly, double roughness_value,
+    const StreamingPlan& plan, std::size_t tpb, std::string method_name) {
+  const std::size_t n = host_x.size();
+  const std::size_t k = grid.size();
+  constexpr std::size_t kSums = detail::kKdeMaxMoment + 1;
+
+  spmd::DeviceBuffer<double> d_x = device.alloc_global<double>(n, "x");
+  device.copy_to_device(d_x, std::span<const double>(host_x));
+
+  // O(n) carry state for both admission windows.
+  spmd::DeviceBuffer<double> d_csums =
+      device.alloc_global<double>(n * kSums, "conv-moments");
+  spmd::DeviceBuffer<double> d_lsums =
+      device.alloc_global<double>(n * kSums, "loo-moments");
+  spmd::DeviceBuffer<std::size_t> d_clo =
+      device.alloc_global<std::size_t>(n, "conv-lo");
+  spmd::DeviceBuffer<std::size_t> d_chi =
+      device.alloc_global<std::size_t>(n, "conv-hi");
+  spmd::DeviceBuffer<std::size_t> d_llo =
+      device.alloc_global<std::size_t>(n, "loo-lo");
+  spmd::DeviceBuffer<std::size_t> d_lhi =
+      device.alloc_global<std::size_t>(n, "loo-hi");
+
+  // The one resident LSCV-partial block, reused by every pass.
+  spmd::DeviceBuffer<double> d_partial =
+      device.alloc_global<double>(n * plan.k_block, "lscv-partial-block");
+
+  std::span<const double> dxs = d_x.span();
+  spmd::MemView<double> cs_all = d_csums.view();
+  spmd::MemView<double> ls_all = d_lsums.view();
+  spmd::MemView<std::size_t> clo_all = d_clo.view();
+  spmd::MemView<std::size_t> chi_all = d_chi.view();
+  spmd::MemView<std::size_t> llo_all = d_llo.view();
+  spmd::MemView<std::size_t> lhi_all = d_lhi.view();
+  spmd::MemView<double> partial_all = d_partial.view();
+
+  const std::vector<double> host_grid(grid.values());
+  const spmd::LaunchConfig main_cfg = spmd::LaunchConfig::cover(n, tpb);
+
+  std::vector<double> scores_out(k);
+  std::size_t best_index = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+    const std::size_t kb = std::min(plan.k_block, k - b0);
+    const std::vector<double> host_block(host_grid.begin() + b0,
+                                         host_grid.begin() + b0 + kb);
+    spmd::ConstantBuffer<double> c_block =
+        device.upload_constant<double>(host_block, "bandwidth-grid-block");
+    spmd::MemView<const double> hs = c_block.view();
+    const bool first = b0 == 0;
+
+    device.launch("kde_lscv_sweep_kblock", main_cfg,
+                  [&, kb, first](const spmd::ThreadCtx& t) {
+      const std::size_t i = t.global_idx();
+      if (i >= n) {
+        return;
+      }
+      detail::WindowMomentSweep conv_sweep;  // admits |Δ| <= 2h
+      detail::WindowMomentSweep loo_sweep;   // admits |Δ| <= h
+      if (first) {
+        conv_sweep.seed(i);
+        loo_sweep.seed(i);
+      } else {
+        for (std::size_t m = 0; m < kSums; ++m) {
+          conv_sweep.sums[m] = cs_all[i * kSums + m];
+          loo_sweep.sums[m] = ls_all[i * kSums + m];
+        }
+        conv_sweep.lo = clo_all[i];
+        conv_sweep.hi = chi_all[i];
+        loo_sweep.lo = llo_all[i];
+        loo_sweep.hi = lhi_all[i];
+      }
+      detail::kde_window_sweep_resume(
+          dxs, hs, kpoly, cpoly, i, conv_sweep, loo_sweep,
+          [&](std::size_t b, double conv, double loo) {
+            partial_all[b * n + i] =
+                detail::lscv_pair_partial(conv, loo, n, hs[b]);
+          });
+      for (std::size_t m = 0; m < kSums; ++m) {
+        cs_all[i * kSums + m] = conv_sweep.sums[m];
+        ls_all[i * kSums + m] = loo_sweep.sums[m];
+      }
+      clo_all[i] = conv_sweep.lo;
+      chi_all[i] = conv_sweep.hi;
+      llo_all[i] = loo_sweep.lo;
+      lhi_all[i] = loo_sweep.hi;
+    });
+
+    // Reduce this block's partials to per-bandwidth totals right away.
+    for (std::size_t b = 0; b < kb; ++b) {
+      const double partial_total = spmd::reduce_sum<double>(
+          device, partial_all.subview(b * n, n), tpb, config.reduce_variant);
+      const double score =
+          roughness_value / (static_cast<double>(n) * grid[b0 + b]) +
+          partial_total;
+      scores_out[b0 + b] = score;
+      if (score < best_score) {  // strict <: smallest index wins ties
+        best_score = score;
+        best_index = b0 + b;
+      }
+    }
+  }
+
+  SelectionResult result;
+  result.bandwidth = grid[best_index];
+  result.cv_score = best_score;
+  result.grid = grid.values();
+  result.scores = std::move(scores_out);
+  result.evaluations = k;
+  result.method = std::move(method_name);
+  return result;
+}
+
+}  // namespace
+
 SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
                                         const BandwidthGrid& grid) const {
   if (!is_kde_sweepable(config_.kernel)) {
@@ -56,6 +193,22 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
   std::vector<double> host_x(xs.begin(), xs.end());
   if (window) {
     sort::introsort(std::span<double>(host_x));
+  }
+
+  // Streaming decision (window algorithm only): resolve the k-block plan
+  // against the byte model and the device budget; the default keeps small
+  // problems on the resident path bit-for-bit.
+  if (window) {
+    const StreamingPlan plan = resolve_streaming(
+        config_.stream, k, estimated_bytes(n, k, config_.algorithm),
+        estimated_streamed_bytes(n, 0),
+        estimated_streamed_bytes(n, 1) - estimated_streamed_bytes(n, 0),
+        device_.properties().memory_budget().global_bytes);
+    if (plan.streamed) {
+      return run_streamed_kde_selection(device_, config_, host_x, grid, kpoly,
+                                        cpoly, roughness_value, plan, tpb,
+                                        name());
+    }
   }
 
   // Device memory plan: the bandwidth grid in constant memory (same
@@ -172,6 +325,12 @@ std::string SpmdKdeSelector::name() const {
   n += ",tpb=" + std::to_string(config_.threads_per_block);
   if (config_.algorithm == SweepAlgorithm::kWindow) {
     n += ",window";
+  }
+  if (config_.stream.k_block != 0) {
+    n += ",kblock=" + std::to_string(config_.stream.k_block);
+  }
+  if (config_.stream.memory_budget_bytes != 0) {
+    n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);
   }
   n += ")";
   return n;

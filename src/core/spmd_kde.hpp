@@ -2,6 +2,7 @@
 
 #include "core/kde_sweep.hpp"
 #include "core/sorted_sweep.hpp"
+#include "core/streaming.hpp"
 #include "core/types.hpp"
 #include "spmd/device.hpp"
 #include "spmd/reduce.hpp"
@@ -22,6 +23,13 @@ struct SpmdKdeConfig {
   /// device-memory sample limit. kPerRowSort keeps the paper-style
   /// per-thread quicksort as the ablation baseline.
   SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
+  /// k-block streaming of the window sweep (see core/streaming.hpp): only
+  /// one n×k_block LSCV-partial block stays resident; the two admission
+  /// windows' moment sums and pointers carry across block launches in O(n)
+  /// buffers, so the streamed profile matches the resident one bitwise.
+  /// Defaults engage streaming only when the resident n×k plan would not
+  /// fit the device (or an explicit/KREG_MEMORY_BUDGET budget).
+  StreamingConfig stream;
 };
 
 /// KDE LSCV bandwidth selection on the simulated SPMD device — the paper's
@@ -61,6 +69,13 @@ class SpmdKdeSelector {
   static std::size_t estimated_bytes(
       std::size_t n, std::size_t k,
       SweepAlgorithm algorithm = SweepAlgorithm::kWindow);
+
+  /// Predicted device-memory footprint of the *streamed* window plan with
+  /// the given k-block: sorted X, the carried window state of both
+  /// admission sweeps, and one n×k_block LSCV-partial block. `k_block = 0`
+  /// gives the k-independent base cost alone.
+  static std::size_t estimated_streamed_bytes(std::size_t n,
+                                              std::size_t k_block);
 
  private:
   spmd::Device& device_;

@@ -1,5 +1,6 @@
 #include "core/spmd_selector.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -47,7 +48,187 @@ std::size_t SpmdGridSelector::estimated_bytes(std::size_t n, std::size_t k,
   return elems * elem;
 }
 
+std::size_t SpmdGridSelector::estimated_streamed_bytes(std::size_t n,
+                                                       std::size_t k_block,
+                                                       Precision precision,
+                                                       KernelType kernel) {
+  const std::size_t elem =
+      precision == Precision::kFloat ? sizeof(float) : sizeof(double);
+  const std::size_t terms = sweep_polynomial(kernel).max_power + 1;
+  // Sorted x + y, the carried moment sums S_m/T_m, the two window pointers,
+  // and one resident n×k_block residual block.
+  return 2 * n * elem + 2 * n * terms * elem + 2 * n * sizeof(std::size_t) +
+         n * k_block * elem;
+}
+
 namespace {
+
+/// Single-block cooperative sum over values[j * stride + offset] for
+/// j < count: the observation-major score reduction, shared by the resident
+/// sweep (stride = k) and the streamed sweep (stride = k_block).
+template <class Scalar>
+Scalar strided_score_reduce(spmd::Device& device,
+                            spmd::MemView<Scalar> values, std::size_t count,
+                            std::size_t stride, std::size_t offset,
+                            std::size_t block_dim) {
+  Scalar total{};
+  device.launch_cooperative(
+      "strided_score_reduce", spmd::LaunchConfig{1, block_dim},
+      block_dim * sizeof(Scalar), [&](spmd::BlockCtx& ctx) {
+        auto shared = ctx.template shared_as<Scalar>(block_dim);
+        ctx.for_each_thread([&](std::size_t tid) {
+          Scalar acc{};
+          for (std::size_t j = tid; j < count; j += block_dim) {
+            acc += values[j * stride + offset];
+          }
+          shared[tid] = acc;
+        });
+        for (std::size_t s = block_dim / 2; s > 0; s /= 2) {
+          ctx.for_each_thread([&](std::size_t tid) {
+            if (tid < s) {
+              shared[tid] += shared[tid + s];
+            }
+          });
+        }
+        total = shared[0];
+      });
+  return total;
+}
+
+/// The k-block streamed window sweep (tentpole of the streaming extension):
+/// device memory is O(n + n·k_block) — sorted x/y, the per-observation
+/// carry state (two window pointers + moment sums), and ONE resident
+/// residual block that every bandwidth block streams through. Each pass
+/// launches the sweep over its grid slice resuming from the carried state,
+/// reduces the block to its per-bandwidth sums immediately, and keeps only
+/// the k score totals plus a running argmin on the host. Because the carry
+/// makes each slice perform exactly the admissions and recombinations the
+/// full-grid sweep would, the streamed profile matches resident bitwise.
+/// Constant memory holds only the current slice, so grids beyond the 8 KB
+/// cache cap stream through as well.
+template <class Scalar>
+SelectionResult run_streamed_window_selection(
+    spmd::Device& device, const SpmdSelectorConfig& config,
+    const std::vector<Scalar>& host_x, const std::vector<Scalar>& host_y,
+    const std::vector<Scalar>& host_grid, const BandwidthGrid& grid,
+    const StreamingPlan& plan, std::size_t tpb, const SweepPolynomial& poly,
+    std::string method_name) {
+  const std::size_t n = host_x.size();
+  const std::size_t k = host_grid.size();
+  const std::size_t terms = poly.max_power + 1;
+  const bool bandwidth_major = config.layout == ResidualLayout::kBandwidthMajor;
+
+  spmd::DeviceBuffer<Scalar> d_x = device.alloc_global<Scalar>(n, "x");
+  spmd::DeviceBuffer<Scalar> d_y = device.alloc_global<Scalar>(n, "y");
+  device.copy_to_device(d_x, std::span<const Scalar>(host_x));
+  device.copy_to_device(d_y, std::span<const Scalar>(host_y));
+
+  // O(n) carry state surviving across block launches.
+  spmd::DeviceBuffer<std::size_t> d_lo =
+      device.alloc_global<std::size_t>(n, "window-lo");
+  spmd::DeviceBuffer<std::size_t> d_hi =
+      device.alloc_global<std::size_t>(n, "window-hi");
+  spmd::DeviceBuffer<Scalar> d_sm =
+      device.alloc_global<Scalar>(n * terms, "moment-s");
+  spmd::DeviceBuffer<Scalar> d_tm =
+      device.alloc_global<Scalar>(n * terms, "moment-t");
+
+  // The one resident residual block, reused by every pass.
+  spmd::DeviceBuffer<Scalar> d_resid =
+      device.alloc_global<Scalar>(n * plan.k_block, "residual-block");
+
+  std::span<const Scalar> xs = d_x.span();
+  std::span<const Scalar> ys = d_y.span();
+  spmd::MemView<std::size_t> lo_all = d_lo.view();
+  spmd::MemView<std::size_t> hi_all = d_hi.view();
+  spmd::MemView<Scalar> sm_all = d_sm.view();
+  spmd::MemView<Scalar> tm_all = d_tm.view();
+  spmd::MemView<Scalar> resid_all = d_resid.view();
+
+  const spmd::LaunchConfig main_cfg = spmd::LaunchConfig::cover(n, tpb);
+  const std::size_t block_dim =
+      spmd::detail::reduction_block_dim(device, tpb);
+
+  std::vector<double> cv(k);
+  std::size_t best_index = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+    const std::size_t kb = std::min(plan.k_block, k - b0);
+    const std::vector<Scalar> host_block(host_grid.begin() + b0,
+                                         host_grid.begin() + b0 + kb);
+    spmd::ConstantBuffer<Scalar> c_block =
+        device.upload_constant<Scalar>(host_block, "bandwidth-grid-block");
+    spmd::MemView<const Scalar> hs = c_block.view();
+    const bool first = b0 == 0;
+
+    device.launch("cv_sweep_kblock", main_cfg,
+                  [&, kb, first](const spmd::ThreadCtx& t) {
+      const std::size_t j = t.global_idx();
+      if (j >= n) {
+        return;  // padding thread in the last block
+      }
+      // Load (or seed, on the first block) the carried window state into
+      // thread-local storage, resume the sweep over this grid slice, and
+      // store the state back for the next block.
+      Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+      Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+      std::size_t lo = 0;
+      std::size_t hi = 0;
+      if (first) {
+        detail::window_sweep_seed<Scalar>(ys, j, lo, hi,
+                                          std::span<Scalar>(s_m, terms),
+                                          std::span<Scalar>(t_m, terms));
+      } else {
+        lo = lo_all[j];
+        hi = hi_all[j];
+        for (std::size_t m = 0; m < terms; ++m) {
+          s_m[m] = sm_all[j * terms + m];
+          t_m[m] = tm_all[j * terms + m];
+        }
+      }
+      detail::window_sweep_resume<Scalar>(
+          xs, ys, hs, poly, j, lo, hi, std::span<Scalar>(s_m, terms),
+          std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+            resid_all[bandwidth_major ? b * n + j : j * kb + b] = sq;
+          });
+      lo_all[j] = lo;
+      hi_all[j] = hi;
+      for (std::size_t m = 0; m < terms; ++m) {
+        sm_all[j * terms + m] = s_m[m];
+        tm_all[j * terms + m] = t_m[m];
+      }
+    });
+
+    // Reduce the block to its kb per-bandwidth sums right away; only the
+    // score totals and the running argmin survive the pass.
+    for (std::size_t b = 0; b < kb; ++b) {
+      Scalar total;
+      if (bandwidth_major) {
+        total = spmd::reduce_sum<Scalar>(device, resid_all.subview(b * n, n),
+                                         tpb, config.reduce_variant);
+      } else {
+        total = strided_score_reduce<Scalar>(device, resid_all, n, kb, b,
+                                             block_dim);
+      }
+      const double score =
+          static_cast<double>(total) / static_cast<double>(n);
+      cv[b0 + b] = score;
+      if (score < best_score) {  // strict <: smallest index wins ties, the
+        best_score = score;      // same order as the device argmin
+        best_index = b0 + b;
+      }
+    }
+  }
+
+  SelectionResult result;
+  result.bandwidth = grid[best_index];
+  result.cv_score = cv[best_index];
+  result.grid = grid.values();
+  result.scores = std::move(cv);
+  result.evaluations = k;
+  result.method = std::move(method_name);
+  return result;
+}
 
 template <class Scalar>
 SelectionResult run_device_selection(spmd::Device& device,
@@ -85,6 +266,30 @@ SelectionResult run_device_selection(spmd::Device& device,
   std::vector<Scalar> host_grid(k);
   for (std::size_t b = 0; b < k; ++b) {
     host_grid[b] = static_cast<Scalar>(grid[b]);
+  }
+
+  // --- Streaming decision (window algorithm only) -------------------------
+  // Resolve the k-block plan against this problem's byte model and the
+  // device's global-memory budget. The default plan keeps small problems
+  // resident — bit-for-bit the pre-streaming code path — and switches to
+  // streamed k-blocks only when the resident n×k footprint would not fit.
+  if (window) {
+    const StreamingPlan plan = resolve_streaming(
+        config.stream, k,
+        SpmdGridSelector::estimated_bytes(n, k, config.precision,
+                                          config.streaming, config.algorithm),
+        SpmdGridSelector::estimated_streamed_bytes(n, 0, config.precision,
+                                                   config.kernel),
+        SpmdGridSelector::estimated_streamed_bytes(n, 1, config.precision,
+                                                   config.kernel) -
+            SpmdGridSelector::estimated_streamed_bytes(n, 0, config.precision,
+                                                       config.kernel),
+        device.properties().memory_budget().global_bytes);
+    if (plan.streamed) {
+      return run_streamed_window_selection<Scalar>(
+          device, config, host_x, host_y, host_grid, grid, plan, tpb, poly,
+          std::move(method_name));
+    }
   }
 
   // --- Device memory plan (paper §IV-A) -----------------------------------
@@ -198,28 +403,8 @@ SelectionResult run_device_selection(spmd::Device& device,
           config.reduce_variant);
     } else {
       // Strided single-block reduction over resid[j*k + b].
-      Scalar total{};
-      device.launch_cooperative(
-          "strided_score_reduce", spmd::LaunchConfig{1, block_dim},
-          block_dim * sizeof(Scalar), [&](spmd::BlockCtx& ctx) {
-            auto shared = ctx.template shared_as<Scalar>(block_dim);
-            ctx.for_each_thread([&](std::size_t tid) {
-              Scalar acc{};
-              for (std::size_t j = tid; j < n; j += block_dim) {
-                acc += resid_all[j * k + b];
-              }
-              shared[tid] = acc;
-            });
-            for (std::size_t stride = block_dim / 2; stride > 0; stride /= 2) {
-              ctx.for_each_thread([&](std::size_t tid) {
-                if (tid < stride) {
-                  shared[tid] += shared[tid + stride];
-                }
-              });
-            }
-            total = shared[0];
-          });
-      scores[b] = total;
+      scores[b] =
+          strided_score_reduce<Scalar>(device, resid_all, n, k, b, block_dim);
     }
   }
 
@@ -281,6 +466,12 @@ std::string SpmdGridSelector::name() const {
   }
   if (config_.algorithm == SweepAlgorithm::kWindow) {
     n += ",window";
+  }
+  if (config_.stream.k_block != 0) {
+    n += ",kblock=" + std::to_string(config_.stream.k_block);
+  }
+  if (config_.stream.memory_budget_bytes != 0) {
+    n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);
   }
   n += ")";
   return n;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/selectors.hpp"
+#include "core/streaming.hpp"
 #include "spmd/device.hpp"
 #include "spmd/reduce.hpp"
 
@@ -44,6 +45,15 @@ struct SpmdSelectorConfig {
   /// without streaming. kPerRowSort stays selectable as the paper-faithful
   /// §IV-B ablation baseline.
   SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
+  /// k-block streaming of the window sweep (see core/streaming.hpp): tiles
+  /// the bandwidth grid so only one n×k_block residual block is resident,
+  /// carrying the per-observation window state across blocks in O(n)
+  /// buffers. Defaults keep small problems on the resident path and engage
+  /// streaming automatically only when the resident n×k plan would exceed
+  /// the device's global memory (or an explicit/KREG_MEMORY_BUDGET budget).
+  /// Streaming also lifts the constant-cache cap on k: only one block of
+  /// bandwidths occupies constant memory at a time. Window algorithm only.
+  StreamingConfig stream;
 };
 
 /// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the
@@ -87,6 +97,14 @@ class SpmdGridSelector final : public Selector {
   static std::size_t estimated_bytes(
       std::size_t n, std::size_t k, Precision precision, bool streaming,
       SweepAlgorithm algorithm = SweepAlgorithm::kPerRowSort);
+
+  /// Predicted device-memory footprint of the *streamed* window plan with
+  /// the given k-block: the O(n) sorted arrays and carry state plus one
+  /// n×k_block residual block. `k_block = 0` gives the k-independent base
+  /// cost alone (what resolve_streaming sizes blocks against).
+  static std::size_t estimated_streamed_bytes(
+      std::size_t n, std::size_t k_block, Precision precision,
+      KernelType kernel = KernelType::kEpanechnikov);
 
  private:
   spmd::Device& device_;

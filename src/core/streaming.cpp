@@ -1,0 +1,120 @@
+#include "core/streaming.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace kreg {
+
+std::size_t parse_memory_budget(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  std::size_t value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+    value = value * 10 + static_cast<std::size_t>(text[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) {
+    throw std::invalid_argument("parse_memory_budget: no digits in '" +
+                                std::string(text) + "'");
+  }
+  std::string suffix;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) == 0) {
+    suffix.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[pos]))));
+    ++pos;
+  }
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("parse_memory_budget: trailing junk in '" +
+                                std::string(text) + "'");
+  }
+  std::size_t mult = 1;
+  if (suffix.empty() || suffix == "b") {
+    mult = 1;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    mult = std::size_t{1} << 10;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    mult = std::size_t{1} << 20;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    mult = std::size_t{1} << 30;
+  } else {
+    throw std::invalid_argument("parse_memory_budget: unknown suffix '" +
+                                suffix + "' in '" + std::string(text) + "'");
+  }
+  return value * mult;
+}
+
+std::size_t env_memory_budget() {
+  const char* env = std::getenv("KREG_MEMORY_BUDGET");
+  if (env == nullptr || env[0] == '\0') {
+    return 0;
+  }
+  return parse_memory_budget(env);
+}
+
+StreamingPlan resolve_streaming(const StreamingConfig& config, std::size_t k,
+                                std::size_t resident_bytes,
+                                std::size_t base_bytes,
+                                std::size_t per_k_bytes,
+                                std::size_t device_capacity_bytes) {
+  if (k == 0) {
+    throw std::invalid_argument("resolve_streaming: empty grid");
+  }
+  StreamingPlan plan;
+  plan.budget_bytes = config.memory_budget_bytes;
+  if (plan.budget_bytes == 0 && config.auto_tune) {
+    // The KREG_MEMORY_BUDGET ambient override only applies to auto-tuned
+    // plans: auto_tune = false is an explicit in-code opt-out of streaming
+    // and must not be flipped by the environment.
+    plan.budget_bytes = env_memory_budget();
+  }
+  if (config.k_block != 0) {
+    // An explicit block always takes the streamed path, even when one block
+    // covers the whole grid — that is how tests pin the k_block ∈ {k, k+7}
+    // degenerate cases to the same code as k_block = 1.
+    plan.k_block = std::min(config.k_block, k);
+    plan.streamed = true;
+    return plan;
+  }
+  if (plan.budget_bytes == 0) {
+    if (!config.auto_tune) {
+      plan.k_block = k;
+      return plan;
+    }
+    plan.budget_bytes = device_capacity_bytes;
+  }
+  if (device_capacity_bytes != 0 && plan.budget_bytes > device_capacity_bytes) {
+    // A budget above the physical ledger cannot be spent: clamp, so a roomy
+    // KREG_MEMORY_BUDGET on a small device still streams instead of letting
+    // the resident plan run into a guaranteed DeviceAllocError.
+    plan.budget_bytes = device_capacity_bytes;
+  }
+  if (resident_bytes <= plan.budget_bytes) {
+    plan.k_block = k;
+    return plan;
+  }
+  plan.streamed = true;
+  if (base_bytes < plan.budget_bytes && per_k_bytes > 0) {
+    plan.k_block = (plan.budget_bytes - base_bytes) / per_k_bytes;
+  }
+  if (plan.k_block == 0) {
+    plan.k_block = 1;  // budget smaller than the carry state: degrade, let
+                       // the device ledger have the final word
+  }
+  plan.k_block = std::min(plan.k_block, k);
+  return plan;
+}
+
+}  // namespace kreg

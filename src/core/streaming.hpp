@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace kreg {
+
+/// How a window-sweep backend tiles the bandwidth grid through memory.
+///
+/// The window sweep keeps one n×k partial matrix (LSCV partials on the KDE
+/// path, squared residuals on the regression path) resident while it runs.
+/// That matrix — not time — is what caps the feasible sample size on the
+/// device, the same wall the paper's Tesla S10 hit at n = 20,000. Streaming
+/// mode tiles the grid into k-blocks: one n×k_block buffer stays resident,
+/// blocks of bandwidths stream through it, each block is reduced to its
+/// per-bandwidth sums immediately, and only the k score totals plus a
+/// running argmin survive on the host. Per-observation window state (the
+/// two pointers and the moment sums) is carried across blocks in O(n)
+/// buffers, so the streamed sweep performs the *same* arithmetic in the
+/// same order as the resident sweep — profiles agree bitwise.
+struct StreamingConfig {
+  /// Explicit bandwidth-block size. Nonzero forces the streamed path with
+  /// exactly this block (clamped to the grid size); 0 derives the block
+  /// from the memory budget.
+  std::size_t k_block = 0;
+  /// Device-memory budget in bytes the plan must fit. 0 = derive: the
+  /// KREG_MEMORY_BUDGET environment variable when set (auto_tune only),
+  /// otherwise the device's own capacity
+  /// (DeviceProperties::memory_budget()). Budgets above the device capacity
+  /// are clamped to it — memory that does not exist cannot be planned for.
+  std::size_t memory_budget_bytes = 0;
+  /// When true (the default) a backend stays resident while the resident
+  /// plan fits the budget and switches to streamed k-blocks only when it
+  /// would not — so small problems run exactly as before and large ones no
+  /// longer die with DeviceAllocError. When false and neither knob above is
+  /// set, the backend always runs resident (the pre-streaming behaviour,
+  /// allocation failures included) and KREG_MEMORY_BUDGET is ignored — an
+  /// in-code opt-out beats the ambient environment.
+  bool auto_tune = true;
+};
+
+/// A resolved streaming decision for one (n, k) problem on one device.
+struct StreamingPlan {
+  /// Bandwidths resident per pass; == k when not streamed.
+  std::size_t k_block = 0;
+  /// True when the backend should take the k-block streaming path.
+  bool streamed = false;
+  /// The budget the plan was sized against (0 = none consulted).
+  std::size_t budget_bytes = 0;
+
+  std::size_t blocks(std::size_t k) const noexcept {
+    return k_block == 0 ? 0 : (k + k_block - 1) / k_block;
+  }
+};
+
+/// Parses a human-readable byte size: a decimal count with an optional
+/// binary suffix ("1MiB", "256KiB", "2GiB", "4096", "512K", "64MB"; K/M/G
+/// with or without the trailing "B"/"iB" all mean the binary multiple).
+/// Throws std::invalid_argument on anything else.
+std::size_t parse_memory_budget(std::string_view text);
+
+/// KREG_MEMORY_BUDGET from the environment via parse_memory_budget, or 0
+/// when the variable is unset or empty.
+std::size_t env_memory_budget();
+
+/// Resolves a StreamingConfig against one problem's byte model:
+/// `resident_bytes` is the footprint of the resident (full n×k) plan,
+/// `base_bytes` the streamed plan's k-independent allocations (data, carry
+/// state), `per_k_bytes` the marginal cost of keeping one more bandwidth
+/// resident, and `device_capacity_bytes` the budget of last resort
+/// (DeviceProperties::memory_budget().global_bytes). The returned block is
+/// always in [1, k]; a budget too small even for base_bytes degrades to the
+/// k_block = 1 plan and lets the device ledger have the final word.
+StreamingPlan resolve_streaming(const StreamingConfig& config, std::size_t k,
+                                std::size_t resident_bytes,
+                                std::size_t base_bytes,
+                                std::size_t per_k_bytes,
+                                std::size_t device_capacity_bytes);
+
+}  // namespace kreg

@@ -66,4 +66,29 @@ std::vector<double> window_cv_profile_parallel(
     Precision precision = Precision::kDouble,
     parallel::ThreadPool* pool = nullptr);
 
+/// Cache-blocking parameters of `window_cv_profile_tiled`. 0 = auto:
+/// n_block is sized so one tile's carried window state (two pointers plus
+/// the moment sums per observation, ≲ 128 B each) stays within a ~256 KiB
+/// L2 slice, and k_block bounds the per-tile score accumulator touched in
+/// the innermost loop.
+struct HostTiling {
+  std::size_t n_block = 0;  ///< observations per tile (0 = auto, ~2048)
+  std::size_t k_block = 0;  ///< bandwidths per inner block (0 = auto, 64)
+};
+
+/// The cache-blocked host kernel mirroring the device's k-block streaming:
+/// observations are tiled into L2-sized n-blocks (the thread pool schedules
+/// tiles), each tile carries its window state across k-blocks taken
+/// innermost, and every (tile, k-block) cell accumulates into the tile's
+/// private score slice. The k-blocks of one tile must run in ascending
+/// order (the admission windows are monotone in h), so parallelism is
+/// across tiles only. Tile partials combine in tile order — the result is
+/// deterministic, and matches `window_cv_profile` up to summation
+/// regrouping (exact when each tile's additions commute, else within
+/// floating-point reassociation error).
+std::vector<double> window_cv_profile_tiled(
+    const data::Dataset& data, std::span<const double> grid, KernelType kernel,
+    Precision precision = Precision::kDouble, HostTiling tiling = {},
+    parallel::ThreadPool* pool = nullptr);
+
 }  // namespace kreg

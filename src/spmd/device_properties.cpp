@@ -32,6 +32,15 @@ DeviceProperties DeviceProperties::tiny(std::size_t global_bytes) {
   return p;
 }
 
+DeviceProperties::MemoryBudget DeviceProperties::memory_budget()
+    const noexcept {
+  MemoryBudget budget;
+  budget.global_bytes = global_memory_bytes;
+  budget.shared_per_block_bytes = shared_memory_per_block;
+  budget.constant_bytes = constant_cache_bytes;
+  return budget;
+}
+
 void DeviceProperties::validate() const {
   if (multiprocessor_count == 0 || cores_per_multiprocessor == 0 ||
       warp_size == 0 || max_threads_per_block == 0 || max_grid_blocks == 0) {

@@ -28,6 +28,18 @@ struct DeviceProperties {
     return multiprocessor_count * cores_per_multiprocessor;
   }
 
+  /// The memory budgets a planner sizes against, in one query — global
+  /// memory for k-block streaming plans, shared memory for cooperative
+  /// launches, constant memory for the bandwidth grid. Selectors and
+  /// benches consult this instead of re-deriving the capacities from
+  /// ad-hoc constants (the 4 GB / 8 KB literals of the paper's hardware).
+  struct MemoryBudget {
+    std::size_t global_bytes = 0;
+    std::size_t shared_per_block_bytes = 0;
+    std::size_t constant_bytes = 0;
+  };
+  MemoryBudget memory_budget() const noexcept;
+
   /// The paper's GPU: one Tesla S10 module (240 cores, 4 GB).
   static DeviceProperties tesla_s10();
 

@@ -1,0 +1,538 @@
+// Tests for k-block streaming: plan resolution and budget parsing, the
+// streamed device regression/KDE window sweeps (bitwise parity with the
+// resident paths), the multi-device (device × k-block) sharding, the
+// cache-blocked host kernel, and the memory-cliff lift under small budgets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/grid.hpp"
+#include "core/multi_device_selector.hpp"
+#include "core/spmd_kde.hpp"
+#include "core/spmd_selector.hpp"
+#include "core/streaming.hpp"
+#include "core/window_sweep.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::HostTiling;
+using kreg::KernelType;
+using kreg::MultiDeviceGridSelector;
+using kreg::Precision;
+using kreg::ResidualLayout;
+using kreg::SelectionResult;
+using kreg::SpmdGridSelector;
+using kreg::SpmdKdeConfig;
+using kreg::SpmdKdeSelector;
+using kreg::SpmdSelectorConfig;
+using kreg::StreamingConfig;
+using kreg::StreamingPlan;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+using kreg::spmd::Device;
+using kreg::spmd::DeviceProperties;
+
+Dataset paper_data(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  return kreg::data::paper_dgp(n, s);
+}
+
+std::vector<double> kde_sample(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = s.uniform() < 0.5 ? s.gaussian(-1.0, 0.4) : s.gaussian(1.0, 0.6);
+  }
+  return xs;
+}
+
+SpmdSelectorConfig resident_cfg(Precision precision = Precision::kDouble) {
+  SpmdSelectorConfig cfg;
+  cfg.precision = precision;
+  cfg.stream.auto_tune = false;  // pin the pre-streaming resident path
+  return cfg;
+}
+
+void expect_same_selection(const SelectionResult& streamed,
+                           const SelectionResult& resident) {
+  EXPECT_DOUBLE_EQ(streamed.bandwidth, resident.bandwidth);
+  EXPECT_DOUBLE_EQ(streamed.cv_score, resident.cv_score);
+  ASSERT_EQ(streamed.scores.size(), resident.scores.size());
+  for (std::size_t b = 0; b < resident.scores.size(); ++b) {
+    EXPECT_DOUBLE_EQ(streamed.scores[b], resident.scores[b]) << "b=" << b;
+  }
+}
+
+// --- parse_memory_budget ---------------------------------------------------
+
+TEST(ParseMemoryBudget, AcceptsPlainBytesAndBinarySuffixes) {
+  EXPECT_EQ(kreg::parse_memory_budget("4096"), 4096u);
+  EXPECT_EQ(kreg::parse_memory_budget("512K"), 512u << 10);
+  EXPECT_EQ(kreg::parse_memory_budget("512kb"), 512u << 10);
+  EXPECT_EQ(kreg::parse_memory_budget("256KiB"), 256u << 10);
+  EXPECT_EQ(kreg::parse_memory_budget("64MB"), 64u << 20);
+  EXPECT_EQ(kreg::parse_memory_budget("1MiB"), 1u << 20);
+  EXPECT_EQ(kreg::parse_memory_budget("2GiB"), std::size_t{2} << 30);
+  EXPECT_EQ(kreg::parse_memory_budget("1gb"), std::size_t{1} << 30);
+  EXPECT_EQ(kreg::parse_memory_budget("128b"), 128u);
+  EXPECT_EQ(kreg::parse_memory_budget(" 16m "), 16u << 20);
+}
+
+TEST(ParseMemoryBudget, RejectsGarbage) {
+  EXPECT_THROW(kreg::parse_memory_budget(""), std::invalid_argument);
+  EXPECT_THROW(kreg::parse_memory_budget("MB"), std::invalid_argument);
+  EXPECT_THROW(kreg::parse_memory_budget("12XB"), std::invalid_argument);
+  EXPECT_THROW(kreg::parse_memory_budget("12 34"), std::invalid_argument);
+}
+
+// --- resolve_streaming -----------------------------------------------------
+
+TEST(ResolveStreaming, ExplicitKBlockAlwaysStreams) {
+  StreamingConfig cfg;
+  cfg.k_block = 3;
+  const StreamingPlan plan =
+      kreg::resolve_streaming(cfg, 10, 1 << 20, 1 << 10, 1 << 8, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 3u);
+  EXPECT_EQ(plan.blocks(10), 4u);
+
+  cfg.k_block = 17;  // clamped to the grid
+  const StreamingPlan clamped =
+      kreg::resolve_streaming(cfg, 10, 1 << 20, 1 << 10, 1 << 8, 1 << 30);
+  EXPECT_TRUE(clamped.streamed);
+  EXPECT_EQ(clamped.k_block, 10u);
+  EXPECT_EQ(clamped.blocks(10), 1u);
+}
+
+TEST(ResolveStreaming, AutoTuneOffStaysResidentWithoutBudget) {
+  StreamingConfig cfg;
+  cfg.auto_tune = false;
+  const StreamingPlan plan = kreg::resolve_streaming(
+      cfg, 8, /*resident=*/1 << 30, /*base=*/1 << 10, 1 << 8, /*cap=*/1 << 20);
+  EXPECT_FALSE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 8u);
+}
+
+TEST(ResolveStreaming, EnvBudgetIgnoredWhenAutoTuneOff) {
+  ASSERT_EQ(setenv("KREG_MEMORY_BUDGET", "2KiB", 1), 0);
+  StreamingConfig cfg;
+  cfg.auto_tune = false;
+  const StreamingPlan plan = kreg::resolve_streaming(
+      cfg, 8, /*resident=*/1 << 30, /*base=*/1 << 10, 1 << 8, /*cap=*/1 << 20);
+  unsetenv("KREG_MEMORY_BUDGET");
+  EXPECT_FALSE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 8u);
+}
+
+TEST(ResolveStreaming, BudgetAboveDeviceCapacityIsClamped) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = std::size_t{1} << 30;  // far beyond the ledger
+  const StreamingPlan plan = kreg::resolve_streaming(
+      cfg, 100, /*resident=*/1 << 20, /*base=*/4'000, /*per_k=*/500,
+      /*cap=*/10'000);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_EQ(plan.budget_bytes, 10'000u);
+  EXPECT_EQ(plan.k_block, 12u);  // sized against the clamped ledger
+}
+
+TEST(ResolveStreaming, ResidentWhenItFitsTheBudget) {
+  const StreamingPlan plan = kreg::resolve_streaming(
+      StreamingConfig{}, 8, /*resident=*/1 << 16, 1 << 10, 1 << 8,
+      /*cap=*/1 << 20);
+  EXPECT_FALSE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 8u);
+}
+
+TEST(ResolveStreaming, SizesBlockFromBudgetWhenResidentOverflows) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 10'000;
+  const StreamingPlan plan = kreg::resolve_streaming(
+      cfg, 100, /*resident=*/1 << 20, /*base=*/4'000, /*per_k=*/500, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 12u);  // (10000 - 4000) / 500
+}
+
+TEST(ResolveStreaming, BudgetBelowBaseDegradesToSingleBandwidth) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 1'000;
+  const StreamingPlan plan = kreg::resolve_streaming(
+      cfg, 100, 1 << 20, /*base=*/4'000, /*per_k=*/500, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_EQ(plan.k_block, 1u);
+}
+
+TEST(ResolveStreaming, EmptyGridThrows) {
+  EXPECT_THROW(
+      kreg::resolve_streaming(StreamingConfig{}, 0, 1, 1, 1, 1 << 20),
+      std::invalid_argument);
+}
+
+// --- streamed device regression sweep --------------------------------------
+
+TEST(StreamedSelector, MatchesResidentBitwiseAcrossKBlocks) {
+  const Dataset d = paper_data(257, 11);  // odd n: uneven last thread block
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 23);
+  const std::size_t k = grid.size();
+
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg()).select(d, grid);
+
+  for (std::size_t kb : {std::size_t{1}, std::size_t{3}, k - 1, k, k + 7}) {
+    Device dev;
+    SpmdSelectorConfig cfg = resident_cfg();
+    cfg.stream.k_block = kb;
+    const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+    SCOPED_TRACE("k_block=" + std::to_string(kb));
+    expect_same_selection(streamed, resident);
+  }
+}
+
+TEST(StreamedSelector, FloatPathMatchesResidentBitwise) {
+  const Dataset d = paper_data(180, 12);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 14);
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg(Precision::kFloat)).select(d, grid);
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg(Precision::kFloat);
+  cfg.stream.k_block = 5;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid), resident);
+}
+
+TEST(StreamedSelector, ObservationMajorLayoutMatchesResident) {
+  const Dataset d = paper_data(150, 13);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 11);
+  SpmdSelectorConfig base = resident_cfg();
+  base.layout = ResidualLayout::kObservationMajor;
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, base).select(d, grid);
+  Device dev;
+  SpmdSelectorConfig cfg = base;
+  cfg.stream.k_block = 4;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid), resident);
+}
+
+TEST(StreamedSelector, MatchesHostWindowProfile) {
+  const Dataset d = paper_data(220, 14);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 17);
+  const std::vector<double> host =
+      kreg::window_cv_profile(d, grid.values(), KernelType::kEpanechnikov);
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.stream.k_block = 6;
+  const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+  for (std::size_t b = 0; b < grid.size(); ++b) {
+    EXPECT_NEAR(streamed.scores[b], host[b],
+                1e-9 * std::max(1.0, host[b]));
+  }
+}
+
+TEST(StreamedSelector, LaunchesOneKernelPerBlockAndNoDeviceArgmin) {
+  const Dataset d = paper_data(90, 15);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.stream.k_block = 3;
+  (void)SpmdGridSelector(dev, cfg).select(d, grid);
+  EXPECT_EQ(dev.stats().kernel_launches, 4u);       // ceil(10 / 3) blocks
+  EXPECT_EQ(dev.stats().cooperative_launches, 10u);  // k reductions, argmin
+                                                     // runs on the host
+}
+
+TEST(StreamedSelector, TiedXAndTinyDatasetsWithKBlockOne) {
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.stream.k_block = 1;
+  const Dataset ties{{0.5, 0.5, 0.5, 0.9}, {1.0, 2.0, 3.0, 4.0}};
+  const BandwidthGrid grid(0.1, 1.0, 4);
+  Device ref;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(ties, grid),
+                        SpmdGridSelector(ref, resident_cfg()).select(ties, grid));
+
+  Device dev2;
+  const Dataset two{{0.1, 0.9}, {1.0, 2.0}};
+  EXPECT_NO_THROW(SpmdGridSelector(dev2, cfg).select(two, grid));
+}
+
+TEST(StreamedSelector, PerRowAlgorithmIgnoresStreamConfig) {
+  const Dataset d = paper_data(80, 16);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 6);
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  cfg.stream.k_block = 2;
+  Device dev;
+  Device ref;
+  SpmdSelectorConfig plain = resident_cfg();
+  plain.algorithm = kreg::SweepAlgorithm::kPerRowSort;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid),
+                        SpmdGridSelector(ref, plain).select(d, grid));
+}
+
+TEST(StreamedSelector, NameShowsStreamingKnobs) {
+  Device dev;
+  SpmdSelectorConfig cfg;
+  cfg.stream.k_block = 8;
+  cfg.stream.memory_budget_bytes = 1 << 20;
+  const std::string name = SpmdGridSelector(dev, cfg).name();
+  EXPECT_NE(name.find("kblock=8"), std::string::npos) << name;
+  EXPECT_NE(name.find("budget=1048576"), std::string::npos) << name;
+}
+
+// --- budget-driven engagement ----------------------------------------------
+
+TEST(StreamedSelector, ExplicitBudgetKeepsLedgerPeakUnderBudget) {
+  const Dataset d = paper_data(1000, 17);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 30);
+  const std::size_t budget = 200'000;
+  ASSERT_GT(SpmdGridSelector::estimated_bytes(1000, 30, Precision::kDouble,
+                                              false,
+                                              kreg::SweepAlgorithm::kWindow),
+            budget);
+  Device dev;
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  cfg.stream.memory_budget_bytes = budget;
+  const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+  EXPECT_LE(dev.global_peak(), budget);
+
+  Device ref;
+  expect_same_selection(streamed,
+                        SpmdGridSelector(ref, resident_cfg()).select(d, grid));
+}
+
+TEST(StreamedSelector, AutoStreamsPastTheResidentCliff) {
+  // A device whose global memory cannot hold the resident n×k plan: the
+  // default config streams automatically instead of throwing.
+  const std::size_t cap = 256 * 1024;
+  const Dataset d = paper_data(1500, 18);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 20);
+  ASSERT_GT(SpmdGridSelector::estimated_bytes(1500, 20, Precision::kDouble,
+                                              false,
+                                              kreg::SweepAlgorithm::kWindow),
+            cap);
+  Device dev(DeviceProperties::tiny(cap));
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+  EXPECT_LE(dev.global_peak(), cap);
+
+  Device ref;
+  expect_same_selection(streamed,
+                        SpmdGridSelector(ref, resident_cfg()).select(d, grid));
+}
+
+TEST(StreamedSelector, EnvBudgetEngagesStreaming) {
+  const Dataset d = paper_data(4000, 19);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 40);
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg()).select(d, grid);
+
+  ASSERT_EQ(setenv("KREG_MEMORY_BUDGET", "1MiB", 1), 0);
+  EXPECT_EQ(kreg::env_memory_budget(), std::size_t{1} << 20);
+  Device dev;
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+  unsetenv("KREG_MEMORY_BUDGET");
+
+  EXPECT_LE(dev.global_peak(), std::size_t{1} << 20);
+  expect_same_selection(streamed, resident);
+}
+
+// --- streamed device KDE sweep ---------------------------------------------
+
+TEST(StreamedKde, MatchesResidentBitwiseAcrossKBlocks) {
+  const auto xs = kde_sample(230, 21);
+  const BandwidthGrid grid(0.05, 1.5, 18);
+  const std::size_t k = grid.size();
+  Device ref;
+  SpmdKdeConfig base;
+  base.stream.auto_tune = false;
+  const SelectionResult resident = SpmdKdeSelector(ref, base).select(xs, grid);
+
+  for (std::size_t kb : {std::size_t{1}, std::size_t{3}, k - 1, k, k + 7}) {
+    Device dev;
+    SpmdKdeConfig cfg = base;
+    cfg.stream.k_block = kb;
+    SCOPED_TRACE("k_block=" + std::to_string(kb));
+    expect_same_selection(SpmdKdeSelector(dev, cfg).select(xs, grid),
+                          resident);
+  }
+}
+
+TEST(StreamedKde, UniformKernelMatchesResident) {
+  const auto xs = kde_sample(160, 22);
+  const BandwidthGrid grid(0.1, 1.0, 12);
+  SpmdKdeConfig base;
+  base.kernel = KernelType::kUniform;
+  base.stream.auto_tune = false;
+  Device ref;
+  const SelectionResult resident = SpmdKdeSelector(ref, base).select(xs, grid);
+  Device dev;
+  SpmdKdeConfig cfg = base;
+  cfg.stream.k_block = 5;
+  expect_same_selection(SpmdKdeSelector(dev, cfg).select(xs, grid), resident);
+}
+
+TEST(StreamedKde, AutoStreamsPastTheResidentCliff) {
+  const std::size_t cap = 512 * 1024;
+  const auto xs = kde_sample(3000, 23);
+  const BandwidthGrid grid(0.05, 1.5, 30);
+  ASSERT_GT(SpmdKdeSelector::estimated_bytes(3000, 30), cap);
+  Device dev(DeviceProperties::tiny(cap));
+  const SelectionResult streamed = SpmdKdeSelector(dev).select(xs, grid);
+  EXPECT_LE(dev.global_peak(), cap);
+
+  Device ref;
+  SpmdKdeConfig base;
+  base.stream.auto_tune = false;
+  expect_same_selection(streamed, SpmdKdeSelector(ref, base).select(xs, grid));
+}
+
+TEST(StreamedKde, NameShowsStreamingKnobs) {
+  Device dev;
+  SpmdKdeConfig cfg;
+  cfg.stream.k_block = 4;
+  const std::string name = SpmdKdeSelector(dev, cfg).name();
+  EXPECT_NE(name.find("kblock=4"), std::string::npos) << name;
+}
+
+// --- multi-device (device × k-block) sharding ------------------------------
+
+TEST(StreamedMultiDevice, MatchesMultiDeviceResidentBitwise) {
+  const Dataset d = paper_data(301, 24);  // odd: uneven slices
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 15);
+  const std::size_t k = grid.size();
+  Device ra;
+  Device rb;
+  const SelectionResult resident =
+      MultiDeviceGridSelector({&ra, &rb}, resident_cfg()).select(d, grid);
+
+  for (std::size_t kb : {std::size_t{1}, std::size_t{7}, k}) {
+    Device a;
+    Device b;
+    SpmdSelectorConfig cfg = resident_cfg();
+    cfg.stream.k_block = kb;
+    SCOPED_TRACE("k_block=" + std::to_string(kb));
+    expect_same_selection(
+        MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid), resident);
+  }
+}
+
+TEST(StreamedMultiDevice, AgreesWithSingleDeviceWindowSweep) {
+  const Dataset d = paper_data(240, 25);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 12);
+  Device single;
+  const SelectionResult one =
+      SpmdGridSelector(single, resident_cfg()).select(d, grid);
+  Device a;
+  Device b;
+  Device c;
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.stream.k_block = 5;
+  const SelectionResult multi =
+      MultiDeviceGridSelector({&a, &b, &c}, cfg).select(d, grid);
+  EXPECT_DOUBLE_EQ(multi.bandwidth, one.bandwidth);
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    EXPECT_NEAR(multi.scores[g], one.scores[g],
+                1e-10 * std::max(1.0, one.scores[g]));
+  }
+}
+
+TEST(StreamedMultiDevice, HeterogeneousBudgetsStreamPerDevice) {
+  // One roomy device and one tiny one: each resolves its own k-block; the
+  // combined profile still matches the all-resident reference.
+  const Dataset d = paper_data(1200, 26);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 16);
+  Device roomy;
+  Device tiny(DeviceProperties::tiny(160 * 1024));
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  const SelectionResult mixed =
+      MultiDeviceGridSelector({&roomy, &tiny}, cfg).select(d, grid);
+  EXPECT_LE(tiny.global_peak(), 160u * 1024);
+
+  Device ra;
+  Device rb;
+  expect_same_selection(
+      mixed,
+      MultiDeviceGridSelector({&ra, &rb}, resident_cfg()).select(d, grid));
+}
+
+// --- cache-blocked host kernel ---------------------------------------------
+
+TEST(TiledHostProfile, MatchesWindowProfileAcrossTilings) {
+  const Dataset d = paper_data(333, 27);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 21);
+  const std::vector<double> reference =
+      kreg::window_cv_profile(d, grid.values(), KernelType::kEpanechnikov);
+
+  // Tiles visit observations in ascending order but round their partial
+  // sums independently before combining, so agreement is up to summation
+  // regrouping — exact only when one tile covers the whole dataset.
+  for (const HostTiling tiling :
+       {HostTiling{}, HostTiling{7, 3}, HostTiling{1, 1},
+        HostTiling{1000, 64}}) {
+    const std::vector<double> tiled = kreg::window_cv_profile_tiled(
+        d, grid.values(), KernelType::kEpanechnikov, Precision::kDouble,
+        tiling);
+    ASSERT_EQ(tiled.size(), reference.size());
+    for (std::size_t b = 0; b < reference.size(); ++b) {
+      if (tiling.n_block >= d.size()) {
+        EXPECT_DOUBLE_EQ(tiled[b], reference[b])
+            << "n_block=" << tiling.n_block << " b=" << b;
+      } else {
+        EXPECT_NEAR(tiled[b], reference[b],
+                    1e-12 * std::max(1.0, std::abs(reference[b])))
+            << "n_block=" << tiling.n_block << " k_block=" << tiling.k_block
+            << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(TiledHostProfile, FloatPrecisionMatchesFloatWindowProfile) {
+  const Dataset d = paper_data(200, 28);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 9);
+  const std::vector<double> reference = kreg::window_cv_profile(
+      d, grid.values(), KernelType::kEpanechnikov, Precision::kFloat);
+  const std::vector<double> tiled = kreg::window_cv_profile_tiled(
+      d, grid.values(), KernelType::kEpanechnikov, Precision::kFloat,
+      HostTiling{64, 4});
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    EXPECT_NEAR(tiled[b], reference[b],
+                1e-12 * std::max(1.0, std::abs(reference[b])))
+        << "b=" << b;
+  }
+}
+
+TEST(TiledHostProfile, OtherSweepableKernelsAgree) {
+  const Dataset d = paper_data(150, 29);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 8);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kTriangular,
+        KernelType::kEpanechnikov}) {
+    if (!kreg::is_sweepable(kernel)) {
+      continue;
+    }
+    const std::vector<double> reference =
+        kreg::window_cv_profile(d, grid.values(), kernel);
+    const std::vector<double> tiled = kreg::window_cv_profile_tiled(
+        d, grid.values(), kernel, Precision::kDouble, HostTiling{32, 3});
+    for (std::size_t b = 0; b < reference.size(); ++b) {
+      EXPECT_NEAR(tiled[b], reference[b],
+                  1e-12 * std::max(1.0, std::abs(reference[b])))
+          << "b=" << b;
+    }
+  }
+}
+
+}  // namespace
