@@ -8,9 +8,11 @@
 //   kreg_cli --demo [n]            # run on freshly generated paper-DGP data
 //
 // Options:
-//   --method  sorted|window|parallel|naive|dense|spmd|spmd-per-row|
+//   --method  sorted|window|tiled|parallel|naive|dense|spmd|spmd-per-row|
 //             optimizer|silverman|scott (default sorted; spmd runs the
-//             window sweep, spmd-per-row the paper-faithful per-thread sort)
+//             window sweep, spmd-per-row the paper-faithful per-thread
+//             sort, tiled the cache-blocked host mirror of the streamed
+//             device sweep)
 //   --kernel  epanechnikov|uniform|triangular|biweight|triweight|cosine|
 //             gaussian (default epanechnikov)
 //   --k       grid size (default 200)
@@ -19,8 +21,10 @@
 //   --refine  run 3 zoom rounds after the grid search
 //   --curve N print the fitted regression curve at N points
 //   --k-block N       stream the spmd window sweep in k-blocks of N
-//   --memory-budget S device-memory budget for auto k-blocking, e.g. 128MiB
-//                     (spmd window methods; sizes accept b/KB/KiB/MB/MiB/...)
+//   --n-block N       tile the observations too: stream in n-blocks of N
+//                     (spmd window methods and the tiled host mirror)
+//   --memory-budget S device-memory budget for auto (n, k)-blocking, e.g.
+//                     128MiB (sizes accept b/KB/KiB/MB/MiB/...)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,15 +39,60 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <data.csv> | --demo [n]\n"
-               "  [--method sorted|window|parallel|naive|dense|spmd|"
+               "  [--method sorted|window|tiled|parallel|naive|dense|spmd|"
                "spmd-per-row|optimizer|silverman|scott]\n"
                "  [--kernel epanechnikov|uniform|triangular|biweight|"
                "triweight|cosine|gaussian]\n"
                "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n"
-               "  [--k-block N] [--memory-budget SIZE]\n",
+               "  [--k-block N] [--n-block N] [--memory-budget SIZE]\n",
                argv0);
   std::exit(2);
 }
+
+/// The cache-blocked host mirror of the streamed device sweep, exposed as a
+/// selector so --n-block / --k-block / --memory-budget drive the same tiling
+/// machinery on the CPU (see host_tiling_from_stream).
+class TiledWindowSelector final : public kreg::Selector {
+ public:
+  TiledWindowSelector(kreg::KernelType kernel, kreg::HostTiling tiling)
+      : kernel_(kernel), tiling_(tiling) {}
+
+  kreg::SelectionResult select(const kreg::data::Dataset& data,
+                               const kreg::BandwidthGrid& grid) const override {
+    const std::vector<double> scores = kreg::window_cv_profile_tiled(
+        data, grid.values(), kernel_, kreg::Precision::kDouble, tiling_);
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < scores.size(); ++b) {
+      if (scores[b] < scores[best]) {
+        best = b;
+      }
+    }
+    kreg::SelectionResult result;
+    result.bandwidth = grid[best];
+    result.cv_score = scores[best];
+    result.grid = grid.values();
+    result.scores = scores;
+    result.evaluations = grid.size();
+    result.method = name();
+    return result;
+  }
+
+  std::string name() const override {
+    std::string n = "tiled-window(" + std::string(kreg::to_string(kernel_));
+    if (tiling_.n_block != 0) {
+      n += ",nblock=" + std::to_string(tiling_.n_block);
+    }
+    if (tiling_.k_block != 0) {
+      n += ",kblock=" + std::to_string(tiling_.k_block);
+    }
+    n += ")";
+    return n;
+  }
+
+ private:
+  kreg::KernelType kernel_;
+  kreg::HostTiling tiling_;
+};
 
 kreg::KernelType parse_kernel(const std::string& name) {
   for (kreg::KernelType k : kreg::kAllKernels) {
@@ -99,6 +148,8 @@ int main(int argc, char** argv) {
       curve_points = std::strtoul(next().c_str(), nullptr, 10);
     } else if (arg == "--k-block") {
       stream.k_block = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--n-block") {
+      stream.n_block = std::strtoul(next().c_str(), nullptr, 10);
     } else if (arg == "--memory-budget") {
       try {
         stream.memory_budget_bytes = kreg::parse_memory_budget(next());
@@ -158,6 +209,9 @@ int main(int argc, char** argv) {
       selector = std::make_unique<kreg::SortedGridSelector>(kernel);
     } else if (method == "window") {
       selector = std::make_unique<kreg::WindowSweepSelector>(kernel);
+    } else if (method == "tiled") {
+      selector = std::make_unique<TiledWindowSelector>(
+          kernel, kreg::host_tiling_from_stream(stream));
     } else if (method == "spmd-per-row" || method == "spmd-window") {
       // spmd-window is kept as an explicit alias now that plain spmd
       // defaults to the window sweep.

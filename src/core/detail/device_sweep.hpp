@@ -210,6 +210,78 @@ inline void window_sweep_resume(std::span<const Scalar> xs_sorted,
   }
 }
 
+/// Halo bounds for n-block streaming (host-side; the data is sorted on the
+/// host before upload, so the slab a block needs is a binary search away —
+/// no device out-of-core sort).
+///
+/// A block of observations [block_begin, block_last] admits, at the largest
+/// reach (h_max, scaled by the kernel's support for the KDE convolution
+/// window), exactly the sorted indices l with |xs[l] − xs[pos]| <= reach
+/// for some pos in the block. Because the admission predicate is a
+/// correctly-rounded floating-point subtraction — monotone in the minuend —
+/// every index the *device* sweep could admit for any pos in the block and
+/// any h <= reach lies inside [halo_begin, halo_end): if
+/// xs[block_begin] − xs[l] > reach then xs[pos] − xs[l] >= that for every
+/// pos >= block_begin, so the device's own `<= h` test also rejects l. The
+/// slab therefore never truncates an admission, and slab-relative pointer
+/// guards reproduce the resident guards' decisions exactly — which is what
+/// keeps the n-streamed profile bitwise identical to the resident one.
+
+/// Smallest sorted index the block starting at `block_begin` can ever
+/// admit: the first l with xs[block_begin] − xs[l] <= reach.
+template <class Scalar>
+inline std::size_t halo_begin(std::span<const Scalar> xs_sorted,
+                              std::size_t block_begin, Scalar reach) {
+  std::size_t lo = 0;
+  std::size_t hi = block_begin;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (xs_sorted[block_begin] - xs_sorted[mid] > reach) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// One past the largest sorted index the block ending at `block_last`
+/// (inclusive) can ever admit: past the last l with
+/// xs[l] − xs[block_last] <= reach.
+template <class Scalar>
+inline std::size_t halo_end(std::span<const Scalar> xs_sorted,
+                            std::size_t block_last, Scalar reach) {
+  std::size_t lo = block_last;
+  std::size_t hi = xs_sorted.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (xs_sorted[mid] - xs_sorted[block_last] <= reach) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Largest slab (block + halo) any n-block of size `n_block` tiling
+/// [range_begin, range_end) would upload — the byte model's worst case for
+/// resolve_streaming_2d. O((range / n_block) · log n).
+template <class Scalar>
+inline std::size_t max_halo_span(std::span<const Scalar> xs_sorted,
+                                 std::size_t range_begin,
+                                 std::size_t range_end, std::size_t n_block,
+                                 Scalar reach) {
+  std::size_t widest = 0;
+  for (std::size_t n0 = range_begin; n0 < range_end; n0 += n_block) {
+    const std::size_t n1 = std::min(n0 + n_block, range_end);
+    const std::size_t begin = halo_begin(xs_sorted, n0, reach);
+    const std::size_t end = halo_end(xs_sorted, n1 - 1, reach);
+    widest = std::max(widest, end - begin);
+  }
+  return widest;
+}
+
 /// The whole-grid window sweep: seed + resume over all k bandwidths with
 /// thread-local state. This is the resident (non-streamed) kernel body.
 template <class Scalar, class HView, class WriteResid>

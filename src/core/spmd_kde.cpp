@@ -1,5 +1,6 @@
 #include "core/spmd_kde.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "core/detail/device_sweep.hpp"
 #include "core/detail/kde_polynomials.hpp"
+#include "core/detail/lane_reduce.hpp"
 #include "sort/introsort.hpp"
 #include "sort/iterative_quicksort.hpp"
 
@@ -164,6 +166,170 @@ SelectionResult run_streamed_kde_selection(
   return result;
 }
 
+/// The 2-D (n-block × k-block) tiled KDE sweep: the LSCV counterpart of the
+/// regression selector's run_streamed_2d_window_selection. Observations tile
+/// into n-blocks, each uploading only a halo-padded slab of the sorted X —
+/// the halo reach is the widest admission of either window at h_max, i.e.
+/// max(K, K̄ support scale)·h_max — and carrying both windows' moment sums
+/// and pointers in O(n_block) buffers. Per-bandwidth LSCV-partial totals
+/// carry across n-blocks in the reduction's own per-lane accumulators (see
+/// lane_reduce.hpp), so the streamed profile stays bitwise identical to the
+/// resident one for ANY (n_block, k_block).
+SelectionResult run_streamed_2d_kde_selection(
+    spmd::Device& device, const SpmdKdeConfig& config,
+    const std::vector<double>& host_x, const BandwidthGrid& grid,
+    const detail::SupportPolynomial& kpoly,
+    const detail::SupportPolynomial& cpoly, double roughness_value,
+    const StreamingPlan& plan, std::size_t tpb, std::string method_name) {
+  const std::size_t n = host_x.size();
+  const std::size_t k = grid.size();
+  constexpr std::size_t kSums = detail::kKdeMaxMoment + 1;
+  const std::size_t lane_dim = spmd::detail::reduction_block_dim(device, tpb);
+  const double scale = std::max(kpoly.support_scale, cpoly.support_scale);
+  const double reach = scale * grid[k - 1];  // widest admission at h_max
+  const std::span<const double> host_xs(host_x);
+  const std::vector<double> host_grid(grid.values());
+
+  // Carried per-(bandwidth, lane) partial-sum accumulators, zero-uploaded:
+  // phase 1 of the resident reduction starts every lane at zero too.
+  spmd::DeviceBuffer<double> d_lanes =
+      device.alloc_global<double>(k * lane_dim, "lscv-lanes");
+  {
+    const std::vector<double> zeros(k * lane_dim, 0.0);
+    device.copy_to_device(d_lanes, std::span<const double>(zeros));
+  }
+  spmd::MemView<double> lanes = d_lanes.view();
+
+  for (std::size_t n0 = 0; n0 < n; n0 += plan.n_block) {
+    const std::size_t nb = std::min(plan.n_block, n - n0);
+    const std::size_t slab_begin = detail::halo_begin(host_xs, n0, reach);
+    const std::size_t slab_end = detail::halo_end(host_xs, n0 + nb - 1, reach);
+    const std::size_t slab = slab_end - slab_begin;
+
+    spmd::DeviceBuffer<double> d_x =
+        device.alloc_global<double>(slab, "x-slab");
+    device.copy_to_device(d_x, host_xs.subspan(slab_begin, slab));
+    spmd::DeviceBuffer<double> d_csums =
+        device.alloc_global<double>(nb * kSums, "conv-moments");
+    spmd::DeviceBuffer<double> d_lsums =
+        device.alloc_global<double>(nb * kSums, "loo-moments");
+    spmd::DeviceBuffer<std::size_t> d_clo =
+        device.alloc_global<std::size_t>(nb, "conv-lo");
+    spmd::DeviceBuffer<std::size_t> d_chi =
+        device.alloc_global<std::size_t>(nb, "conv-hi");
+    spmd::DeviceBuffer<std::size_t> d_llo =
+        device.alloc_global<std::size_t>(nb, "loo-lo");
+    spmd::DeviceBuffer<std::size_t> d_lhi =
+        device.alloc_global<std::size_t>(nb, "loo-hi");
+    spmd::DeviceBuffer<double> d_partial =
+        device.alloc_global<double>(nb * plan.k_block, "lscv-partial-block");
+
+    std::span<const double> dxs = d_x.span();
+    spmd::MemView<double> cs_all = d_csums.view();
+    spmd::MemView<double> ls_all = d_lsums.view();
+    spmd::MemView<std::size_t> clo_all = d_clo.view();
+    spmd::MemView<std::size_t> chi_all = d_chi.view();
+    spmd::MemView<std::size_t> llo_all = d_llo.view();
+    spmd::MemView<std::size_t> lhi_all = d_lhi.view();
+    spmd::MemView<double> partial_all = d_partial.view();
+
+    const spmd::LaunchConfig main_cfg = spmd::LaunchConfig::cover(nb, tpb);
+    const std::size_t rel0 = n0 - slab_begin;  // block's first slab index
+
+    for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+      const std::size_t kb = std::min(plan.k_block, k - b0);
+      const std::vector<double> host_block(host_grid.begin() + b0,
+                                           host_grid.begin() + b0 + kb);
+      spmd::ConstantBuffer<double> c_block =
+          device.upload_constant<double>(host_block, "bandwidth-grid-block");
+      spmd::MemView<const double> hs = c_block.view();
+      const bool first = b0 == 0;
+
+      device.launch("kde_lscv_sweep_tile", main_cfg,
+                    [&, nb, kb, first, rel0](const spmd::ThreadCtx& t) {
+        const std::size_t r = t.global_idx();
+        if (r >= nb) {
+          return;
+        }
+        // Slab-relative position: the halo guarantees the slab never
+        // truncates an admission, so the slab-edge guards decide exactly
+        // as the resident full-array guards.
+        const std::size_t pos = rel0 + r;
+        detail::WindowMomentSweep conv_sweep;  // admits |Δ| <= 2h
+        detail::WindowMomentSweep loo_sweep;   // admits |Δ| <= h
+        if (first) {
+          conv_sweep.seed(pos);
+          loo_sweep.seed(pos);
+        } else {
+          for (std::size_t m = 0; m < kSums; ++m) {
+            conv_sweep.sums[m] = cs_all[r * kSums + m];
+            loo_sweep.sums[m] = ls_all[r * kSums + m];
+          }
+          conv_sweep.lo = clo_all[r];
+          conv_sweep.hi = chi_all[r];
+          loo_sweep.lo = llo_all[r];
+          loo_sweep.hi = lhi_all[r];
+        }
+        detail::kde_window_sweep_resume(
+            dxs, hs, kpoly, cpoly, pos, conv_sweep, loo_sweep,
+            [&](std::size_t b, double conv, double loo) {
+              partial_all[b * nb + r] =
+                  detail::lscv_pair_partial(conv, loo, n, hs[b]);
+            });
+        for (std::size_t m = 0; m < kSums; ++m) {
+          cs_all[r * kSums + m] = conv_sweep.sums[m];
+          ls_all[r * kSums + m] = loo_sweep.sums[m];
+        }
+        clo_all[r] = conv_sweep.lo;
+        chi_all[r] = conv_sweep.hi;
+        llo_all[r] = loo_sweep.lo;
+        lhi_all[r] = loo_sweep.hi;
+      });
+
+      // Lane accumulation: thread `lane` folds this block's partials for
+      // global rows ≡ lane (mod lane_dim), ascending, straight into the
+      // carried accumulator — phase 1 of the resident reduction continued
+      // across n-blocks.
+      device.launch("lscv_lane_accum", spmd::LaunchConfig{1, lane_dim},
+                    [&, nb, kb, n0, b0](const spmd::ThreadCtx& t) {
+        const std::size_t lane = t.global_idx();
+        const std::size_t start = detail::first_lane_row(n0, lane, lane_dim);
+        for (std::size_t b = 0; b < kb; ++b) {
+          for (std::size_t r = start; r < nb; r += lane_dim) {
+            lanes[(b0 + b) * lane_dim + lane] += partial_all[b * nb + r];
+          }
+        }
+      });
+    }
+  }
+
+  // Phase-2 replay: one tree reduction per bandwidth over its carried
+  // lanes, with the same variant the resident reduction uses.
+  std::vector<double> scores_out(k);
+  std::size_t best_index = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t b = 0; b < k; ++b) {
+    const double partial_total = detail::lane_tree_reduce<double>(
+        device, lanes, b * lane_dim, lane_dim, config.reduce_variant);
+    const double score =
+        roughness_value / (static_cast<double>(n) * grid[b]) + partial_total;
+    scores_out[b] = score;
+    if (score < best_score) {  // strict <: smallest index wins ties
+      best_score = score;
+      best_index = b;
+    }
+  }
+
+  SelectionResult result;
+  result.bandwidth = grid[best_index];
+  result.cv_score = best_score;
+  result.grid = grid.values();
+  result.scores = std::move(scores_out);
+  result.evaluations = k;
+  result.method = std::move(method_name);
+  return result;
+}
+
 }  // namespace
 
 SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
@@ -195,15 +361,38 @@ SelectionResult SpmdKdeSelector::select(std::span<const double> xs,
     sort::introsort(std::span<double>(host_x));
   }
 
-  // Streaming decision (window algorithm only): resolve the k-block plan
-  // against the byte model and the device budget; the default keeps small
-  // problems on the resident path bit-for-bit.
+  // Streaming decision (window algorithm only): resolve the 2-D
+  // (n-block × k-block) plan against the byte model and the device budget;
+  // the default keeps small problems on the resident path bit-for-bit,
+  // engages n-resident k-blocks when only the n×k partial matrix is over
+  // budget, and tiles the observations too (halo slab + lane-carried
+  // partial sums) once even the O(n) carry state would not fit.
   if (window) {
-    const StreamingPlan plan = resolve_streaming(
-        config_.stream, k, estimated_bytes(n, k, config_.algorithm),
-        estimated_streamed_bytes(n, 0),
-        estimated_streamed_bytes(n, 1) - estimated_streamed_bytes(n, 0),
-        device_.properties().memory_budget().global_bytes);
+    constexpr std::size_t kSums = detail::kKdeMaxMoment + 1;
+    const std::size_t lane_dim =
+        spmd::detail::reduction_block_dim(device_, tpb);
+    const double reach =
+        std::max(kpoly.support_scale, cpoly.support_scale) * grid[k - 1];
+    const std::span<const double> xs_host(host_x);
+    const auto tile_bytes = [&, n, k](std::size_t nb,
+                                      std::size_t kb) -> std::size_t {
+      if (nb >= n) {
+        // n-resident: the 1-D streamed path's model (no slab, no lanes).
+        return estimated_streamed_bytes(n, kb);
+      }
+      const std::size_t slab = detail::max_halo_span(xs_host, 0, n, nb, reach);
+      return slab * sizeof(double) +
+             nb * (2 * kSums * sizeof(double) + 4 * sizeof(std::size_t)) +
+             nb * kb * sizeof(double) + k * lane_dim * sizeof(double);
+    };
+    const StreamingPlan plan = resolve_streaming_2d(
+        config_.stream, n, k, estimated_bytes(n, k, config_.algorithm),
+        tile_bytes, device_.properties().memory_budget().global_bytes);
+    if (plan.n_streamed) {
+      return run_streamed_2d_kde_selection(device_, config_, host_x, grid,
+                                           kpoly, cpoly, roughness_value, plan,
+                                           tpb, name());
+    }
     if (plan.streamed) {
       return run_streamed_kde_selection(device_, config_, host_x, grid, kpoly,
                                         cpoly, roughness_value, plan, tpb,
@@ -328,6 +517,9 @@ std::string SpmdKdeSelector::name() const {
   }
   if (config_.stream.k_block != 0) {
     n += ",kblock=" + std::to_string(config_.stream.k_block);
+  }
+  if (config_.stream.n_block != 0) {
+    n += ",nblock=" + std::to_string(config_.stream.n_block);
   }
   if (config_.stream.memory_budget_bytes != 0) {
     n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);

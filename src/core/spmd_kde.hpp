@@ -23,12 +23,15 @@ struct SpmdKdeConfig {
   /// device-memory sample limit. kPerRowSort keeps the paper-style
   /// per-thread quicksort as the ablation baseline.
   SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
-  /// k-block streaming of the window sweep (see core/streaming.hpp): only
-  /// one n×k_block LSCV-partial block stays resident; the two admission
-  /// windows' moment sums and pointers carry across block launches in O(n)
-  /// buffers, so the streamed profile matches the resident one bitwise.
-  /// Defaults engage streaming only when the resident n×k plan would not
-  /// fit the device (or an explicit/KREG_MEMORY_BUDGET budget).
+  /// 2-D (n-block × k-block) streaming of the window sweep (see
+  /// core/streaming.hpp): k-blocks keep only one n×k_block LSCV-partial
+  /// block resident (window state carried in O(n) buffers); n-blocks tile
+  /// the observations too, uploading only a halo-padded slab of the sorted
+  /// X per block — the halo covers both admission windows at h_max — and
+  /// carrying partial totals in per-lane accumulators, so nothing O(n)
+  /// stays resident. Every tiling matches the resident profile bitwise.
+  /// Defaults engage each streaming dimension only when the previous plan
+  /// would not fit the device (or an explicit/KREG_MEMORY_BUDGET budget).
   StreamingConfig stream;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/detail/device_sweep.hpp"
+#include "core/detail/lane_reduce.hpp"
 #include "core/window_sweep.hpp"
 
 namespace kreg {
@@ -230,6 +231,178 @@ SelectionResult run_streamed_window_selection(
   return result;
 }
 
+/// The 2-D (n-block × k-block) tiled window sweep: nothing O(n) stays
+/// resident. Observations tile into n-blocks; each block uploads only a
+/// *slab* of the sorted arrays — the block plus a halo wide enough to cover
+/// its largest admission window at h_max (bounds found host-side by binary
+/// search; see halo_begin/halo_end in device_sweep.hpp) — and carries its
+/// window state in O(n_block) buffers across the inner k-block loop.
+/// Per-bandwidth score totals carry across n-blocks in the reduction's own
+/// per-lane accumulators (see lane_reduce.hpp), so the streamed profile is
+/// bitwise identical to the resident one for ANY (n_block, k_block).
+/// Device memory: O(slab + n_block·k_block + k·lane_dim).
+template <class Scalar>
+SelectionResult run_streamed_2d_window_selection(
+    spmd::Device& device, const SpmdSelectorConfig& config,
+    const std::vector<Scalar>& host_x, const std::vector<Scalar>& host_y,
+    const std::vector<Scalar>& host_grid, const BandwidthGrid& grid,
+    const StreamingPlan& plan, std::size_t tpb, const SweepPolynomial& poly,
+    std::string method_name) {
+  const std::size_t n = host_x.size();
+  const std::size_t k = host_grid.size();
+  const std::size_t terms = poly.max_power + 1;
+  const bool bandwidth_major = config.layout == ResidualLayout::kBandwidthMajor;
+  const std::size_t lane_dim = spmd::detail::reduction_block_dim(device, tpb);
+  const Scalar reach = host_grid.back();  // widest admission: h_max
+  const std::span<const Scalar> host_xs(host_x);
+  const std::span<const Scalar> host_ys(host_y);
+
+  // Carried per-(bandwidth, lane) score accumulators. Uploaded as zeros —
+  // phase 1 of the resident reduction starts every lane at zero too, so
+  // accumulating each block's residuals in ascending global order
+  // reproduces its exact left fold.
+  spmd::DeviceBuffer<Scalar> d_lanes =
+      device.alloc_global<Scalar>(k * lane_dim, "score-lanes");
+  {
+    const std::vector<Scalar> zeros(k * lane_dim, Scalar{});
+    device.copy_to_device(d_lanes, std::span<const Scalar>(zeros));
+  }
+  spmd::MemView<Scalar> lanes = d_lanes.view();
+
+  for (std::size_t n0 = 0; n0 < n; n0 += plan.n_block) {
+    const std::size_t nb = std::min(plan.n_block, n - n0);
+    const std::size_t slab_begin = detail::halo_begin(host_xs, n0, reach);
+    const std::size_t slab_end =
+        detail::halo_end(host_xs, n0 + nb - 1, reach);
+    const std::size_t slab = slab_end - slab_begin;
+
+    // This block's slab of the sorted arrays plus its O(n_block) carry
+    // state and residual block; all freed before the next block uploads.
+    spmd::DeviceBuffer<Scalar> d_x =
+        device.alloc_global<Scalar>(slab, "x-slab");
+    spmd::DeviceBuffer<Scalar> d_y =
+        device.alloc_global<Scalar>(slab, "y-slab");
+    device.copy_to_device(d_x, host_xs.subspan(slab_begin, slab));
+    device.copy_to_device(d_y, host_ys.subspan(slab_begin, slab));
+    spmd::DeviceBuffer<std::size_t> d_lo =
+        device.alloc_global<std::size_t>(nb, "window-lo");
+    spmd::DeviceBuffer<std::size_t> d_hi =
+        device.alloc_global<std::size_t>(nb, "window-hi");
+    spmd::DeviceBuffer<Scalar> d_sm =
+        device.alloc_global<Scalar>(nb * terms, "moment-s");
+    spmd::DeviceBuffer<Scalar> d_tm =
+        device.alloc_global<Scalar>(nb * terms, "moment-t");
+    spmd::DeviceBuffer<Scalar> d_resid =
+        device.alloc_global<Scalar>(nb * plan.k_block, "residual-block");
+
+    std::span<const Scalar> xs = d_x.span();
+    std::span<const Scalar> ys = d_y.span();
+    spmd::MemView<std::size_t> lo_all = d_lo.view();
+    spmd::MemView<std::size_t> hi_all = d_hi.view();
+    spmd::MemView<Scalar> sm_all = d_sm.view();
+    spmd::MemView<Scalar> tm_all = d_tm.view();
+    spmd::MemView<Scalar> resid_all = d_resid.view();
+
+    const spmd::LaunchConfig main_cfg = spmd::LaunchConfig::cover(nb, tpb);
+    const std::size_t rel0 = n0 - slab_begin;  // block's first slab index
+
+    for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+      const std::size_t kb = std::min(plan.k_block, k - b0);
+      const std::vector<Scalar> host_block(host_grid.begin() + b0,
+                                           host_grid.begin() + b0 + kb);
+      spmd::ConstantBuffer<Scalar> c_block =
+          device.upload_constant<Scalar>(host_block, "bandwidth-grid-block");
+      spmd::MemView<const Scalar> hs = c_block.view();
+      const bool first = b0 == 0;
+
+      device.launch("cv_sweep_tile", main_cfg,
+                    [&, nb, kb, first, rel0](const spmd::ThreadCtx& t) {
+        const std::size_t r = t.global_idx();
+        if (r >= nb) {
+          return;
+        }
+        // Positions are slab-relative: the halo guarantees no admission
+        // ever reaches a slab edge the resident sweep would cross, so the
+        // slab-relative guards decide exactly as the absolute ones.
+        const std::size_t pos = rel0 + r;
+        Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+        Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        if (first) {
+          detail::window_sweep_seed<Scalar>(ys, pos, lo, hi,
+                                            std::span<Scalar>(s_m, terms),
+                                            std::span<Scalar>(t_m, terms));
+        } else {
+          lo = lo_all[r];
+          hi = hi_all[r];
+          for (std::size_t m = 0; m < terms; ++m) {
+            s_m[m] = sm_all[r * terms + m];
+            t_m[m] = tm_all[r * terms + m];
+          }
+        }
+        detail::window_sweep_resume<Scalar>(
+            xs, ys, hs, poly, pos, lo, hi, std::span<Scalar>(s_m, terms),
+            std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+              resid_all[bandwidth_major ? b * nb + r : r * kb + b] = sq;
+            });
+        lo_all[r] = lo;
+        hi_all[r] = hi;
+        for (std::size_t m = 0; m < terms; ++m) {
+          sm_all[r * terms + m] = s_m[m];
+          tm_all[r * terms + m] = t_m[m];
+        }
+      });
+
+      // Lane accumulation: thread `lane` folds this block's residuals for
+      // global rows ≡ lane (mod lane_dim) — ascending, element by element,
+      // straight into the carried accumulator — phase 1 of the resident
+      // reduction continued across blocks.
+      device.launch("score_lane_accum", spmd::LaunchConfig{1, lane_dim},
+                    [&, nb, kb, n0, b0](const spmd::ThreadCtx& t) {
+        const std::size_t lane = t.global_idx();
+        const std::size_t start = detail::first_lane_row(n0, lane, lane_dim);
+        for (std::size_t b = 0; b < kb; ++b) {
+          for (std::size_t r = start; r < nb; r += lane_dim) {
+            lanes[(b0 + b) * lane_dim + lane] +=
+                resid_all[bandwidth_major ? b * nb + r : r * kb + b];
+          }
+        }
+      });
+    }
+  }
+
+  // Phase-2 replay: one tree reduction per bandwidth over its carried
+  // lanes. The resident observation-major path reduces through the
+  // hardcoded-sequential strided kernel, so only bandwidth-major honours
+  // the configured variant.
+  const spmd::ReduceVariant variant = bandwidth_major
+                                          ? config.reduce_variant
+                                          : spmd::ReduceVariant::kSequential;
+  std::vector<double> cv(k);
+  std::size_t best_index = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar total = detail::lane_tree_reduce<Scalar>(
+        device, lanes, b * lane_dim, lane_dim, variant);
+    const double score = static_cast<double>(total) / static_cast<double>(n);
+    cv[b] = score;
+    if (score < best_score) {  // strict <: smallest index wins ties
+      best_score = score;
+      best_index = b;
+    }
+  }
+
+  SelectionResult result;
+  result.bandwidth = grid[best_index];
+  result.cv_score = cv[best_index];
+  result.grid = grid.values();
+  result.scores = std::move(cv);
+  result.evaluations = k;
+  result.method = std::move(method_name);
+  return result;
+}
+
 template <class Scalar>
 SelectionResult run_device_selection(spmd::Device& device,
                                      const SpmdSelectorConfig& config,
@@ -269,22 +442,40 @@ SelectionResult run_device_selection(spmd::Device& device,
   }
 
   // --- Streaming decision (window algorithm only) -------------------------
-  // Resolve the k-block plan against this problem's byte model and the
-  // device's global-memory budget. The default plan keeps small problems
-  // resident — bit-for-bit the pre-streaming code path — and switches to
-  // streamed k-blocks only when the resident n×k footprint would not fit.
+  // Resolve the 2-D (n-block × k-block) plan against this problem's byte
+  // model and the device's global-memory budget. The default plan keeps
+  // small problems resident — bit-for-bit the pre-streaming code path —
+  // switches to n-resident k-blocks when only the n×k residual matrix is
+  // over budget, and tiles the observations too (halo slab + lane-carried
+  // scores) once even the O(n) carry state would not fit.
   if (window) {
-    const StreamingPlan plan = resolve_streaming(
-        config.stream, k,
+    const std::size_t elem = sizeof(Scalar);
+    const std::size_t terms = poly.max_power + 1;
+    const std::size_t lane_dim = spmd::detail::reduction_block_dim(device, tpb);
+    const Scalar reach = host_grid.back();
+    const std::span<const Scalar> xs_host(host_x);
+    const auto tile_bytes = [&, n, k](std::size_t nb,
+                                      std::size_t kb) -> std::size_t {
+      if (nb >= n) {
+        // n-resident: the 1-D streamed path's model (no slab, no lanes).
+        return SpmdGridSelector::estimated_streamed_bytes(
+            n, kb, config.precision, config.kernel);
+      }
+      const std::size_t slab = detail::max_halo_span(xs_host, 0, n, nb, reach);
+      return 2 * slab * elem +
+             nb * (2 * terms * elem + 2 * sizeof(std::size_t)) +
+             nb * kb * elem + k * lane_dim * elem;
+    };
+    const StreamingPlan plan = resolve_streaming_2d(
+        config.stream, n, k,
         SpmdGridSelector::estimated_bytes(n, k, config.precision,
                                           config.streaming, config.algorithm),
-        SpmdGridSelector::estimated_streamed_bytes(n, 0, config.precision,
-                                                   config.kernel),
-        SpmdGridSelector::estimated_streamed_bytes(n, 1, config.precision,
-                                                   config.kernel) -
-            SpmdGridSelector::estimated_streamed_bytes(n, 0, config.precision,
-                                                       config.kernel),
-        device.properties().memory_budget().global_bytes);
+        tile_bytes, device.properties().memory_budget().global_bytes);
+    if (plan.n_streamed) {
+      return run_streamed_2d_window_selection<Scalar>(
+          device, config, host_x, host_y, host_grid, grid, plan, tpb, poly,
+          std::move(method_name));
+    }
     if (plan.streamed) {
       return run_streamed_window_selection<Scalar>(
           device, config, host_x, host_y, host_grid, grid, plan, tpb, poly,
@@ -469,6 +660,9 @@ std::string SpmdGridSelector::name() const {
   }
   if (config_.stream.k_block != 0) {
     n += ",kblock=" + std::to_string(config_.stream.k_block);
+  }
+  if (config_.stream.n_block != 0) {
+    n += ",nblock=" + std::to_string(config_.stream.n_block);
   }
   if (config_.stream.memory_budget_bytes != 0) {
     n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);

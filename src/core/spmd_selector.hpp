@@ -45,14 +45,18 @@ struct SpmdSelectorConfig {
   /// without streaming. kPerRowSort stays selectable as the paper-faithful
   /// §IV-B ablation baseline.
   SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
-  /// k-block streaming of the window sweep (see core/streaming.hpp): tiles
-  /// the bandwidth grid so only one n×k_block residual block is resident,
-  /// carrying the per-observation window state across blocks in O(n)
-  /// buffers. Defaults keep small problems on the resident path and engage
-  /// streaming automatically only when the resident n×k plan would exceed
-  /// the device's global memory (or an explicit/KREG_MEMORY_BUDGET budget).
-  /// Streaming also lifts the constant-cache cap on k: only one block of
-  /// bandwidths occupies constant memory at a time. Window algorithm only.
+  /// 2-D (n-block × k-block) streaming of the window sweep (see
+  /// core/streaming.hpp): k-blocks tile the bandwidth grid so only one
+  /// n×k_block residual block is resident (window state carried in O(n)
+  /// buffers); n-blocks tile the observations too, uploading only a
+  /// halo-padded slab of the sorted arrays per block and carrying score
+  /// totals in per-lane accumulators, so nothing O(n) stays resident.
+  /// Defaults keep small problems on the resident path and engage each
+  /// streaming dimension automatically only when the previous plan would
+  /// exceed the device's global memory (or an explicit/KREG_MEMORY_BUDGET
+  /// budget). Streaming also lifts the constant-cache cap on k: only one
+  /// block of bandwidths occupies constant memory at a time. Every tiling
+  /// is bitwise identical to the resident sweep. Window algorithm only.
   StreamingConfig stream;
 };
 

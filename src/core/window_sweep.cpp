@@ -245,4 +245,22 @@ std::vector<double> window_cv_profile_tiled(const data::Dataset& data,
              : profile_tiled<double>(data, grid, kernel, tiling, pool);
 }
 
+HostTiling host_tiling_from_stream(const StreamingConfig& stream) {
+  HostTiling tiling;
+  tiling.n_block = stream.n_block;
+  tiling.k_block = stream.k_block;
+  if (tiling.n_block == 0) {
+    std::size_t budget = stream.memory_budget_bytes;
+    if (budget == 0 && stream.auto_tune) {
+      budget = env_memory_budget();
+    }
+    if (budget != 0) {
+      // The profile_tiled auto-tiling doc's carry model: ≲128 B per
+      // observation (two pointers + two moment vectors at terms = 7).
+      tiling.n_block = std::max<std::size_t>(1, budget / 128);
+    }
+  }
+  return tiling;
+}
+
 }  // namespace kreg

@@ -6,6 +6,7 @@
 
 #include "core/kernels.hpp"
 #include "core/sorted_sweep.hpp"
+#include "core/streaming.hpp"
 #include "data/dataset.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -90,5 +91,13 @@ std::vector<double> window_cv_profile_tiled(
     const data::Dataset& data, std::span<const double> grid, KernelType kernel,
     Precision precision = Precision::kDouble, HostTiling tiling = {},
     parallel::ThreadPool* pool = nullptr);
+
+/// Maps the device StreamingConfig onto the host tiling so one
+/// `--n-block`/`--k-block`/`--memory-budget` knob set drives both mirrors:
+/// explicit blocks carry over verbatim; with n_block unset, a nonzero
+/// budget (explicit, or KREG_MEMORY_BUDGET under auto_tune) sizes the tile
+/// by the documented ≲128 B/observation carry model; everything else stays
+/// 0 = auto.
+HostTiling host_tiling_from_stream(const StreamingConfig& stream);
 
 }  // namespace kreg

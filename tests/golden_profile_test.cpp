@@ -291,6 +291,20 @@ TEST_P(GoldenRegression, EveryBackendReproducesTheGoldenCvProfile) {
   expect_profile(
       kreg::SpmdGridSelector(dev, window_cfg).select(data, grid).scores,
       fx.expected, "spmd-window");
+  // The streamed 2-D (n-block × k-block) plan must reproduce the same
+  // golden profile: block sizes deliberately misaligned with n and k.
+  kreg::SpmdSelectorConfig tiled_cfg;
+  tiled_cfg.precision = Precision::kDouble;
+  tiled_cfg.stream.n_block = 7;
+  tiled_cfg.stream.k_block = 3;
+  expect_profile(
+      kreg::SpmdGridSelector(dev, tiled_cfg).select(data, grid).scores,
+      fx.expected, "spmd-window-2d-streamed");
+  expect_profile(
+      kreg::window_cv_profile_tiled(data, grid.values(),
+                                    KernelType::kEpanechnikov,
+                                    Precision::kDouble, kreg::HostTiling{7, 3}),
+      fx.expected, "host-tiled");
 
   // The 1-D ray sweep is the same objective with ratios = {1}.
   const kreg::data::MDataset multi = kreg::data::to_multivariate(data);
@@ -358,6 +372,11 @@ TEST_P(GoldenKde, EveryBackendReproducesTheGoldenLscvProfile) {
                  fx.expected, "spmd-kde-per-row");
   expect_profile(kreg::SpmdKdeSelector(dev).select(xs, grid).scores,
                  fx.expected, "spmd-kde-window");
+  kreg::SpmdKdeConfig tiled;
+  tiled.stream.n_block = 7;
+  tiled.stream.k_block = 3;
+  expect_profile(kreg::SpmdKdeSelector(dev, tiled).select(xs, grid).scores,
+                 fx.expected, "spmd-kde-2d-streamed");
 }
 
 INSTANTIATE_TEST_SUITE_P(Fixtures, GoldenKde,

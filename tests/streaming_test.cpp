@@ -1,12 +1,15 @@
-// Tests for k-block streaming: plan resolution and budget parsing, the
-// streamed device regression/KDE window sweeps (bitwise parity with the
-// resident paths), the multi-device (device × k-block) sharding, the
-// cache-blocked host kernel, and the memory-cliff lift under small budgets.
+// Tests for 2-D (n-block × k-block) streaming: plan resolution and budget
+// parsing, the streamed device regression/KDE window sweeps (bitwise parity
+// with the resident paths across both tiling dimensions), halo-slab
+// construction, the multi-device (device × n-block × k-block) sharding, the
+// cache-blocked host kernel, and the memory-cliff lifts under small budgets.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
+#include "core/detail/device_sweep.hpp"
 #include "core/grid.hpp"
 #include "core/multi_device_selector.hpp"
 #include "core/spmd_kde.hpp"
@@ -90,6 +93,35 @@ TEST(ParseMemoryBudget, RejectsGarbage) {
   EXPECT_THROW(kreg::parse_memory_budget("12 34"), std::invalid_argument);
 }
 
+TEST(ParseMemoryBudget, EdgeCasesRejectedWithDiagnosableErrors) {
+  // Table of inputs that once parsed silently wrong (overflowing the byte
+  // counter, or producing a 0 that downstream reads as "no budget").
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  const Case rejected[] = {
+      {"", "empty input"},
+      {"   ", "whitespace only"},
+      {"0", "zero bytes means un-setting the knob"},
+      {"0MiB", "zero with a suffix"},
+      {"00", "zero with leading zeros"},
+      {"99999999999999999999999", "digit accumulation overflows size_t"},
+      {"18446744073709551615KiB", "suffix multiply overflows size_t"},
+      {"17179869184GiB", "suffix multiply overflows size_t"},
+  };
+  for (const Case& c : rejected) {
+    EXPECT_THROW((void)kreg::parse_memory_budget(c.text),
+                 std::invalid_argument)
+        << "'" << c.text << "' (" << c.why << ")";
+  }
+  // The largest representable values still parse.
+  EXPECT_EQ(kreg::parse_memory_budget("18446744073709551615"),
+            std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(kreg::parse_memory_budget("16777215GiB"),
+            std::size_t{16777215} << 30);
+}
+
 // --- resolve_streaming -----------------------------------------------------
 
 TEST(ResolveStreaming, ExplicitKBlockAlwaysStreams) {
@@ -170,6 +202,205 @@ TEST(ResolveStreaming, EmptyGridThrows) {
   EXPECT_THROW(
       kreg::resolve_streaming(StreamingConfig{}, 0, 1, 1, 1, 1 << 20),
       std::invalid_argument);
+}
+
+// --- resolve_streaming_2d --------------------------------------------------
+
+// A synthetic but monotone byte model: slab overhead decays as blocks
+// shrink, the residual tile grows in both dimensions.
+std::size_t fake_tile_bytes(std::size_t nb, std::size_t kb) {
+  return 1'000 + nb * 80 + nb * kb * 8;
+}
+
+TEST(ResolveStreaming2d, ResidentWhenItFits) {
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      StreamingConfig{}, 100, 10, /*resident=*/50'000, fake_tile_bytes,
+      /*cap=*/1 << 20);
+  EXPECT_FALSE(plan.streamed);
+  EXPECT_FALSE(plan.n_streamed);
+  EXPECT_EQ(plan.n_block, 100u);
+  EXPECT_EQ(plan.k_block, 10u);
+}
+
+TEST(ResolveStreaming2d, KBlocksFirstWhenCarryFits) {
+  // Resident over budget but tile_bytes(n, 1) under it: n stays resident.
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 10'000;
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      cfg, 100, 10, /*resident=*/1 << 20, fake_tile_bytes, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_FALSE(plan.n_streamed);
+  EXPECT_EQ(plan.n_block, 100u);
+  EXPECT_LE(fake_tile_bytes(plan.n_block, plan.k_block), 10'000u);
+  // Largest fitting block: one more bandwidth would overflow.
+  EXPECT_TRUE(plan.k_block == 10 ||
+              fake_tile_bytes(plan.n_block, plan.k_block + 1) > 10'000u);
+}
+
+TEST(ResolveStreaming2d, NBlocksWhenCarryOverflows) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 3'000;  // tile(100, 1) = 1000+8000+800 > 3000
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      cfg, 100, 10, /*resident=*/1 << 20, fake_tile_bytes, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_TRUE(plan.n_streamed);
+  EXPECT_LT(plan.n_block, 100u);
+  EXPECT_GE(plan.n_block, 1u);
+  // The plan's modeled bytes never exceed the budget.
+  EXPECT_LE(fake_tile_bytes(plan.n_block, plan.k_block), 3'000u);
+}
+
+TEST(ResolveStreaming2d, PlanTilesCoverExactlyOnce) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 3'000;
+  const std::size_t n = 100;
+  const std::size_t k = 10;
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      cfg, n, k, 1 << 20, fake_tile_bytes, 1 << 30);
+  // Walk the 2-D tiling the backends execute and count coverage.
+  std::vector<int> n_cover(n, 0);
+  std::vector<int> k_cover(k, 0);
+  for (std::size_t n0 = 0; n0 < n; n0 += plan.n_block) {
+    const std::size_t nb = std::min(plan.n_block, n - n0);
+    for (std::size_t i = n0; i < n0 + nb; ++i) {
+      ++n_cover[i];
+    }
+  }
+  for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
+    const std::size_t kb = std::min(plan.k_block, k - b0);
+    for (std::size_t b = b0; b < b0 + kb; ++b) {
+      ++k_cover[b];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(n_cover[i], 1) << "observation " << i;
+  }
+  for (std::size_t b = 0; b < k; ++b) {
+    EXPECT_EQ(k_cover[b], 1) << "bandwidth " << b;
+  }
+  EXPECT_EQ(plan.n_blocks(n), (n + plan.n_block - 1) / plan.n_block);
+  EXPECT_EQ(plan.blocks(k), (k + plan.k_block - 1) / plan.k_block);
+}
+
+TEST(ResolveStreaming2d, DegenerateBudgetThrowsDiagnosableError) {
+  StreamingConfig cfg;
+  cfg.memory_budget_bytes = 500;  // below fake_tile_bytes(1, 1) = 1088
+  try {
+    (void)kreg::resolve_streaming_2d(cfg, 100, 10, 1 << 20, fake_tile_bytes,
+                                     1 << 30);
+    FAIL() << "expected StreamingBudgetError";
+  } catch (const kreg::StreamingBudgetError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("500"), std::string::npos) << what;   // the budget
+    EXPECT_NE(what.find("1088"), std::string::npos) << what;  // minimal tile
+  }
+}
+
+TEST(ResolveStreaming2d, ExplicitNBlockForcesNStreamedPath) {
+  // Even when one block covers everything — that is how tests pin the
+  // n_block ∈ {n, n+13} degenerates to the same code as n_block = 1.
+  StreamingConfig cfg;
+  cfg.n_block = 150;  // > n: clamped but still n-streamed
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      cfg, 100, 10, /*resident=*/1'000, fake_tile_bytes, 1 << 30);
+  EXPECT_TRUE(plan.n_streamed);
+  EXPECT_EQ(plan.n_block, 100u);
+}
+
+TEST(ResolveStreaming2d, ExplicitKBlockAloneKeepsNResident) {
+  StreamingConfig cfg;
+  cfg.k_block = 3;
+  const StreamingPlan plan = kreg::resolve_streaming_2d(
+      cfg, 100, 10, /*resident=*/1'000, fake_tile_bytes, 1 << 30);
+  EXPECT_TRUE(plan.streamed);
+  EXPECT_FALSE(plan.n_streamed);
+  EXPECT_EQ(plan.n_block, 100u);
+  EXPECT_EQ(plan.k_block, 3u);
+}
+
+TEST(ResolveStreaming2d, EmptyInputsThrow) {
+  EXPECT_THROW(kreg::resolve_streaming_2d(StreamingConfig{}, 0, 10, 1,
+                                          fake_tile_bytes, 1 << 20),
+               std::invalid_argument);
+  EXPECT_THROW(kreg::resolve_streaming_2d(StreamingConfig{}, 10, 0, 1,
+                                          fake_tile_bytes, 1 << 20),
+               std::invalid_argument);
+}
+
+// --- halo-slab construction ------------------------------------------------
+
+TEST(HaloSlab, SlabContainsEveryAdmissibleIndex) {
+  // Property: for every pos in the block and every l the device's admission
+  // predicate (|xs[l] − xs[pos]| <= reach, evaluated as the sweep's own
+  // subtractions) accepts, l lies inside [halo_begin, halo_end).
+  Stream s(404);
+  std::vector<double> xs(257);
+  for (auto& x : xs) {
+    x = s.uniform();
+  }
+  std::sort(xs.begin(), xs.end());
+  const std::span<const double> span(xs);
+  for (const double reach : {0.0, 0.01, 0.1, 0.5, 2.0}) {
+    for (const std::size_t n0 : {std::size_t{0}, std::size_t{100},
+                                 std::size_t{250}}) {
+      const std::size_t nb = std::min<std::size_t>(32, xs.size() - n0);
+      const std::size_t begin = kreg::detail::halo_begin(span, n0, reach);
+      const std::size_t end =
+          kreg::detail::halo_end(span, n0 + nb - 1, reach);
+      ASSERT_LE(begin, n0);
+      ASSERT_GE(end, n0 + nb);
+      for (std::size_t pos = n0; pos < n0 + nb; ++pos) {
+        for (std::size_t l = 0; l < xs.size(); ++l) {
+          const bool admitted = l < pos ? xs[pos] - xs[l] <= reach
+                                        : xs[l] - xs[pos] <= reach;
+          if (admitted) {
+            EXPECT_GE(l, begin) << "pos=" << pos << " reach=" << reach;
+            EXPECT_LT(l, end) << "pos=" << pos << " reach=" << reach;
+          }
+        }
+      }
+      // Tightness: the slab's first excluded neighbours really are
+      // inadmissible from the block's edges.
+      if (begin > 0) {
+        EXPECT_GT(xs[n0] - xs[begin - 1], reach);
+      }
+      if (end < xs.size()) {
+        EXPECT_GT(xs[end] - xs[n0 + nb - 1], reach);
+      }
+    }
+  }
+}
+
+TEST(HaloSlab, TiedAbscissaeStayInOneSlab) {
+  // All-equal X: every index is admissible at any reach, so the slab must
+  // be the whole array no matter the block.
+  const std::vector<double> xs(16, 0.25);
+  const std::span<const double> span(xs);
+  EXPECT_EQ(kreg::detail::halo_begin(span, std::size_t{10}, 0.0),
+            std::size_t{0});
+  EXPECT_EQ(kreg::detail::halo_end(span, std::size_t{3}, 0.0), xs.size());
+}
+
+TEST(HaloSlab, MaxHaloSpanBoundsEveryBlock) {
+  Stream s(405);
+  std::vector<double> xs(200);
+  for (auto& x : xs) {
+    x = s.gaussian();
+  }
+  std::sort(xs.begin(), xs.end());
+  const std::span<const double> span(xs);
+  const double reach = 0.3;
+  for (const std::size_t nb : {std::size_t{1}, std::size_t{7},
+                               std::size_t{64}, std::size_t{200}}) {
+    const std::size_t widest =
+        kreg::detail::max_halo_span(span, 0, xs.size(), nb, reach);
+    for (std::size_t n0 = 0; n0 < xs.size(); n0 += nb) {
+      const std::size_t last = std::min(n0 + nb, xs.size()) - 1;
+      const std::size_t slab = kreg::detail::halo_end(span, last, reach) -
+                               kreg::detail::halo_begin(span, n0, reach);
+      EXPECT_LE(slab, widest) << "n0=" << n0 << " nb=" << nb;
+    }
+  }
 }
 
 // --- streamed device regression sweep --------------------------------------
@@ -347,6 +578,125 @@ TEST(StreamedSelector, EnvBudgetEngagesStreaming) {
   expect_same_selection(streamed, resident);
 }
 
+// --- n-streamed (2-D) device regression sweep --------------------------------
+
+TEST(NStreamedSelector, MatchesResidentBitwiseAcrossNByKBlocks) {
+  const std::size_t n = 237;  // odd: uneven lane distribution and last block
+  const Dataset d = paper_data(n, 31);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 17);
+  const std::size_t k = grid.size();
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg()).select(d, grid);
+
+  for (std::size_t nb : {std::size_t{1}, std::size_t{7}, n - 1, n, n + 13}) {
+    for (std::size_t kb : {std::size_t{1}, k}) {
+      Device dev;
+      SpmdSelectorConfig cfg = resident_cfg();
+      cfg.stream.n_block = nb;
+      cfg.stream.k_block = kb;
+      SCOPED_TRACE("n_block=" + std::to_string(nb) +
+                   " k_block=" + std::to_string(kb));
+      expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid),
+                            resident);
+    }
+  }
+}
+
+TEST(NStreamedSelector, FloatPathMatchesResidentBitwise) {
+  const Dataset d = paper_data(190, 32);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 13);
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg(Precision::kFloat)).select(d, grid);
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg(Precision::kFloat);
+  cfg.stream.n_block = 23;
+  cfg.stream.k_block = 5;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid), resident);
+}
+
+TEST(NStreamedSelector, ObservationMajorLayoutMatchesResident) {
+  const Dataset d = paper_data(151, 33);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 11);
+  SpmdSelectorConfig base = resident_cfg();
+  base.layout = ResidualLayout::kObservationMajor;
+  Device ref;
+  const SelectionResult resident = SpmdGridSelector(ref, base).select(d, grid);
+  Device dev;
+  SpmdSelectorConfig cfg = base;
+  cfg.stream.n_block = 17;
+  cfg.stream.k_block = 4;
+  expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid), resident);
+}
+
+TEST(NStreamedSelector, WindowsStraddlingEveryBlockBoundary) {
+  // hmax spans the whole X domain, so at the top of the grid every
+  // observation's admission window covers all n observations — each window
+  // straddles one, several, and finally all n-blocks as h ascends. With
+  // n_block = 1 every slab is a pure halo.
+  const Dataset d = paper_data(120, 34);
+  const double domain = d.x_domain();
+  const BandwidthGrid grid(domain / 40.0, domain, 12);
+  Device ref;
+  const SelectionResult resident =
+      SpmdGridSelector(ref, resident_cfg()).select(d, grid);
+  for (std::size_t nb : {std::size_t{1}, std::size_t{11}, std::size_t{40}}) {
+    Device dev;
+    SpmdSelectorConfig cfg = resident_cfg();
+    cfg.stream.n_block = nb;
+    cfg.stream.k_block = 3;
+    SCOPED_TRACE("n_block=" + std::to_string(nb));
+    expect_same_selection(SpmdGridSelector(dev, cfg).select(d, grid),
+                          resident);
+  }
+}
+
+TEST(NStreamedSelector, TiedXEveryObservationInEveryHalo) {
+  // All-tied X: each single-observation block's halo is the entire dataset.
+  Device dev;
+  SpmdSelectorConfig cfg = resident_cfg();
+  cfg.stream.n_block = 1;
+  cfg.stream.k_block = 2;
+  const Dataset ties{{0.5, 0.5, 0.5, 0.5, 0.9}, {1.0, 2.0, 3.0, 4.0, 5.0}};
+  const BandwidthGrid grid(0.1, 1.0, 5);
+  Device ref;
+  expect_same_selection(
+      SpmdGridSelector(dev, cfg).select(ties, grid),
+      SpmdGridSelector(ref, resident_cfg()).select(ties, grid));
+}
+
+TEST(NStreamedSelector, StreamsWhereTheResidentCarryAllocFails) {
+  // Size the device so even the 1-D streamed plan's O(n) carry state cannot
+  // fit: only the 2-D plan survives, and the ledger proves it stayed under.
+  const std::size_t n = 4000;
+  const Dataset d = paper_data(n, 35);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 24);
+  const std::size_t cap = 96 * 1024;
+  ASSERT_GT(SpmdGridSelector::estimated_streamed_bytes(n, 1,
+                                                       Precision::kDouble),
+            cap);
+  Device dev(DeviceProperties::tiny(cap));
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  const SelectionResult streamed = SpmdGridSelector(dev, cfg).select(d, grid);
+  EXPECT_LE(dev.global_peak(), cap);
+
+  Device ref;
+  expect_same_selection(streamed,
+                        SpmdGridSelector(ref, resident_cfg()).select(d, grid));
+}
+
+TEST(NStreamedSelector, NameShowsNBlock) {
+  Device dev;
+  SpmdSelectorConfig cfg;
+  cfg.stream.n_block = 37;
+  cfg.stream.k_block = 8;
+  const std::string name = SpmdGridSelector(dev, cfg).name();
+  EXPECT_NE(name.find("nblock=37"), std::string::npos) << name;
+  EXPECT_NE(name.find("kblock=8"), std::string::npos) << name;
+}
+
 // --- streamed device KDE sweep ---------------------------------------------
 
 TEST(StreamedKde, MatchesResidentBitwiseAcrossKBlocks) {
@@ -403,6 +753,74 @@ TEST(StreamedKde, NameShowsStreamingKnobs) {
   cfg.stream.k_block = 4;
   const std::string name = SpmdKdeSelector(dev, cfg).name();
   EXPECT_NE(name.find("kblock=4"), std::string::npos) << name;
+}
+
+// --- n-streamed (2-D) device KDE sweep --------------------------------------
+
+TEST(NStreamedKde, MatchesResidentBitwiseAcrossNByKBlocks) {
+  const std::size_t n = 206;
+  const auto xs = kde_sample(n, 41);
+  const BandwidthGrid grid(0.05, 1.5, 14);
+  const std::size_t k = grid.size();
+  Device ref;
+  SpmdKdeConfig base;
+  base.stream.auto_tune = false;
+  const SelectionResult resident = SpmdKdeSelector(ref, base).select(xs, grid);
+
+  for (std::size_t nb : {std::size_t{1}, std::size_t{7}, n - 1, n, n + 13}) {
+    for (std::size_t kb : {std::size_t{1}, k}) {
+      Device dev;
+      SpmdKdeConfig cfg = base;
+      cfg.stream.n_block = nb;
+      cfg.stream.k_block = kb;
+      SCOPED_TRACE("n_block=" + std::to_string(nb) +
+                   " k_block=" + std::to_string(kb));
+      expect_same_selection(SpmdKdeSelector(dev, cfg).select(xs, grid),
+                            resident);
+    }
+  }
+}
+
+TEST(NStreamedKde, ConvolutionReachIsWiderThanTheKernels) {
+  // A kernel pair's convolution support (2h for compact kernels) is wider
+  // than the kernel's own: the halo must be sized by the larger of the two
+  // supports or far-pair convolution terms go missing.
+  const auto xs = kde_sample(140, 42);
+  const BandwidthGrid grid(0.1, 1.2, 10);
+  SpmdKdeConfig base;
+  base.kernel = KernelType::kUniform;
+  base.stream.auto_tune = false;
+  Device ref;
+  const SelectionResult resident = SpmdKdeSelector(ref, base).select(xs, grid);
+  Device dev;
+  SpmdKdeConfig cfg = base;
+  cfg.stream.n_block = 9;
+  cfg.stream.k_block = 3;
+  expect_same_selection(SpmdKdeSelector(dev, cfg).select(xs, grid), resident);
+}
+
+TEST(NStreamedKde, StreamsWhereTheResidentCarryAllocFails) {
+  const std::size_t n = 4000;
+  const auto xs = kde_sample(n, 43);
+  const BandwidthGrid grid(0.05, 1.5, 20);
+  const std::size_t cap = 128 * 1024;
+  ASSERT_GT(SpmdKdeSelector::estimated_streamed_bytes(n, 1), cap);
+  Device dev(DeviceProperties::tiny(cap));
+  const SelectionResult streamed = SpmdKdeSelector(dev).select(xs, grid);
+  EXPECT_LE(dev.global_peak(), cap);
+
+  Device ref;
+  SpmdKdeConfig base;
+  base.stream.auto_tune = false;
+  expect_same_selection(streamed, SpmdKdeSelector(ref, base).select(xs, grid));
+}
+
+TEST(NStreamedKde, NameShowsNBlock) {
+  Device dev;
+  SpmdKdeConfig cfg;
+  cfg.stream.n_block = 19;
+  const std::string name = SpmdKdeSelector(dev, cfg).name();
+  EXPECT_NE(name.find("nblock=19"), std::string::npos) << name;
 }
 
 // --- multi-device (device × k-block) sharding ------------------------------
@@ -465,6 +883,90 @@ TEST(StreamedMultiDevice, HeterogeneousBudgetsStreamPerDevice) {
   expect_same_selection(
       mixed,
       MultiDeviceGridSelector({&ra, &rb}, resident_cfg()).select(d, grid));
+}
+
+// --- multi-device (device × n-block × k-block) sharding ----------------------
+
+TEST(NStreamedMultiDevice, MatchesMultiDeviceResidentBitwise) {
+  const std::size_t n = 301;  // 3 uneven slices of ~100
+  const Dataset d = paper_data(n, 51);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 13);
+  Device ra;
+  Device rb;
+  Device rc;
+  const SelectionResult resident =
+      MultiDeviceGridSelector({&ra, &rb, &rc}, resident_cfg()).select(d, grid);
+
+  for (std::size_t nb : {std::size_t{1}, std::size_t{7}, n, n + 13}) {
+    for (std::size_t kb : {std::size_t{1}, std::size_t{13}}) {
+      Device a;
+      Device b;
+      Device c;
+      SpmdSelectorConfig cfg = resident_cfg();
+      cfg.stream.n_block = nb;
+      cfg.stream.k_block = kb;
+      SCOPED_TRACE("n_block=" + std::to_string(nb) +
+                   " k_block=" + std::to_string(kb));
+      expect_same_selection(
+          MultiDeviceGridSelector({&a, &b, &c}, cfg).select(d, grid),
+          resident);
+    }
+  }
+}
+
+TEST(NStreamedMultiDevice, FloatShardsMatchResidentBitwise) {
+  const Dataset d = paper_data(250, 52);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 10);
+  Device ra;
+  Device rb;
+  const SelectionResult resident =
+      MultiDeviceGridSelector({&ra, &rb}, resident_cfg(Precision::kFloat))
+          .select(d, grid);
+  Device a;
+  Device b;
+  SpmdSelectorConfig cfg = resident_cfg(Precision::kFloat);
+  cfg.stream.n_block = 29;
+  cfg.stream.k_block = 4;
+  expect_same_selection(
+      MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid), resident);
+}
+
+TEST(NStreamedMultiDevice, TinyDevicesNStreamUnderTheirCaps) {
+  // Both devices too small for even the 1-D carry: the per-device 2-D plans
+  // engage, peaks stay under the caps, and the profile is unchanged.
+  const std::size_t n = 6000;
+  const Dataset d = paper_data(n, 53);
+  const BandwidthGrid grid = BandwidthGrid::default_for(d, 18);
+  // Big enough for the minimal tile (h_max spans the domain, so even a
+  // one-observation block's halo slab is the whole slice), too small for
+  // the 1-D plan's O(rows) carry state.
+  const std::size_t cap = 128 * 1024;
+  ASSERT_GT(SpmdGridSelector::estimated_streamed_bytes(n / 2, 1,
+                                                       Precision::kDouble),
+            cap);
+  Device a(DeviceProperties::tiny(cap));
+  Device b(DeviceProperties::tiny(cap));
+  SpmdSelectorConfig cfg;
+  cfg.precision = Precision::kDouble;
+  const SelectionResult streamed =
+      MultiDeviceGridSelector({&a, &b}, cfg).select(d, grid);
+  EXPECT_LE(a.global_peak(), cap);
+  EXPECT_LE(b.global_peak(), cap);
+
+  Device ra;
+  Device rb;
+  expect_same_selection(
+      streamed,
+      MultiDeviceGridSelector({&ra, &rb}, resident_cfg()).select(d, grid));
+}
+
+TEST(NStreamedMultiDevice, NameShowsNBlock) {
+  Device a;
+  Device b;
+  SpmdSelectorConfig cfg;
+  cfg.stream.n_block = 21;
+  const std::string name = MultiDeviceGridSelector({&a, &b}, cfg).name();
+  EXPECT_NE(name.find("nblock=21"), std::string::npos) << name;
 }
 
 // --- cache-blocked host kernel ---------------------------------------------
