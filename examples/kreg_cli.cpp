@@ -25,6 +25,12 @@
 //                     (spmd window methods and the tiled host mirror)
 //   --memory-budget S device-memory budget for auto (n, k)-blocking, e.g.
 //                     128MiB (sizes accept b/KB/KiB/MB/MiB/...)
+//   --lane-width N    lanes per batch for the batched window kernels
+//                     (0 = auto, 1 = scalar, 4/8/16 = vector widths;
+//                     spmd window methods and the tiled host mirror)
+//   --sigma-sort on|off  σ-sort observations by admission-window length
+//                     before lane batching (default on; bitwise identical
+//                     either way)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,23 +50,28 @@ namespace {
                "  [--kernel epanechnikov|uniform|triangular|biweight|"
                "triweight|cosine|gaussian]\n"
                "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n"
-               "  [--k-block N] [--n-block N] [--memory-budget SIZE]\n",
+               "  [--k-block N] [--n-block N] [--memory-budget SIZE]\n"
+               "  [--lane-width 0|1|4|8|16] [--sigma-sort on|off]\n",
                argv0);
   std::exit(2);
 }
 
 /// The cache-blocked host mirror of the streamed device sweep, exposed as a
 /// selector so --n-block / --k-block / --memory-budget drive the same tiling
-/// machinery on the CPU (see host_tiling_from_stream).
+/// machinery on the CPU (see host_tiling_from_stream). Runs the batched
+/// (lane-vectorized) kernels by default — bitwise identical to the scalar
+/// tiled sweep for every lane width, so the switch is pure speed.
 class TiledWindowSelector final : public kreg::Selector {
  public:
-  TiledWindowSelector(kreg::KernelType kernel, kreg::HostTiling tiling)
-      : kernel_(kernel), tiling_(tiling) {}
+  TiledWindowSelector(kreg::KernelType kernel, kreg::HostTiling tiling,
+                      kreg::BatchedSweep batched)
+      : kernel_(kernel), tiling_(tiling), batched_(batched) {}
 
   kreg::SelectionResult select(const kreg::data::Dataset& data,
                                const kreg::BandwidthGrid& grid) const override {
-    const std::vector<double> scores = kreg::window_cv_profile_tiled(
-        data, grid.values(), kernel_, kreg::Precision::kDouble, tiling_);
+    const std::vector<double> scores = kreg::window_cv_profile_batched(
+        data, grid.values(), kernel_, kreg::Precision::kDouble, batched_,
+        tiling_);
     std::size_t best = 0;
     for (std::size_t b = 1; b < scores.size(); ++b) {
       if (scores[b] < scores[best]) {
@@ -85,6 +96,13 @@ class TiledWindowSelector final : public kreg::Selector {
     if (tiling_.k_block != 0) {
       n += ",kblock=" + std::to_string(tiling_.k_block);
     }
+    const std::size_t lanes = kreg::resolve_lane_width(batched_.lane_width);
+    if (lanes > 1) {
+      n += ",lanes=" + std::to_string(lanes);
+      if (batched_.sigma_sort) {
+        n += ",sigma";
+      }
+    }
     n += ")";
     return n;
   }
@@ -92,6 +110,7 @@ class TiledWindowSelector final : public kreg::Selector {
  private:
   kreg::KernelType kernel_;
   kreg::HostTiling tiling_;
+  kreg::BatchedSweep batched_;
 };
 
 kreg::KernelType parse_kernel(const std::string& name) {
@@ -119,6 +138,7 @@ int main(int argc, char** argv) {
   bool refine = false;
   std::size_t curve_points = 0;
   kreg::StreamingConfig stream;
+  kreg::BatchedSweep batched;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,6 +177,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", e.what());
         usage(argv[0]);
       }
+    } else if (arg == "--lane-width") {
+      batched.lane_width = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--sigma-sort") {
+      const std::string v = next();
+      if (v != "on" && v != "off") {
+        usage(argv[0]);
+      }
+      batched.sigma_sort = v == "on";
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else {
@@ -211,7 +239,7 @@ int main(int argc, char** argv) {
       selector = std::make_unique<kreg::WindowSweepSelector>(kernel);
     } else if (method == "tiled") {
       selector = std::make_unique<TiledWindowSelector>(
-          kernel, kreg::host_tiling_from_stream(stream));
+          kernel, kreg::host_tiling_from_stream(stream), batched);
     } else if (method == "spmd-per-row" || method == "spmd-window") {
       // spmd-window is kept as an explicit alias now that plain spmd
       // defaults to the window sweep.
@@ -222,6 +250,8 @@ int main(int argc, char** argv) {
                           ? kreg::SweepAlgorithm::kPerRowSort
                           : kreg::SweepAlgorithm::kWindow;
       cfg.stream = stream;
+      cfg.lane_width = batched.lane_width;
+      cfg.sigma_sort = batched.sigma_sort;
       selector = std::make_unique<kreg::SpmdGridSelector>(*device, cfg);
     } else if (method == "parallel") {
       selector = std::make_unique<kreg::ParallelSortedGridSelector>(kernel);
@@ -234,6 +264,8 @@ int main(int argc, char** argv) {
       kreg::SpmdSelectorConfig cfg;
       cfg.kernel = kernel;
       cfg.stream = stream;
+      cfg.lane_width = batched.lane_width;
+      cfg.sigma_sort = batched.sigma_sort;
       selector = std::make_unique<kreg::SpmdGridSelector>(*device, cfg);
     } else if (method == "optimizer") {
       kreg::CvOptimizerSelector::Config cfg;

@@ -1,0 +1,205 @@
+#include "core/batched_sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "core/detail/batched_lanes.hpp"
+#include "core/validate_grid.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace kreg {
+
+std::size_t resolve_lane_width(std::size_t requested) {
+  if (requested == 0) {
+    return kDefaultLaneWidth;
+  }
+  if (requested == 1 || requested == 4 || requested == 8 || requested == 16) {
+    return requested;
+  }
+  throw std::invalid_argument("lane_width must be 0 (auto), 1, 4, 8, or 16 (got " +
+                              std::to_string(requested) + ")");
+}
+
+template <class Scalar>
+std::vector<std::size_t> admission_window_lengths(
+    std::span<const Scalar> xs_sorted, Scalar h_max) {
+  const std::size_t n = xs_sorted.size();
+  std::vector<std::size_t> lengths(n);
+  // Both window bounds at h_max are monotone in pos, so one two-pointer
+  // pass computes every length — the same O(n) discipline as the sweep
+  // itself, using its exact admission predicate.
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const Scalar x = xs_sorted[pos];
+    while (x - xs_sorted[lo] > h_max) {
+      ++lo;
+    }
+    if (hi < pos) {
+      hi = pos;
+    }
+    while (hi + 1 < n && xs_sorted[hi + 1] - x <= h_max) {
+      ++hi;
+    }
+    lengths[pos] = hi - lo + 1;
+  }
+  return lengths;
+}
+
+template std::vector<std::size_t> admission_window_lengths<float>(
+    std::span<const float>, float);
+template std::vector<std::size_t> admission_window_lengths<double>(
+    std::span<const double>, double);
+
+std::vector<std::uint32_t> sigma_batch_order(
+    std::span<const std::size_t> lengths, std::size_t begin, std::size_t end,
+    std::size_t scope, bool sigma_sort) {
+  const std::size_t count = end - begin;
+  std::vector<std::uint32_t> order(count);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  if (!sigma_sort || count == 0) {
+    return order;
+  }
+  const std::size_t step = scope == 0 ? count : scope;
+  for (std::size_t s0 = 0; s0 < count; s0 += step) {
+    const std::size_t s1 = std::min(s0 + step, count);
+    // Stable and descending: equal-length rows keep ascending order, so
+    // the permutation is deterministic.
+    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(s0),
+                     order.begin() + static_cast<std::ptrdiff_t>(s1),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return lengths[begin + a] > lengths[begin + b];
+                     });
+  }
+  return order;
+}
+
+namespace {
+
+/// The batched mirror of window_sweep.cpp's profile_tiled: same tiling
+/// defaults, same tile-order combination, same per-tile ascending-row fold
+/// into the accumulator — only the per-row sweep is replaced by σ-sorted
+/// C-wide lane batches staging their residuals in a tile-local buffer.
+/// Because the fold visits buffered residuals in exactly the (row, b)
+/// order the scalar tiled kernel adds them, the profile is bitwise
+/// identical to the scalar one for any lane width and σ setting.
+template <class Scalar, std::size_t C>
+std::vector<double> profile_batched(const data::Dataset& data,
+                                    std::span<const double> grid,
+                                    KernelType kernel, bool sigma_sort,
+                                    HostTiling tiling,
+                                    parallel::ThreadPool* pool) {
+  const std::size_t n = data.size();
+  const std::size_t k = grid.size();
+  const SweepPolynomial poly = sweep_polynomial(kernel);
+  if (pool == nullptr) {
+    pool = &parallel::ThreadPool::global();
+  }
+  const std::size_t n_block = tiling.n_block != 0 ? tiling.n_block : 2048;
+  const std::size_t k_block = tiling.k_block != 0
+                                  ? std::min(tiling.k_block, k)
+                                  : std::min<std::size_t>(64, k);
+
+  const SortedDataset<Scalar> sorted = sort_dataset<Scalar>(data.x, data.y);
+  const std::vector<Scalar> host_grid(grid.begin(), grid.end());
+  const std::span<const Scalar> xs(sorted.x);
+  const std::span<const Scalar> ys(sorted.y);
+
+  // σ-sort key: admission-window length at h_max, shared by every tile.
+  const std::vector<std::size_t> lengths =
+      admission_window_lengths<Scalar>(xs, host_grid.back());
+
+  const std::size_t tiles = (n + n_block - 1) / n_block;
+  std::vector<std::vector<double>> partials(tiles,
+                                            std::vector<double>(k, 0.0));
+
+  parallel::parallel_for(
+      tiles,
+      [&](std::size_t tile) {
+        const std::size_t begin = tile * n_block;
+        const std::size_t nb = std::min(n_block, n - begin);
+        std::vector<double>& acc = partials[tile];
+
+        // Batch membership: the tile is the σ-scope; consecutive C rows of
+        // the (possibly σ-sorted) order form one batch, the last padded.
+        const std::vector<std::uint32_t> order =
+            sigma_batch_order(lengths, begin, begin + nb, nb, sigma_sort);
+        const std::size_t nbatches = (nb + C - 1) / C;
+        std::vector<detail::LaneBatch<Scalar, C>> batches(nbatches);
+        for (std::size_t g = 0; g < nbatches; ++g) {
+          detail::LaneBatch<Scalar, C>& st = batches[g];
+          st.lanes = std::min(C, nb - g * C);
+          for (std::size_t l = 0; l < st.lanes; ++l) {
+            st.pos[l] = begin + order[g * C + l];
+          }
+          detail::batch_seed(st, xs, ys);
+        }
+
+        // Residuals staged per (row, bandwidth-in-block) so the fold below
+        // can run in ascending row order regardless of batch order.
+        std::vector<Scalar> buf(nb * k_block);
+
+        for (std::size_t b0 = 0; b0 < k; b0 += k_block) {
+          const std::size_t kb = std::min(k_block, k - b0);
+          const std::span<const Scalar> hs(host_grid.data() + b0, kb);
+          for (detail::LaneBatch<Scalar, C>& st : batches) {
+            detail::batch_resume(
+                st, xs, ys, hs, poly, [&](std::size_t b, std::size_t l,
+                                          Scalar sq) {
+                  buf[(st.pos[l] - begin) * kb + b] = sq;
+                });
+          }
+          for (std::size_t r = 0; r < nb; ++r) {
+            for (std::size_t b = 0; b < kb; ++b) {
+              acc[b0 + b] += static_cast<double>(buf[r * kb + b]);
+            }
+          }
+        }
+      },
+      pool);
+
+  std::vector<double> totals(k, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t b = 0; b < k; ++b) {
+      totals[b] += partial[b];
+    }
+  }
+  for (double& total : totals) {
+    total /= static_cast<double>(n);
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<double> window_cv_profile_batched(const data::Dataset& data,
+                                              std::span<const double> grid,
+                                              KernelType kernel,
+                                              Precision precision,
+                                              BatchedSweep batched,
+                                              HostTiling tiling,
+                                              parallel::ThreadPool* pool) {
+  if (data.empty()) {
+    throw std::invalid_argument("window_cv_profile_batched: empty dataset");
+  }
+  validate_bandwidth_grid(grid, "window_cv_profile_batched");
+  if (!is_sweepable(kernel)) {
+    throw std::invalid_argument(
+        "window_cv_profile_batched: kernel '" +
+        std::string(to_string(kernel)) +
+        "' is not supported by the window sweep; use the naive path");
+  }
+  const std::size_t lane_width = resolve_lane_width(batched.lane_width);
+  return detail::with_lane_width(lane_width, [&](auto width) {
+    constexpr std::size_t C = decltype(width)::value;
+    return precision == Precision::kFloat
+               ? profile_batched<float, C>(data, grid, kernel,
+                                           batched.sigma_sort, tiling, pool)
+               : profile_batched<double, C>(data, grid, kernel,
+                                            batched.sigma_sort, tiling, pool);
+  });
+}
+
+}  // namespace kreg

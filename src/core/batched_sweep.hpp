@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/window_sweep.hpp"
+#include "data/dataset.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kreg {
+
+/// Configuration of the batched (SELL-C-σ-style) window-sweep execution
+/// layer: observations are grouped into C-wide lanes with
+/// structure-of-arrays state so the sweep's hot loops vectorize, and
+/// batches are σ-sorted by admission-window length so the lanes of one
+/// batch do similar work (small zero-padded tails, coherent simulated
+/// warps). See core/detail/batched_lanes.hpp for the kernel itself.
+struct BatchedSweep {
+  /// Lanes per batch. 0 = auto (kDefaultLaneWidth); 1 runs the batch
+  /// machinery degenerately (the parity anchor); 4/8/16 are the vector
+  /// widths. Any other value throws.
+  std::size_t lane_width = 0;
+  /// Sort each σ-scope's observations by their admission-window length at
+  /// h_max (descending, stable) before grouping into batches. Purely a
+  /// scheduling permutation: profiles are bitwise identical either way.
+  bool sigma_sort = true;
+};
+
+/// The auto lane width: 8 doubles span two AVX2 vectors (one AVX-512), and
+/// 8 floats exactly one AVX2 vector.
+inline constexpr std::size_t kDefaultLaneWidth = 8;
+
+/// Resolves a requested lane width: 0 → kDefaultLaneWidth; 1/4/8/16 pass
+/// through; anything else throws std::invalid_argument.
+std::size_t resolve_lane_width(std::size_t requested);
+
+/// Per-observation admission-window length |{l : |x_l − x_pos| ≤ h_max}| on
+/// the sorted array — the σ-sort key, and the exact number of elements the
+/// sweep will admit for that observation across the whole grid. One O(n)
+/// two-pointer pass (both bounds are monotone in pos).
+template <class Scalar>
+std::vector<std::size_t> admission_window_lengths(
+    std::span<const Scalar> xs_sorted, Scalar h_max);
+
+extern template std::vector<std::size_t> admission_window_lengths<float>(
+    std::span<const float>, float);
+extern template std::vector<std::size_t> admission_window_lengths<double>(
+    std::span<const double>, double);
+
+/// The σ-sorted batch order for rows [begin, end): returns row indices
+/// *relative to begin*, grouped in σ-scopes of `scope` rows (the last
+/// scope may be short; 0 = one scope spanning the whole range), each scope
+/// stably sorted by descending `lengths[begin + r]` when `sigma_sort` is
+/// set, identity otherwise. Consecutive lane_width entries of the result
+/// form one batch.
+std::vector<std::uint32_t> sigma_batch_order(
+    std::span<const std::size_t> lengths, std::size_t begin, std::size_t end,
+    std::size_t scope, bool sigma_sort);
+
+/// The batched window-sweep CV profile: same contract as
+/// `window_cv_profile_tiled` (tiles scheduled across the pool, k-blocks
+/// innermost, deterministic tile-order combination), with each tile's
+/// observations executed as σ-sorted C-wide lane batches. Residuals are
+/// staged per tile and folded in ascending observation order, so the
+/// result is **bitwise identical** to `window_cv_profile_tiled` with the
+/// same tiling — and to the sequential `window_cv_profile` whenever one
+/// tile covers the dataset — for every lane width and σ setting.
+std::vector<double> window_cv_profile_batched(
+    const data::Dataset& data, std::span<const double> grid,
+    KernelType kernel, Precision precision = Precision::kDouble,
+    BatchedSweep batched = {}, HostTiling tiling = {},
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace kreg

@@ -1,0 +1,305 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "core/kernels.hpp"
+#include "core/detail/batched_lanes_avx512.hpp"
+
+namespace kreg::detail {
+
+/// SELL-C-σ-style batched execution of the window sweep.
+///
+/// The scalar sweep (`window_sweep_resume`) interleaves three kinds of work
+/// per observation and bandwidth: the two-pointer walks (branchy, data
+/// dependent), the moment-sum accumulation over newly admitted elements
+/// (the hot loop), and the polynomial recombination (pure arithmetic).
+/// `LaneBatch` restructures that over C observations at once with
+/// structure-of-arrays state — `s_m[m][lane]`, `t_m[m][lane]` — so the
+/// accumulation and recombination become straight-line loops over the lane
+/// dimension that the compiler auto-vectorizes, exactly the way SELL-C-σ
+/// turns ragged sparse rows into C-wide vector strips:
+///
+///   phase 1  per lane: advance lo/hi pointers, *recording* the admission
+///            counts instead of accumulating (scalar, but cheap — two
+///            comparisons per admitted element);
+///   phase 2  lockstep over s = 0 … max admissions − 1: every lane loads
+///            its s-th admitted element (left side first, in the scalar
+///            sweep's exact order), lanes that ran out contribute an exact
+///            zero; the m-loop over the C-wide arrays is branch-free;
+///   phase 3  recombination across lanes with the per-bandwidth scalars
+///            (h, 1/h and its powers) hoisted out — computed once per
+///            batch instead of once per observation.
+///
+/// σ-sorting batches by admission-window length (see core/batched_sweep.hpp)
+/// keeps the lanes of one batch doing similar numbers of phase-2 steps, so
+/// the zero-padded tail work stays small — and on the simulated device the
+/// same grouping is what keeps a warp's windows coherent.
+///
+/// **Bitwise parity.** Each lane's floating-point operation sequence is
+/// exactly the scalar sweep's for that observation: admissions happen in
+/// the same order (left side descending, then right side ascending), each
+/// element runs the same m-loop (`s_m[m] += pw; t_m[m] += y·pw; pw *= d`),
+/// and the recombination evaluates the same expression shapes with the
+/// same association. Padding lanes contribute `+= 0.0` / `+= 0.0·pw`,
+/// which leaves every finite accumulator bit-identical (the only IEEE
+/// exception, `-0.0 + 0.0 → +0.0`, would require an exact `-0.0` moment
+/// sum, i.e. a `-0.0` Y value). The caller controls the reduction order of
+/// the emitted residuals, so batched profiles reproduce the scalar
+/// profiles bit for bit under the same reduction discipline.
+template <class Scalar, std::size_t C>
+struct LaneBatch {
+  static constexpr std::size_t kWidth = C;
+  static constexpr std::size_t kTerms = SweepPolynomial::kMaxPower + 1;
+
+  std::size_t lanes = 0;             ///< active lanes (≤ C; rest are padding)
+  std::array<std::size_t, C> pos{};  ///< sorted-array position per lane
+  std::array<std::size_t, C> lo{};   ///< left window pointer per lane
+  std::array<std::size_t, C> hi{};   ///< right window pointer per lane
+  alignas(64) std::array<Scalar, C> xi{};  ///< X at pos, gathered once
+  alignas(64) std::array<Scalar, C> yi{};  ///< Y at pos, gathered once
+  alignas(64) Scalar s_m[kTerms][C] = {};  ///< Σ |d|^m per lane
+  alignas(64) Scalar t_m[kTerms][C] = {};  ///< Σ Y·|d|^m per lane
+};
+
+/// Seeds every active lane the way `window_sweep_seed` seeds one thread:
+/// pointers collapsed onto pos, moment sums holding only the self term.
+/// `pos[l]` must be set for l < lanes before calling; padding lanes are
+/// zeroed so the lockstep loops read defined values.
+template <class Scalar, std::size_t C>
+inline void batch_seed(LaneBatch<Scalar, C>& st, std::span<const Scalar> xs,
+                       std::span<const Scalar> ys) {
+  for (std::size_t m = 0; m < LaneBatch<Scalar, C>::kTerms; ++m) {
+    for (std::size_t l = 0; l < C; ++l) {
+      st.s_m[m][l] = Scalar{};
+      st.t_m[m][l] = Scalar{};
+    }
+  }
+  st.xi.fill(Scalar{});
+  st.yi.fill(Scalar{});
+  st.lo.fill(0);
+  st.hi.fill(0);
+  for (std::size_t l = 0; l < st.lanes; ++l) {
+    const std::size_t p = st.pos[l];
+    st.lo[l] = p;
+    st.hi[l] = p;
+    st.xi[l] = xs[p];
+    st.yi[l] = ys[p];
+    st.s_m[0][l] = Scalar{1};
+    st.t_m[0][l] = ys[p];
+  }
+}
+
+/// Loads carried per-observation window state (the k-block streaming carry
+/// arrays, indexed by `key(l)`) into the batch — the batched counterpart of
+/// the scalar kernels' "load the carried state into thread-local storage".
+/// `LoView`/`SmView` are any indexable views (raw spans, spmd::MemView).
+template <class Scalar, std::size_t C, class LoView, class SmView, class Key>
+inline void batch_load(LaneBatch<Scalar, C>& st, std::span<const Scalar> xs,
+                       std::span<const Scalar> ys, LoView lo_all,
+                       LoView hi_all, SmView sm_all, SmView tm_all,
+                       std::size_t terms, Key&& key) {
+  for (std::size_t m = 0; m < LaneBatch<Scalar, C>::kTerms; ++m) {
+    for (std::size_t l = 0; l < C; ++l) {
+      st.s_m[m][l] = Scalar{};
+      st.t_m[m][l] = Scalar{};
+    }
+  }
+  st.xi.fill(Scalar{});
+  st.yi.fill(Scalar{});
+  st.lo.fill(0);
+  st.hi.fill(0);
+  for (std::size_t l = 0; l < st.lanes; ++l) {
+    const std::size_t j = key(l);
+    const std::size_t p = st.pos[l];
+    st.lo[l] = lo_all[j];
+    st.hi[l] = hi_all[j];
+    st.xi[l] = xs[p];
+    st.yi[l] = ys[p];
+    for (std::size_t m = 0; m < terms; ++m) {
+      st.s_m[m][l] = sm_all[j * terms + m];
+      st.t_m[m][l] = tm_all[j * terms + m];
+    }
+  }
+}
+
+/// Stores the batch's window state back into the carry arrays; the inverse
+/// of batch_load, run after the batch finishes its grid slice.
+template <class Scalar, std::size_t C, class LoView, class SmView, class Key>
+inline void batch_store(const LaneBatch<Scalar, C>& st, LoView lo_all,
+                        LoView hi_all, SmView sm_all, SmView tm_all,
+                        std::size_t terms, Key&& key) {
+  for (std::size_t l = 0; l < st.lanes; ++l) {
+    const std::size_t j = key(l);
+    lo_all[j] = st.lo[l];
+    hi_all[j] = st.hi[l];
+    for (std::size_t m = 0; m < terms; ++m) {
+      sm_all[j * terms + m] = st.s_m[m][l];
+      tm_all[j * terms + m] = st.t_m[m][l];
+    }
+  }
+}
+
+/// Sweeps `hs` — the full grid or one ascending k-block slice — for all
+/// lanes of the batch, resuming from the carried state. `write(b, l, sq)`
+/// receives the squared LOO residual of active lane l for every slice
+/// index b in ascending order. Per lane this performs bit-for-bit the
+/// operations of `window_sweep_resume` on that lane's observation.
+template <class Scalar, std::size_t C, class HView, class WriteResid>
+inline void batch_resume(LaneBatch<Scalar, C>& st,
+                         std::span<const Scalar> xs_sorted,
+                         std::span<const Scalar> ys_sorted, HView hs,
+                         const SweepPolynomial& poly, WriteResid&& write) {
+#if KREG_HAVE_BATCHED_AVX512
+  // Hand-vectorized fast path for the zmm-width double batches; produces
+  // bit-identical profiles (see batched_lanes_avx512.hpp for the argument).
+  if constexpr (std::is_same_v<Scalar, double> && (C == 8 || C == 16)) {
+    if (batch_resume_avx512(st, xs_sorted, ys_sorted, hs, poly, write)) {
+      return;
+    }
+  }
+#endif
+  const std::size_t n = xs_sorted.size();
+  const std::size_t k = hs.size();
+  const std::size_t terms = poly.max_power + 1;
+
+  std::array<std::size_t, C> nleft{};   // admissions from the left this h
+  std::array<std::size_t, C> ntotal{};  // total admissions this h
+  std::array<std::size_t, C> hi_old{};  // right pointer before this h
+  alignas(64) std::array<Scalar, C> dv{};
+  alignas(64) std::array<Scalar, C> yv{};
+  alignas(64) std::array<Scalar, C> pw{};
+  alignas(64) std::array<Scalar, C> num{};
+  alignas(64) std::array<Scalar, C> den{};
+  alignas(64) std::array<Scalar, C> sq{};
+
+  for (std::size_t b = 0; b < k; ++b) {
+    const Scalar h = hs[b];
+
+    // Phase 1: pointer walks, recording counts. Scalar per lane — the
+    // comparisons are the admission predicate of the scalar sweep, so the
+    // recorded extents are exactly the elements it would admit.
+    std::size_t max_steps = 0;
+    for (std::size_t l = 0; l < st.lanes; ++l) {
+      const Scalar x = st.xi[l];
+      std::size_t lo = st.lo[l];
+      while (lo > 0 && x - xs_sorted[lo - 1] <= h) {
+        --lo;
+      }
+      std::size_t hi = st.hi[l];
+      while (hi + 1 < n && xs_sorted[hi + 1] - x <= h) {
+        ++hi;
+      }
+      nleft[l] = st.lo[l] - lo;
+      hi_old[l] = st.hi[l];
+      ntotal[l] = nleft[l] + (hi - st.hi[l]);
+      st.lo[l] = lo;
+      st.hi[l] = hi;
+      max_steps = ntotal[l] > max_steps ? ntotal[l] : max_steps;
+    }
+    for (std::size_t l = st.lanes; l < C; ++l) {
+      ntotal[l] = 0;
+    }
+
+    // Phase 2: lockstep accumulation. Step s feeds every lane its s-th
+    // admitted element — left side first, descending, then right side
+    // ascending: the scalar sweep's exact admission order — and exhausted
+    // lanes contribute exact zeros (pw = 0 so every term adds ±0.0).
+    for (std::size_t s = 0; s < max_steps; ++s) {
+      for (std::size_t l = 0; l < C; ++l) {
+        if (s < ntotal[l]) {
+          const std::size_t idx = s < nleft[l]
+                                      ? st.lo[l] + (nleft[l] - 1 - s)
+                                      : hi_old[l] + 1 + (s - nleft[l]);
+          const Scalar xl = xs_sorted[idx];
+          dv[l] = xl < st.xi[l] ? st.xi[l] - xl : xl - st.xi[l];
+          yv[l] = ys_sorted[idx];
+          pw[l] = Scalar{1};
+        } else {
+          dv[l] = Scalar{};
+          yv[l] = Scalar{};
+          pw[l] = Scalar{};
+        }
+      }
+      // The vector hot loop: C-wide, branch-free, contiguous.
+      for (std::size_t m = 0; m < terms; ++m) {
+        for (std::size_t l = 0; l < C; ++l) {
+          st.s_m[m][l] += pw[l];
+        }
+        for (std::size_t l = 0; l < C; ++l) {
+          st.t_m[m][l] += yv[l] * pw[l];
+        }
+        for (std::size_t l = 0; l < C; ++l) {
+          pw[l] *= dv[l];
+        }
+      }
+    }
+
+    // Phase 3: recombination across lanes. h, 1/h and its running powers
+    // are shared by the whole batch — one division per batch per
+    // bandwidth instead of one per observation.
+    num.fill(Scalar{});
+    den.fill(Scalar{});
+    const Scalar inv_h = Scalar{1} / h;
+    Scalar inv_pow = Scalar{1};
+    for (std::size_t m = 0; m < terms; ++m) {
+      const auto c = static_cast<Scalar>(poly.coeff[m]);
+      if (c != Scalar{0}) {
+        if (m == 0) {
+          // Self term excluded analytically, as in the scalar sweep.
+          for (std::size_t l = 0; l < C; ++l) {
+            num[l] += c * (st.t_m[0][l] - st.yi[l]) * inv_pow;
+          }
+          for (std::size_t l = 0; l < C; ++l) {
+            den[l] += c * (st.s_m[0][l] - Scalar{1}) * inv_pow;
+          }
+        } else {
+          for (std::size_t l = 0; l < C; ++l) {
+            num[l] += c * st.t_m[m][l] * inv_pow;
+          }
+          for (std::size_t l = 0; l < C; ++l) {
+            den[l] += c * st.s_m[m][l] * inv_pow;
+          }
+        }
+      }
+      inv_pow *= inv_h;
+    }
+    for (std::size_t l = 0; l < C; ++l) {
+      const Scalar guarded = den[l] > Scalar{0} ? den[l] : Scalar{1};
+      const Scalar e = st.yi[l] - num[l] / guarded;
+      sq[l] = den[l] > Scalar{0} ? e * e : Scalar{0};
+    }
+
+    for (std::size_t l = 0; l < st.lanes; ++l) {
+      write(b, l, sq[l]);
+    }
+  }
+}
+
+/// Dispatches a runtime lane width onto the compile-time LaneBatch
+/// instantiations: f receives std::integral_constant<std::size_t, C>.
+/// Supported widths are 1 (degenerate single-lane batch, the parity
+/// anchor) and the vector-friendly 4 / 8 / 16.
+template <class F>
+decltype(auto) with_lane_width(std::size_t lane_width, F&& f) {
+  switch (lane_width) {
+    case 1:
+      return f(std::integral_constant<std::size_t, 1>{});
+    case 4:
+      return f(std::integral_constant<std::size_t, 4>{});
+    case 8:
+      return f(std::integral_constant<std::size_t, 8>{});
+    case 16:
+      return f(std::integral_constant<std::size_t, 16>{});
+    default:
+      throw std::invalid_argument(
+          "lane_width must be 1, 4, 8, or 16 (got " +
+          std::to_string(lane_width) + ")");
+  }
+}
+
+}  // namespace kreg::detail

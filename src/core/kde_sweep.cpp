@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/detail/kde_polynomials.hpp"
+#include "core/validate_grid.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sort/introsort.hpp"
 
@@ -24,15 +25,7 @@ void check_inputs(std::span<const double> xs, std::span<const double> grid,
   if (xs.size() < 2) {
     throw std::invalid_argument("kde sweep: need at least 2 observations");
   }
-  if (grid.empty() || !(grid.front() > 0.0)) {
-    throw std::invalid_argument("kde sweep: grid must be positive");
-  }
-  for (std::size_t b = 1; b < grid.size(); ++b) {
-    if (grid[b] <= grid[b - 1]) {
-      throw std::invalid_argument(
-          "kde sweep: grid must be strictly ascending");
-    }
-  }
+  validate_bandwidth_grid(grid, "kde sweep");
 }
 
 /// Per-observation contribution: for each h, (K̄ sum over l≠i, K sum over

@@ -16,6 +16,7 @@
 ///   double y_hat = fit(0.5);
 
 #include "core/auto_regress.hpp"
+#include "core/batched_sweep.hpp"
 #include "core/binned.hpp"
 #include "core/confidence.hpp"
 #include "core/dense_grid.hpp"

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/validate_grid.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sort/argsort.hpp"
 #include "sort/iterative_quicksort.hpp"
@@ -59,14 +60,9 @@ void check_inputs(const data::MDataset& data, std::span<const double> ratios,
       throw std::invalid_argument("multi_ray: ratios must be positive");
     }
   }
-  if (scales.empty() || !(scales.front() > 0.0)) {
-    throw std::invalid_argument("multi_ray: scales must be positive");
-  }
-  for (std::size_t b = 1; b < scales.size(); ++b) {
-    if (scales[b] < scales[b - 1]) {
-      throw std::invalid_argument("multi_ray: scales must be ascending");
-    }
-  }
+  // Scale multipliers tolerate duplicates (non-strict): a repeated scale
+  // admits nothing new but stays well-defined.
+  validate_bandwidth_grid(scales, "multi_ray", /*strict=*/false);
 }
 
 /// Coefficient vector (powers of 1/c) of Π_j K(ρ_j / c) for one pair:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/validate_grid.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sort/iterative_quicksort.hpp"
 #include "sort/partition.hpp"
@@ -122,21 +123,7 @@ void check_profile_inputs(const data::Dataset& data,
   if (data.empty()) {
     throw std::invalid_argument("sweep_cv_profile: empty dataset");
   }
-  if (grid.empty()) {
-    throw std::invalid_argument("sweep_cv_profile: empty bandwidth grid");
-  }
-  if (!(grid.front() > 0.0)) {
-    throw std::invalid_argument("sweep_cv_profile: bandwidths must be > 0");
-  }
-  for (std::size_t b = 1; b < grid.size(); ++b) {
-    // Strictly ascending: duplicates would make the incremental admission
-    // pointer re-test the same threshold and waste a profile entry, and a
-    // descending pair would silently skip admissions.
-    if (grid[b] <= grid[b - 1]) {
-      throw std::invalid_argument(
-          "sweep_cv_profile: grid must be strictly ascending");
-    }
-  }
+  validate_bandwidth_grid(grid, "sweep_cv_profile");
   if (!is_sweepable(kernel)) {
     throw std::invalid_argument(
         "sweep_cv_profile: kernel '" + std::string(to_string(kernel)) +

@@ -1,10 +1,13 @@
 #include "core/spmd_selector.hpp"
 
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/batched_sweep.hpp"
+#include "core/detail/batched_lanes.hpp"
 #include "core/detail/device_sweep.hpp"
 #include "core/detail/lane_reduce.hpp"
 #include "core/window_sweep.hpp"
@@ -27,6 +30,7 @@ SpmdGridSelector::SpmdGridSelector(spmd::Device& device,
   if (config_.threads_per_block == 0) {
     throw std::invalid_argument("SpmdGridSelector: threads_per_block == 0");
   }
+  (void)resolve_lane_width(config_.lane_width);  // reject bad widths early
 }
 
 std::size_t SpmdGridSelector::estimated_bytes(std::size_t n, std::size_t k,
@@ -63,6 +67,21 @@ std::size_t SpmdGridSelector::estimated_streamed_bytes(std::size_t n,
 }
 
 namespace {
+
+/// The σ-order for a lane-batched window launch: host-side launch metadata
+/// mapping each launch row of [begin, end) to the sorted-array observation
+/// (relative to begin) its lane sweeps. σ-scopes align with the launch
+/// blocks (scope = threads_per_block), so the permutation never crosses a
+/// block boundary — lanes of one dispatch always come from one block.
+template <class Scalar>
+std::vector<std::uint32_t> sigma_launch_order(std::span<const Scalar> host_x,
+                                              Scalar reach, std::size_t begin,
+                                              std::size_t end, std::size_t tpb,
+                                              bool sigma_sort) {
+  const std::vector<std::size_t> lengths =
+      admission_window_lengths<Scalar>(host_x, reach);
+  return sigma_batch_order(lengths, begin, end, tpb, sigma_sort);
+}
 
 /// Single-block cooperative sum over values[j * stride + offset] for
 /// j < count: the observation-major score reduction, shared by the resident
@@ -150,6 +169,17 @@ SelectionResult run_streamed_window_selection(
   const std::size_t block_dim =
       spmd::detail::reduction_block_dim(device, tpb);
 
+  // Lane batching: σ-order computed once (the windows only grow, so the
+  // h_max key is valid for every k-block) and captured as launch metadata.
+  const std::size_t lane_width = resolve_lane_width(config.lane_width);
+  std::vector<std::uint32_t> order;
+  if (lane_width > 1) {
+    order = sigma_launch_order<Scalar>(std::span<const Scalar>(host_x),
+                                       host_grid.back(), 0, n, tpb,
+                                       config.sigma_sort);
+  }
+  const std::span<const std::uint32_t> order_s(order);
+
   std::vector<double> cv(k);
   std::size_t best_index = 0;
   double best_score = std::numeric_limits<double>::infinity();
@@ -162,43 +192,80 @@ SelectionResult run_streamed_window_selection(
     spmd::MemView<const Scalar> hs = c_block.view();
     const bool first = b0 == 0;
 
-    device.launch("cv_sweep_kblock", main_cfg,
-                  [&, kb, first](const spmd::ThreadCtx& t) {
-      const std::size_t j = t.global_idx();
-      if (j >= n) {
-        return;  // padding thread in the last block
-      }
-      // Load (or seed, on the first block) the carried window state into
-      // thread-local storage, resume the sweep over this grid slice, and
-      // store the state back for the next block.
-      Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
-      Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
-      std::size_t lo = 0;
-      std::size_t hi = 0;
-      if (first) {
-        detail::window_sweep_seed<Scalar>(ys, j, lo, hi,
-                                          std::span<Scalar>(s_m, terms),
-                                          std::span<Scalar>(t_m, terms));
-      } else {
-        lo = lo_all[j];
-        hi = hi_all[j];
-        for (std::size_t m = 0; m < terms; ++m) {
-          s_m[m] = sm_all[j * terms + m];
-          t_m[m] = tm_all[j * terms + m];
-        }
-      }
-      detail::window_sweep_resume<Scalar>(
-          xs, ys, hs, poly, j, lo, hi, std::span<Scalar>(s_m, terms),
-          std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+    if (lane_width > 1) {
+      // Batched fast path: each dispatch loads C observations' carried
+      // window state into SoA lane storage, resumes the slice in lockstep,
+      // and stores it back. Carry and residuals stay keyed by observation,
+      // so the pass is bitwise identical to the scalar kernel below.
+      detail::with_lane_width(lane_width, [&](auto width_c) {
+        constexpr std::size_t C = decltype(width_c)::value;
+        device.launch_lanes("cv_sweep_kblock", main_cfg, C,
+                            [&, kb, first](const spmd::LaneCtx& t) {
+          detail::LaneBatch<Scalar, C> st;
+          st.lanes = 0;
+          for (std::size_t l = 0; l < t.lanes; ++l) {
+            const std::size_t j = t.global_base() + l;
+            if (j < n) {
+              st.pos[st.lanes++] = order_s[j];
+            }
+          }
+          if (st.lanes == 0) {
+            return;  // all-padding dispatch in the last block
+          }
+          const auto key = [&st](std::size_t l) { return st.pos[l]; };
+          if (first) {
+            detail::batch_seed(st, xs, ys);
+          } else {
+            detail::batch_load(st, xs, ys, lo_all, hi_all, sm_all, tm_all,
+                               terms, key);
+          }
+          detail::batch_resume(st, xs, ys, hs, poly,
+                               [&](std::size_t b, std::size_t l, Scalar sq) {
+            const std::size_t j = st.pos[l];
             resid_all[bandwidth_major ? b * n + j : j * kb + b] = sq;
           });
-      lo_all[j] = lo;
-      hi_all[j] = hi;
-      for (std::size_t m = 0; m < terms; ++m) {
-        sm_all[j * terms + m] = s_m[m];
-        tm_all[j * terms + m] = t_m[m];
-      }
-    });
+          detail::batch_store(st, lo_all, hi_all, sm_all, tm_all, terms, key);
+        });
+      });
+    } else {
+      device.launch("cv_sweep_kblock", main_cfg,
+                    [&, kb, first](const spmd::ThreadCtx& t) {
+        const std::size_t j = t.global_idx();
+        if (j >= n) {
+          return;  // padding thread in the last block
+        }
+        // Load (or seed, on the first block) the carried window state into
+        // thread-local storage, resume the sweep over this grid slice, and
+        // store the state back for the next block.
+        Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+        Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        if (first) {
+          detail::window_sweep_seed<Scalar>(ys, j, lo, hi,
+                                            std::span<Scalar>(s_m, terms),
+                                            std::span<Scalar>(t_m, terms));
+        } else {
+          lo = lo_all[j];
+          hi = hi_all[j];
+          for (std::size_t m = 0; m < terms; ++m) {
+            s_m[m] = sm_all[j * terms + m];
+            t_m[m] = tm_all[j * terms + m];
+          }
+        }
+        detail::window_sweep_resume<Scalar>(
+            xs, ys, hs, poly, j, lo, hi, std::span<Scalar>(s_m, terms),
+            std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+              resid_all[bandwidth_major ? b * n + j : j * kb + b] = sq;
+            });
+        lo_all[j] = lo;
+        hi_all[j] = hi;
+        for (std::size_t m = 0; m < terms; ++m) {
+          sm_all[j * terms + m] = s_m[m];
+          tm_all[j * terms + m] = t_m[m];
+        }
+      });
+    }
 
     // Reduce the block to its kb per-bandwidth sums right away; only the
     // score totals and the running argmin survive the pass.
@@ -269,6 +336,15 @@ SelectionResult run_streamed_2d_window_selection(
   }
   spmd::MemView<Scalar> lanes = d_lanes.view();
 
+  // Lane batching: the σ-sort key (admission-window length at h_max) is a
+  // global property of the sorted array, so it is computed once and each
+  // n-block's launch rows are permuted within their launch-block scopes.
+  const std::size_t lane_width = resolve_lane_width(config.lane_width);
+  std::vector<std::size_t> lengths;
+  if (lane_width > 1) {
+    lengths = admission_window_lengths<Scalar>(host_xs, reach);
+  }
+
   for (std::size_t n0 = 0; n0 < n; n0 += plan.n_block) {
     const std::size_t nb = std::min(plan.n_block, n - n0);
     const std::size_t slab_begin = detail::halo_begin(host_xs, n0, reach);
@@ -306,6 +382,13 @@ SelectionResult run_streamed_2d_window_selection(
     const spmd::LaunchConfig main_cfg = spmd::LaunchConfig::cover(nb, tpb);
     const std::size_t rel0 = n0 - slab_begin;  // block's first slab index
 
+    std::vector<std::uint32_t> tile_order;
+    if (lane_width > 1) {
+      tile_order =
+          sigma_batch_order(lengths, n0, n0 + nb, tpb, config.sigma_sort);
+    }
+    const std::span<const std::uint32_t> order_s(tile_order);
+
     for (std::size_t b0 = 0; b0 < k; b0 += plan.k_block) {
       const std::size_t kb = std::min(plan.k_block, k - b0);
       const std::vector<Scalar> host_block(host_grid.begin() + b0,
@@ -315,44 +398,85 @@ SelectionResult run_streamed_2d_window_selection(
       spmd::MemView<const Scalar> hs = c_block.view();
       const bool first = b0 == 0;
 
-      device.launch("cv_sweep_tile", main_cfg,
-                    [&, nb, kb, first, rel0](const spmd::ThreadCtx& t) {
-        const std::size_t r = t.global_idx();
-        if (r >= nb) {
-          return;
-        }
-        // Positions are slab-relative: the halo guarantees no admission
-        // ever reaches a slab edge the resident sweep would cross, so the
-        // slab-relative guards decide exactly as the absolute ones.
-        const std::size_t pos = rel0 + r;
-        Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
-        Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
-        std::size_t lo = 0;
-        std::size_t hi = 0;
-        if (first) {
-          detail::window_sweep_seed<Scalar>(ys, pos, lo, hi,
-                                            std::span<Scalar>(s_m, terms),
-                                            std::span<Scalar>(t_m, terms));
-        } else {
-          lo = lo_all[r];
-          hi = hi_all[r];
-          for (std::size_t m = 0; m < terms; ++m) {
-            s_m[m] = sm_all[r * terms + m];
-            t_m[m] = tm_all[r * terms + m];
+      if (lane_width > 1) {
+        // Batched fast path over slab-relative positions; carry and
+        // residuals keyed by the observation's block-relative index, so
+        // the σ permutation never changes what any cell holds.
+        detail::with_lane_width(lane_width, [&](auto width_c) {
+          constexpr std::size_t C = decltype(width_c)::value;
+          device.launch_lanes("cv_sweep_tile", main_cfg, C,
+                              [&, nb, kb, first, rel0](
+                                  const spmd::LaneCtx& t) {
+            detail::LaneBatch<Scalar, C> st;
+            st.lanes = 0;
+            for (std::size_t l = 0; l < t.lanes; ++l) {
+              const std::size_t r = t.global_base() + l;
+              if (r < nb) {
+                st.pos[st.lanes++] = rel0 + order_s[r];
+              }
+            }
+            if (st.lanes == 0) {
+              return;
+            }
+            const auto key = [&st, rel0](std::size_t l) {
+              return st.pos[l] - rel0;
+            };
+            if (first) {
+              detail::batch_seed(st, xs, ys);
+            } else {
+              detail::batch_load(st, xs, ys, lo_all, hi_all, sm_all, tm_all,
+                                 terms, key);
+            }
+            detail::batch_resume(
+                st, xs, ys, hs, poly,
+                [&](std::size_t b, std::size_t l, Scalar sq) {
+                  const std::size_t q = st.pos[l] - rel0;
+                  resid_all[bandwidth_major ? b * nb + q : q * kb + b] = sq;
+                });
+            detail::batch_store(st, lo_all, hi_all, sm_all, tm_all, terms,
+                                key);
+          });
+        });
+      } else {
+        device.launch("cv_sweep_tile", main_cfg,
+                      [&, nb, kb, first, rel0](const spmd::ThreadCtx& t) {
+          const std::size_t r = t.global_idx();
+          if (r >= nb) {
+            return;
           }
-        }
-        detail::window_sweep_resume<Scalar>(
-            xs, ys, hs, poly, pos, lo, hi, std::span<Scalar>(s_m, terms),
-            std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
-              resid_all[bandwidth_major ? b * nb + r : r * kb + b] = sq;
-            });
-        lo_all[r] = lo;
-        hi_all[r] = hi;
-        for (std::size_t m = 0; m < terms; ++m) {
-          sm_all[r * terms + m] = s_m[m];
-          tm_all[r * terms + m] = t_m[m];
-        }
-      });
+          // Positions are slab-relative: the halo guarantees no admission
+          // ever reaches a slab edge the resident sweep would cross, so the
+          // slab-relative guards decide exactly as the absolute ones.
+          const std::size_t pos = rel0 + r;
+          Scalar s_m[SweepPolynomial::kMaxPower + 1] = {};
+          Scalar t_m[SweepPolynomial::kMaxPower + 1] = {};
+          std::size_t lo = 0;
+          std::size_t hi = 0;
+          if (first) {
+            detail::window_sweep_seed<Scalar>(ys, pos, lo, hi,
+                                              std::span<Scalar>(s_m, terms),
+                                              std::span<Scalar>(t_m, terms));
+          } else {
+            lo = lo_all[r];
+            hi = hi_all[r];
+            for (std::size_t m = 0; m < terms; ++m) {
+              s_m[m] = sm_all[r * terms + m];
+              t_m[m] = tm_all[r * terms + m];
+            }
+          }
+          detail::window_sweep_resume<Scalar>(
+              xs, ys, hs, poly, pos, lo, hi, std::span<Scalar>(s_m, terms),
+              std::span<Scalar>(t_m, terms), [&](std::size_t b, Scalar sq) {
+                resid_all[bandwidth_major ? b * nb + r : r * kb + b] = sq;
+              });
+          lo_all[r] = lo;
+          hi_all[r] = hi;
+          for (std::size_t m = 0; m < terms; ++m) {
+            sm_all[r * terms + m] = s_m[m];
+            tm_all[r * terms + m] = t_m[m];
+          }
+        });
+      }
 
       // Lane accumulation: thread `lane` folds this block's residuals for
       // global rows ≡ lane (mod lane_dim) — ascending, element by element,
@@ -536,50 +660,86 @@ SelectionResult run_device_selection(spmd::Device& device,
   // coordination, so an independent launch.
   const spmd::LaunchConfig main_cfg =
       spmd::LaunchConfig::cover(n, tpb);
-  device.launch("cv_sweep", main_cfg, [&, n, k](const spmd::ThreadCtx& t) {
-    const std::size_t j = t.global_idx();
-    if (j >= n) {
-      return;  // padding thread in the last block
-    }
-
-    if (window) {
-      // Window sweep: index into the device-global sorted X/Y, growing the
-      // two-pointer window across the ascending grid. No private rows, no
-      // per-thread sort; residuals land in the configured layout.
-      detail::window_sweep_thread<Scalar>(
-          xs, ys, hs, poly, j, [&](std::size_t b, Scalar sq) {
-            resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
-          });
-      return;
-    }
-
-    // Thread j's rows of the distance and Y matrices. In streaming mode the
-    // rows live in thread-local scratch ("local memory") instead of the
-    // global-memory matrices.
-    std::vector<Scalar> local_dist;
-    std::vector<Scalar> local_y;
-    std::span<Scalar> dist;
-    std::span<Scalar> yrow;
-    if (streaming) {
-      local_dist.resize(n);
-      local_y.resize(n);
-      dist = local_dist;
-      yrow = local_y;
-    } else {
-      dist = dist_all.subspan(j * n, n);
-      yrow = ymat_all.subspan(j * n, n);
-    }
-
-    // Fill + sort + sweep + residual loop (shared kernel body); residuals
-    // land with the indices switched to bandwidth-major when configured —
-    // "to facilitate efficient caching… the array is indexed as k separate
-    // groups of n".
-    detail::sweep_thread<Scalar>(
-        xs, ys, hs, poly, j, dist, yrow, sum_y_all.subview(j * k, k),
-        sum_w_all.subview(j * k, k), [&](std::size_t b, Scalar sq) {
+  const std::size_t lane_width =
+      window ? resolve_lane_width(config.lane_width) : 1;
+  if (window && lane_width > 1) {
+    // Batched fast path (the default): each dispatch sweeps C σ-sorted
+    // observations in lockstep SoA lanes. Residuals stay keyed by
+    // observation, so the matrix — and every reduction after it — is
+    // bitwise identical to the scalar kernel's.
+    const std::vector<std::uint32_t> order = sigma_launch_order<Scalar>(
+        std::span<const Scalar>(host_x), host_grid.back(), 0, n, tpb,
+        config.sigma_sort);
+    const std::span<const std::uint32_t> order_s(order);
+    detail::with_lane_width(lane_width, [&](auto width_c) {
+      constexpr std::size_t C = decltype(width_c)::value;
+      device.launch_lanes("cv_sweep", main_cfg, C,
+                          [&, n, k](const spmd::LaneCtx& t) {
+        detail::LaneBatch<Scalar, C> st;
+        st.lanes = 0;
+        for (std::size_t l = 0; l < t.lanes; ++l) {
+          const std::size_t j = t.global_base() + l;
+          if (j < n) {
+            st.pos[st.lanes++] = order_s[j];
+          }
+        }
+        if (st.lanes == 0) {
+          return;  // all-padding dispatch in the last block
+        }
+        detail::batch_seed(st, xs, ys);
+        detail::batch_resume(st, xs, ys, hs, poly,
+                             [&](std::size_t b, std::size_t l, Scalar sq) {
+          const std::size_t j = st.pos[l];
           resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
         });
-  });
+      });
+    });
+  } else {
+    device.launch("cv_sweep", main_cfg, [&, n, k](const spmd::ThreadCtx& t) {
+      const std::size_t j = t.global_idx();
+      if (j >= n) {
+        return;  // padding thread in the last block
+      }
+
+      if (window) {
+        // Window sweep: index into the device-global sorted X/Y, growing the
+        // two-pointer window across the ascending grid. No private rows, no
+        // per-thread sort; residuals land in the configured layout.
+        detail::window_sweep_thread<Scalar>(
+            xs, ys, hs, poly, j, [&](std::size_t b, Scalar sq) {
+              resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
+            });
+        return;
+      }
+
+      // Thread j's rows of the distance and Y matrices. In streaming mode the
+      // rows live in thread-local scratch ("local memory") instead of the
+      // global-memory matrices.
+      std::vector<Scalar> local_dist;
+      std::vector<Scalar> local_y;
+      std::span<Scalar> dist;
+      std::span<Scalar> yrow;
+      if (streaming) {
+        local_dist.resize(n);
+        local_y.resize(n);
+        dist = local_dist;
+        yrow = local_y;
+      } else {
+        dist = dist_all.subspan(j * n, n);
+        yrow = ymat_all.subspan(j * n, n);
+      }
+
+      // Fill + sort + sweep + residual loop (shared kernel body); residuals
+      // land with the indices switched to bandwidth-major when configured —
+      // "to facilitate efficient caching… the array is indexed as k separate
+      // groups of n".
+      detail::sweep_thread<Scalar>(
+          xs, ys, hs, poly, j, dist, yrow, sum_y_all.subview(j * k, k),
+          sum_w_all.subview(j * k, k), [&](std::size_t b, Scalar sq) {
+            resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
+          });
+    });
+  }
 
   // --- Reductions (paper §IV-B) --------------------------------------------
   // One single-block sum reduction per bandwidth. Bandwidth-major layout
@@ -666,6 +826,15 @@ std::string SpmdGridSelector::name() const {
   }
   if (config_.stream.memory_budget_bytes != 0) {
     n += ",budget=" + std::to_string(config_.stream.memory_budget_bytes);
+  }
+  if (config_.algorithm == SweepAlgorithm::kWindow) {
+    const std::size_t lanes = resolve_lane_width(config_.lane_width);
+    if (lanes > 1) {
+      n += ",lanes=" + std::to_string(lanes);
+      if (config_.sigma_sort) {
+        n += ",sigma";
+      }
+    }
   }
   n += ")";
   return n;

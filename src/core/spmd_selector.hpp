@@ -58,6 +58,21 @@ struct SpmdSelectorConfig {
   /// block of bandwidths occupies constant memory at a time. Every tiling
   /// is bitwise identical to the resident sweep. Window algorithm only.
   StreamingConfig stream;
+  /// Lane-batched execution of the window kernels (see
+  /// core/detail/batched_lanes.hpp): each device dispatch steps a group of
+  /// `lane_width` threads in lockstep over σ-sorted observations — the
+  /// batch interpretation of SIMT execution. 0 = auto
+  /// (kreg::kDefaultLaneWidth); 1 = the legacy one-thread-at-a-time scalar
+  /// kernels; 4/8/16 = batched. Residuals and carried window state stay
+  /// keyed by observation, so every lane width is bitwise identical to the
+  /// scalar kernels. Window algorithm only.
+  std::size_t lane_width = 0;
+  /// σ-sort each launch block's observations by admission-window length at
+  /// h_max before grouping into lanes, so the lanes of one dispatch do
+  /// similar work (coherent simulated warps). Pure scheduling permutation:
+  /// profiles are bitwise identical either way. Ignored when lane_width
+  /// resolves to 1.
+  bool sigma_sort = true;
 };
 
 /// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace kreg {
+
+/// The one bandwidth-grid precondition shared by every incremental sweep
+/// (window, sorted, KDE, weighted, batched, multivariate ray): the grid
+/// must be non-empty, positive, and ascending — strictly so for the
+/// bandwidth sweeps, whose admission pointers would re-test a duplicate
+/// threshold and waste a profile entry (`strict = true`, the default);
+/// the multivariate ray's scale multipliers tolerate duplicates
+/// (`strict = false`).
+///
+/// `context` prefixes the uniform error text, e.g.
+/// "window_cv_profile: bandwidth grid must be strictly ascending".
+inline void validate_bandwidth_grid(std::span<const double> grid,
+                                    const char* context, bool strict = true) {
+  if (grid.empty()) {
+    throw std::invalid_argument(std::string(context) +
+                                ": bandwidth grid must be non-empty");
+  }
+  if (!(grid.front() > 0.0)) {
+    throw std::invalid_argument(std::string(context) +
+                                ": bandwidths must be > 0");
+  }
+  for (std::size_t b = 1; b < grid.size(); ++b) {
+    const bool bad =
+        strict ? grid[b] <= grid[b - 1] : grid[b] < grid[b - 1];
+    if (bad) {
+      throw std::invalid_argument(
+          std::string(context) + ": bandwidth grid must be " +
+          (strict ? "strictly ascending" : "ascending"));
+    }
+  }
+}
+
+}  // namespace kreg

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/selectors.hpp"
+#include "core/validate_grid.hpp"
 #include "sort/iterative_quicksort.hpp"
 
 namespace kreg {
@@ -109,15 +110,7 @@ std::vector<double> weighted_sweep_cv_profile(const data::Dataset& data,
                                               KernelType kernel) {
   data.validate();
   check_weights(data, weights);
-  if (grid.empty() || !(grid.front() > 0.0)) {
-    throw std::invalid_argument("weighted sweep: grid must be positive");
-  }
-  for (std::size_t b = 1; b < grid.size(); ++b) {
-    if (grid[b] <= grid[b - 1]) {
-      throw std::invalid_argument(
-          "weighted sweep: grid must be strictly ascending");
-    }
-  }
+  validate_bandwidth_grid(grid, "weighted sweep");
   const SweepPolynomial poly = sweep_polynomial(kernel);  // throws if not sweepable
   const std::size_t n = data.size();
   const std::size_t k = grid.size();

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/detail/device_sweep.hpp"
+#include "core/validate_grid.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sort/argsort.hpp"
 
@@ -12,13 +13,19 @@ namespace kreg {
 template <class Scalar>
 SortedDataset<Scalar> sort_dataset(std::span<const double> x,
                                    std::span<const double> y) {
+  // One permutation, two indexed gathers. resize + direct stores keep the
+  // gather loops free of capacity checks (push_back re-tests capacity per
+  // element), and this runs on every sweep call.
   const std::vector<std::size_t> perm = sort::argsort<double>(x);
+  const std::size_t n = x.size();
   SortedDataset<Scalar> sorted;
-  sorted.x.reserve(x.size());
-  sorted.y.reserve(y.size());
-  for (std::size_t idx : perm) {
-    sorted.x.push_back(static_cast<Scalar>(x[idx]));
-    sorted.y.push_back(static_cast<Scalar>(y[idx]));
+  sorted.x.resize(n);
+  sorted.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.x[i] = static_cast<Scalar>(x[perm[i]]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.y[i] = static_cast<Scalar>(y[perm[i]]);
   }
   return sorted;
 }
@@ -36,18 +43,7 @@ void check_window_inputs(const data::Dataset& data,
   if (data.empty()) {
     throw std::invalid_argument(std::string(fn) + ": empty dataset");
   }
-  if (grid.empty()) {
-    throw std::invalid_argument(std::string(fn) + ": empty bandwidth grid");
-  }
-  if (!(grid.front() > 0.0)) {
-    throw std::invalid_argument(std::string(fn) + ": bandwidths must be > 0");
-  }
-  for (std::size_t b = 1; b < grid.size(); ++b) {
-    if (grid[b] <= grid[b - 1]) {
-      throw std::invalid_argument(std::string(fn) +
-                                  ": grid must be strictly ascending");
-    }
-  }
+  validate_bandwidth_grid(grid, fn);
   if (!is_sweepable(kernel)) {
     throw std::invalid_argument(
         std::string(fn) + ": kernel '" + std::string(to_string(kernel)) +

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <functional>
@@ -55,6 +56,25 @@ struct ThreadCtx {
   /// blockIdx.x * blockDim.x + threadIdx.x
   std::size_t global_idx() const noexcept {
     return block_idx * block_dim + thread_idx;
+  }
+  std::size_t total_threads() const noexcept { return grid_dim * block_dim; }
+};
+
+/// Per-dispatch identity for lane-batched kernels (Device::launch_lanes):
+/// one dispatch covers `lanes` consecutive threads of a block — a simulated
+/// warp slice of compile-time-friendly width — whose bodies the kernel is
+/// expected to step in lockstep (SIMT). `lanes` is the full lane width for
+/// every dispatch except possibly the block's ragged tail.
+struct LaneCtx {
+  std::size_t block_idx = 0;
+  std::size_t base = 0;   ///< first thread_idx covered by this dispatch
+  std::size_t lanes = 1;  ///< threads covered: [base, base + lanes)
+  std::size_t block_dim = 1;
+  std::size_t grid_dim = 1;
+
+  /// global_idx() of the dispatch's first lane; lane l is global_base() + l.
+  std::size_t global_base() const noexcept {
+    return block_idx * block_dim + base;
   }
   std::size_t total_threads() const noexcept { return grid_dim * block_dim; }
 };
@@ -160,6 +180,7 @@ struct LaunchStats {
   std::size_t cooperative_launches = 0;
   std::size_t blocks_executed = 0;
   std::size_t threads_executed = 0;
+  std::size_t lane_dispatches = 0;  ///< LaneCtx invocations by launch_lanes
 };
 
 /// A simulated SPMD device.
@@ -317,6 +338,49 @@ class Device {
   template <class F>
   void launch(LaunchConfig cfg, F&& kernel) {
     launch("<kernel>", cfg, std::forward<F>(kernel));
+  }
+
+  /// Launches a lane-batched independent kernel: `kernel(LaneCtx)` runs
+  /// once per group of `lane_width` consecutive threads — the batch
+  /// interpretation of SIMT execution, where the kernel body itself steps
+  /// its lanes in lockstep instead of the device stepping one thread at a
+  /// time. A block of B threads yields ⌈B / lane_width⌉ dispatches, the
+  /// last one ragged when B mod lane_width ≠ 0. Blocks still execute
+  /// concurrently on the pool; dispatches within a block run in ascending
+  /// base order on the block's worker. Synchronous.
+  template <class F>
+  void launch_lanes(const char* name, LaunchConfig cfg,
+                    std::size_t lane_width, F&& kernel) {
+    validate(cfg, 0);
+    if (lane_width == 0) {
+      throw LaunchConfigError("launch_lanes: lane_width must be > 0");
+    }
+    ++stats_.kernel_launches;
+    stats_.blocks_executed += cfg.grid_blocks;
+    stats_.threads_executed += cfg.total_threads();
+    const std::size_t per_block =
+        (cfg.threads_per_block + lane_width - 1) / lane_width;
+    stats_.lane_dispatches += per_block * cfg.grid_blocks;
+    detail::KernelScope scope(sanitizer_.get(), name);
+    parallel::parallel_for(
+        cfg.grid_blocks,
+        [&](std::size_t block) {
+          LaneCtx ctx;
+          ctx.block_idx = block;
+          ctx.block_dim = cfg.threads_per_block;
+          ctx.grid_dim = cfg.grid_blocks;
+          for (std::size_t base = 0; base < cfg.threads_per_block;
+               base += lane_width) {
+            ctx.base = base;
+            ctx.lanes = std::min(lane_width, cfg.threads_per_block - base);
+            kernel(ctx);
+          }
+        },
+        pool_);
+  }
+  template <class F>
+  void launch_lanes(LaunchConfig cfg, std::size_t lane_width, F&& kernel) {
+    launch_lanes("<kernel>", cfg, lane_width, std::forward<F>(kernel));
   }
 
   /// Launches a cooperative kernel: `body(BlockCtx&)` runs once per block

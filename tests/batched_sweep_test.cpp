@@ -1,0 +1,456 @@
+// Tests for the batched (SELL-C-σ-style) window-sweep execution layer:
+// the σ-sort key and batch ordering, lane-width resolution, bitwise parity
+// of the batched host profile with the scalar resident/tiled sweeps across
+// lane widths, σ on/off, ragged tails, precisions, and streaming tilings —
+// and the batched device kernels against the scalar device baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/batched_sweep.hpp"
+#include "core/grid.hpp"
+#include "core/multi_device_selector.hpp"
+#include "core/spmd_selector.hpp"
+#include "core/window_sweep.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::BandwidthGrid;
+using kreg::BatchedSweep;
+using kreg::HostTiling;
+using kreg::KernelType;
+using kreg::MultiDeviceGridSelector;
+using kreg::Precision;
+using kreg::ResidualLayout;
+using kreg::SelectionResult;
+using kreg::SpmdGridSelector;
+using kreg::SpmdSelectorConfig;
+using kreg::data::Dataset;
+using kreg::rng::Stream;
+using kreg::spmd::Device;
+
+Dataset paper_data(std::size_t n, std::uint64_t seed) {
+  Stream s(seed);
+  return kreg::data::paper_dgp(n, s);
+}
+
+std::vector<double> test_grid(std::size_t k = 24) {
+  return BandwidthGrid(0.05, 1.2, k).values();
+}
+
+void expect_bitwise_profiles(const std::vector<double>& got,
+                             const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t b = 0; b < want.size(); ++b) {
+    EXPECT_DOUBLE_EQ(got[b], want[b]) << "b=" << b;
+  }
+}
+
+// --- resolve_lane_width ----------------------------------------------------
+
+TEST(ResolveLaneWidth, ZeroSelectsDefaultAndValidWidthsPass) {
+  EXPECT_EQ(kreg::resolve_lane_width(0), kreg::kDefaultLaneWidth);
+  EXPECT_EQ(kreg::resolve_lane_width(1), 1u);
+  EXPECT_EQ(kreg::resolve_lane_width(4), 4u);
+  EXPECT_EQ(kreg::resolve_lane_width(8), 8u);
+  EXPECT_EQ(kreg::resolve_lane_width(16), 16u);
+}
+
+TEST(ResolveLaneWidth, RejectsUnsupportedWidths) {
+  EXPECT_THROW(kreg::resolve_lane_width(2), std::invalid_argument);
+  EXPECT_THROW(kreg::resolve_lane_width(3), std::invalid_argument);
+  EXPECT_THROW(kreg::resolve_lane_width(5), std::invalid_argument);
+  EXPECT_THROW(kreg::resolve_lane_width(32), std::invalid_argument);
+}
+
+// --- admission_window_lengths ----------------------------------------------
+
+TEST(AdmissionWindowLengths, MatchesBruteForceCount) {
+  const Dataset data = paper_data(257, 11);
+  const auto sorted = kreg::sort_dataset<double>(data.x, data.y);
+  const double h_max = 0.9;
+  const std::vector<std::size_t> lengths =
+      kreg::admission_window_lengths<double>(sorted.x, h_max);
+  ASSERT_EQ(lengths.size(), sorted.x.size());
+  for (std::size_t i = 0; i < sorted.x.size(); ++i) {
+    std::size_t count = 0;
+    for (double xl : sorted.x) {
+      const double d = xl < sorted.x[i] ? sorted.x[i] - xl : xl - sorted.x[i];
+      if (d <= h_max) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(lengths[i], count) << "i=" << i;
+  }
+}
+
+TEST(AdmissionWindowLengths, FloatUsesFloatPredicate) {
+  const Dataset data = paper_data(129, 7);
+  const auto sorted = kreg::sort_dataset<float>(data.x, data.y);
+  const float h_max = 0.5f;
+  const std::vector<std::size_t> lengths =
+      kreg::admission_window_lengths<float>(sorted.x, h_max);
+  ASSERT_EQ(lengths.size(), sorted.x.size());
+  for (std::size_t i = 0; i < sorted.x.size(); ++i) {
+    std::size_t count = 0;
+    for (float xl : sorted.x) {
+      const float d = xl < sorted.x[i] ? sorted.x[i] - xl : xl - sorted.x[i];
+      if (d <= h_max) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(lengths[i], count) << "i=" << i;
+  }
+}
+
+// --- sigma_batch_order -----------------------------------------------------
+
+TEST(SigmaBatchOrder, IdentityWhenSortDisabled) {
+  const std::vector<std::size_t> lengths = {5, 1, 9, 3, 7};
+  const auto order = kreg::sigma_batch_order(lengths, 0, 5, 0, false);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(order[r], r);
+  }
+}
+
+TEST(SigmaBatchOrder, SortsDescendingStableWithinScope) {
+  const std::vector<std::size_t> lengths = {5, 1, 9, 5, 7};
+  const auto order = kreg::sigma_batch_order(lengths, 0, 5, 0, true);
+  // Descending by length; ties (the two 5s) keep original order.
+  const std::vector<std::uint32_t> want = {2, 4, 0, 3, 1};
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(order[r], want[r]) << "r=" << r;
+  }
+}
+
+TEST(SigmaBatchOrder, ScopesSortIndependently) {
+  const std::vector<std::size_t> lengths = {1, 9, 5, 2, 8, 3};
+  // scope = 3: {1,9,5} and {2,8,3} sort independently.
+  const auto order = kreg::sigma_batch_order(lengths, 0, 6, 3, true);
+  const std::vector<std::uint32_t> want = {1, 2, 0, 4, 5, 3};
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(order[r], want[r]) << "r=" << r;
+  }
+}
+
+TEST(SigmaBatchOrder, RespectsBeginOffsetAndIsAPermutation) {
+  const std::vector<std::size_t> lengths = {0, 0, 4, 6, 5, 2};
+  const auto order = kreg::sigma_batch_order(lengths, 2, 6, 0, true);
+  ASSERT_EQ(order.size(), 4u);
+  // Relative to begin = 2: lengths {4,6,5,2} → order {1,2,0,3}.
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 3u);
+  std::vector<std::uint32_t> sorted_order(order.begin(), order.end());
+  std::sort(sorted_order.begin(), sorted_order.end());
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(sorted_order[r], r);
+  }
+}
+
+// --- host batched profile: bitwise parity ----------------------------------
+
+// One tile covering the dataset ⇒ the batched profile must equal the
+// sequential scalar profile bit for bit, for every lane width × σ setting,
+// including ragged tails (n mod C ≠ 0).
+TEST(BatchedHostProfile, BitwiseEqualsScalarSingleTile) {
+  const std::vector<double> grid = test_grid();
+  for (const std::size_t n : {64u, 203u, 517u}) {
+    const Dataset data = paper_data(n, 42 + n);
+    const std::vector<double> want = kreg::window_cv_profile(
+        data, grid, KernelType::kEpanechnikov, Precision::kDouble);
+    HostTiling one_tile;
+    one_tile.n_block = n;  // single tile: matches profile_sequential order
+    for (const std::size_t width : {1u, 4u, 8u, 16u}) {
+      for (const bool sigma : {false, true}) {
+        BatchedSweep batched;
+        batched.lane_width = width;
+        batched.sigma_sort = sigma;
+        const std::vector<double> got = kreg::window_cv_profile_batched(
+            data, grid, KernelType::kEpanechnikov, Precision::kDouble,
+            batched, one_tile);
+        SCOPED_TRACE("n=" + std::to_string(n) + " C=" + std::to_string(width) +
+                     " sigma=" + std::to_string(sigma));
+        expect_bitwise_profiles(got, want);
+      }
+    }
+  }
+}
+
+TEST(BatchedHostProfile, BitwiseEqualsScalarFloat) {
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(301, 5);
+  const std::vector<double> want = kreg::window_cv_profile(
+      data, grid, KernelType::kEpanechnikov, Precision::kFloat);
+  HostTiling one_tile;
+  one_tile.n_block = 301;
+  for (const std::size_t width : {4u, 8u}) {
+    BatchedSweep batched;
+    batched.lane_width = width;
+    const std::vector<double> got = kreg::window_cv_profile_batched(
+        data, grid, KernelType::kEpanechnikov, Precision::kFloat, batched,
+        one_tile);
+    SCOPED_TRACE("C=" + std::to_string(width));
+    expect_bitwise_profiles(got, want);
+  }
+}
+
+// Same tiling ⇒ the batched profile must equal the scalar *tiled* profile
+// bit for bit: batching is a pure scheduling change inside each tile.
+TEST(BatchedHostProfile, BitwiseEqualsTiledUnderStreamingTilings) {
+  const std::vector<double> grid = test_grid(37);
+  const Dataset data = paper_data(411, 9);
+  for (const std::size_t n_block : {64u, 128u}) {
+    for (const std::size_t k_block : {8u, 16u, 37u}) {
+      HostTiling tiling;
+      tiling.n_block = n_block;
+      tiling.k_block = k_block;
+      const std::vector<double> want = kreg::window_cv_profile_tiled(
+          data, grid, KernelType::kEpanechnikov, Precision::kDouble, tiling);
+      for (const bool sigma : {false, true}) {
+        BatchedSweep batched;
+        batched.lane_width = 8;
+        batched.sigma_sort = sigma;
+        const std::vector<double> got = kreg::window_cv_profile_batched(
+            data, grid, KernelType::kEpanechnikov, Precision::kDouble,
+            batched, tiling);
+        SCOPED_TRACE("n_block=" + std::to_string(n_block) +
+                     " k_block=" + std::to_string(k_block) +
+                     " sigma=" + std::to_string(sigma));
+        expect_bitwise_profiles(got, want);
+      }
+    }
+  }
+}
+
+// The quartic kernel exercises the higher moment terms (m up to 4).
+TEST(BatchedHostProfile, BitwiseParityTriweightKernel) {
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(222, 13);
+  const std::vector<double> want = kreg::window_cv_profile(
+      data, grid, KernelType::kTriweight, Precision::kDouble);
+  HostTiling one_tile;
+  one_tile.n_block = 222;
+  BatchedSweep batched;
+  batched.lane_width = 8;
+  const std::vector<double> got = kreg::window_cv_profile_batched(
+      data, grid, KernelType::kTriweight, Precision::kDouble, batched,
+      one_tile);
+  expect_bitwise_profiles(got, want);
+}
+
+TEST(BatchedHostProfile, DefaultsMatchTiledDefaults) {
+  // Default BatchedSweep (auto width, σ on) with default tiling must equal
+  // the default scalar tiled profile — batched is the default host backend.
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(3000, 21);
+  const std::vector<double> want = kreg::window_cv_profile_tiled(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble);
+  const std::vector<double> got = kreg::window_cv_profile_batched(
+      data, grid, KernelType::kEpanechnikov);
+  expect_bitwise_profiles(got, want);
+}
+
+TEST(BatchedHostProfile, RejectsBadLaneWidthAndBadGrid) {
+  const Dataset data = paper_data(32, 3);
+  const std::vector<double> grid = test_grid(4);
+  BatchedSweep batched;
+  batched.lane_width = 3;
+  EXPECT_THROW(kreg::window_cv_profile_batched(
+                   data, grid, KernelType::kEpanechnikov, Precision::kDouble,
+                   batched),
+               std::invalid_argument);
+  const std::vector<double> bad_grid = {0.5, 0.5, 0.6};
+  EXPECT_THROW(kreg::window_cv_profile_batched(data, bad_grid,
+                                               KernelType::kEpanechnikov),
+               std::invalid_argument);
+}
+
+// --- device batched kernels: bitwise parity --------------------------------
+
+SpmdSelectorConfig device_cfg(std::size_t lane_width, bool sigma,
+                              Precision precision = Precision::kDouble) {
+  SpmdSelectorConfig cfg;
+  cfg.precision = precision;
+  cfg.lane_width = lane_width;
+  cfg.sigma_sort = sigma;
+  cfg.stream.auto_tune = false;  // pin the resident path unless overridden
+  return cfg;
+}
+
+void expect_same_selection(const SelectionResult& got,
+                           const SelectionResult& want) {
+  EXPECT_DOUBLE_EQ(got.bandwidth, want.bandwidth);
+  EXPECT_DOUBLE_EQ(got.cv_score, want.cv_score);
+  ASSERT_EQ(got.scores.size(), want.scores.size());
+  for (std::size_t b = 0; b < want.scores.size(); ++b) {
+    EXPECT_DOUBLE_EQ(got.scores[b], want.scores[b]) << "b=" << b;
+  }
+}
+
+// n = 700 with tpb = 512 gives a full block plus a ragged 188-row block, so
+// every lane width exercises tail dispatches and a short σ-scope.
+TEST(SpmdBatchedParity, ResidentBitwiseAcrossLaneWidthsAndSigma) {
+  const Dataset data = paper_data(700, 31);
+  const BandwidthGrid grid(0.05, 1.2, 32);
+  Device dev;
+  const SelectionResult want =
+      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
+  for (const std::size_t width : {4u, 8u, 16u}) {
+    for (const bool sigma : {false, true}) {
+      const SelectionResult got =
+          SpmdGridSelector(dev, device_cfg(width, sigma)).select(data, grid);
+      SCOPED_TRACE("C=" + std::to_string(width) +
+                   " sigma=" + std::to_string(sigma));
+      expect_same_selection(got, want);
+    }
+  }
+}
+
+TEST(SpmdBatchedParity, ResidentBitwiseObservationMajorAndFloat) {
+  const Dataset data = paper_data(451, 17);
+  const BandwidthGrid grid(0.05, 1.2, 24);
+  Device dev;
+  for (const Precision precision : {Precision::kFloat, Precision::kDouble}) {
+    SpmdSelectorConfig scalar = device_cfg(1, false, precision);
+    scalar.layout = ResidualLayout::kObservationMajor;
+    const SelectionResult want =
+        SpmdGridSelector(dev, scalar).select(data, grid);
+    SpmdSelectorConfig batched = device_cfg(8, true, precision);
+    batched.layout = ResidualLayout::kObservationMajor;
+    const SelectionResult got =
+        SpmdGridSelector(dev, batched).select(data, grid);
+    expect_same_selection(got, want);
+  }
+}
+
+TEST(SpmdBatchedParity, StreamedKblockBitwise) {
+  const Dataset data = paper_data(600, 23);
+  const BandwidthGrid grid(0.05, 1.2, 40);
+  Device dev;
+  const SelectionResult resident =
+      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
+  for (const bool sigma : {false, true}) {
+    SpmdSelectorConfig cfg = device_cfg(8, sigma);
+    cfg.stream.k_block = 8;
+    const SelectionResult got =
+        SpmdGridSelector(dev, cfg).select(data, grid);
+    SCOPED_TRACE("sigma=" + std::to_string(sigma));
+    expect_same_selection(got, resident);
+  }
+}
+
+TEST(SpmdBatchedParity, Streamed2DTileBitwise) {
+  const Dataset data = paper_data(531, 29);
+  const BandwidthGrid grid(0.05, 1.2, 32);
+  Device dev;
+  const SelectionResult resident =
+      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
+  for (const std::size_t width : {4u, 16u}) {
+    SpmdSelectorConfig cfg = device_cfg(width, true);
+    cfg.stream.k_block = 8;
+    cfg.stream.n_block = 96;
+    const SelectionResult got =
+        SpmdGridSelector(dev, cfg).select(data, grid);
+    SCOPED_TRACE("C=" + std::to_string(width));
+    expect_same_selection(got, resident);
+  }
+}
+
+TEST(SpmdBatchedParity, NameReportsLanesAndSigma) {
+  Device dev;
+  const std::string batched = SpmdGridSelector(dev, device_cfg(8, true)).name();
+  EXPECT_NE(batched.find("lanes=8"), std::string::npos) << batched;
+  EXPECT_NE(batched.find("sigma"), std::string::npos) << batched;
+  const std::string no_sigma =
+      SpmdGridSelector(dev, device_cfg(4, false)).name();
+  EXPECT_NE(no_sigma.find("lanes=4"), std::string::npos) << no_sigma;
+  EXPECT_EQ(no_sigma.find("sigma"), std::string::npos) << no_sigma;
+  const std::string scalar = SpmdGridSelector(dev, device_cfg(1, true)).name();
+  EXPECT_EQ(scalar.find("lanes"), std::string::npos) << scalar;
+}
+
+TEST(SpmdBatchedParity, CtorRejectsBadLaneWidth) {
+  Device dev;
+  EXPECT_THROW(SpmdGridSelector(dev, device_cfg(5, true)),
+               std::invalid_argument);
+  EXPECT_THROW(MultiDeviceGridSelector({&dev}, device_cfg(3, true)),
+               std::invalid_argument);
+}
+
+TEST(MultiDeviceBatchedParity, ResidentAndStreamedBitwise) {
+  const Dataset data = paper_data(640, 37);
+  const BandwidthGrid grid(0.05, 1.2, 24);
+  Device dev1;
+  Device dev2;
+  const std::vector<Device*> devices = {&dev1, &dev2};
+  const SelectionResult want =
+      MultiDeviceGridSelector(devices, device_cfg(1, false))
+          .select(data, grid);
+  for (const std::size_t width : {4u, 8u}) {
+    const SelectionResult got =
+        MultiDeviceGridSelector(devices, device_cfg(width, true))
+            .select(data, grid);
+    SCOPED_TRACE("C=" + std::to_string(width));
+    expect_same_selection(got, want);
+  }
+  // Force both streaming dimensions on each device slice.
+  SpmdSelectorConfig streamed = device_cfg(8, true);
+  streamed.stream.k_block = 8;
+  streamed.stream.n_block = 64;
+  const SelectionResult got =
+      MultiDeviceGridSelector(devices, streamed).select(data, grid);
+  expect_same_selection(got, want);
+}
+
+// --- launch_lanes ----------------------------------------------------------
+
+TEST(LaunchLanes, CoversEveryThreadOnceWithRaggedTail) {
+  Device dev;
+  const std::size_t blocks = 3;
+  const std::size_t tpb = 10;
+  const std::size_t lane_width = 4;
+  const std::size_t per_block = 3;  // ceil(10 / 4): lanes 4, 4, 2
+  std::vector<std::size_t> seen(blocks * tpb, 0);
+  std::vector<std::size_t> lane_counts(blocks * per_block, 0);
+  dev.launch_lanes("probe", kreg::spmd::LaunchConfig{blocks, tpb}, lane_width,
+                   [&](const kreg::spmd::LaneCtx& t) {
+    lane_counts[t.block_idx * per_block + t.base / lane_width] = t.lanes;
+    for (std::size_t l = 0; l < t.lanes; ++l) {
+      seen[t.global_base() + l] += 1;
+    }
+  });
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1u) << "thread " << i;
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    EXPECT_EQ(lane_counts[b * per_block + 0], 4u);
+    EXPECT_EQ(lane_counts[b * per_block + 1], 4u);
+    EXPECT_EQ(lane_counts[b * per_block + 2], 2u);
+  }
+  EXPECT_EQ(dev.stats().kernel_launches, 1u);
+  EXPECT_EQ(dev.stats().blocks_executed, blocks);
+  EXPECT_EQ(dev.stats().threads_executed, blocks * tpb);
+  EXPECT_EQ(dev.stats().lane_dispatches, blocks * per_block);
+}
+
+TEST(LaunchLanes, ZeroLaneWidthThrows) {
+  Device dev;
+  EXPECT_THROW(
+      dev.launch_lanes("bad", kreg::spmd::LaunchConfig{1, 8}, 0,
+                       [](const kreg::spmd::LaneCtx&) {}),
+      kreg::spmd::LaunchConfigError);
+}
+
+}  // namespace
