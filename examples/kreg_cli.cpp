@@ -1,13 +1,19 @@
-// Command-line bandwidth selector: the downstream-user entry point the
+// Command-line selection engine: the downstream-user entry point the
 // paper promises as an R package, delivered here as a standalone tool.
-// Reads a two-column CSV (x,y), selects the LOO-CV-optimal bandwidth with
-// the chosen method, and optionally prints the fitted curve.
+// Reads a two-column CSV (x,y), selects the CV-optimal smoothing parameter
+// for the chosen estimator, and optionally prints the fitted curve.
 //
 // Usage:
 //   kreg_cli <data.csv> [options]
 //   kreg_cli --demo [n]            # run on freshly generated paper-DGP data
 //
 // Options:
+//   --estimator nw|knn|oscv (default nw). nw: Nadaraya–Watson with the
+//             LOO-CV bandwidth grid search. knn: k-NN regression, the
+//             neighbour count selected by exact fast LOOCV over a k-grid
+//             (methods window|parallel|tiled|spmd|naive). oscv: NW with
+//             the bandwidth selected by one-sided CV and reported as the
+//             rescaled h = C*b (same methods as knn).
 //   --method  sorted|window|tiled|parallel|naive|dense|spmd|spmd-per-row|
 //             optimizer|silverman|scott (default sorted; spmd runs the
 //             window sweep, spmd-per-row the paper-faithful per-thread
@@ -31,6 +37,7 @@
 //   --sigma-sort on|off  σ-sort observations by admission-window length
 //                     before lane batching (default on; bitwise identical
 //                     either way)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,8 +52,10 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <data.csv> | --demo [n]\n"
+               "  [--estimator nw|knn|oscv]\n"
                "  [--method sorted|window|tiled|parallel|naive|dense|spmd|"
                "spmd-per-row|optimizer|silverman|scott]\n"
+               "  (knn/oscv support window|parallel|tiled|spmd|naive)\n"
                "  [--kernel epanechnikov|uniform|triangular|biweight|"
                "triweight|cosine|gaussian]\n"
                "  [--k K] [--hmin H] [--hmax H] [--refine] [--curve N]\n"
@@ -131,6 +140,7 @@ int main(int argc, char** argv) {
   std::string input;
   std::size_t demo_n = 0;
   std::string method = "sorted";
+  std::string estimator_name = "nw";
   std::string kernel_name = "epanechnikov";
   std::size_t k = 200;
   double hmin = 0.0;
@@ -154,6 +164,8 @@ int main(int argc, char** argv) {
                    : 2000;
     } else if (arg == "--method") {
       method = next();
+    } else if (arg == "--estimator") {
+      estimator_name = next();
     } else if (arg == "--kernel") {
       kernel_name = next();
     } else if (arg == "--k") {
@@ -209,6 +221,67 @@ int main(int argc, char** argv) {
     }
     data.validate();
     const kreg::KernelType kernel = parse_kernel(kernel_name);
+    const kreg::EstimatorKind estimator = kreg::parse_estimator(estimator_name);
+    if (estimator != kreg::EstimatorKind::kNadarayaWatson) {
+      if (refine) {
+        std::fprintf(stderr,
+                     "error: --refine applies to the nw estimator only\n");
+        return 2;
+      }
+      if (method == "sorted") {
+        method = "window";  // the fast sweep is the natural default here
+      }
+    }
+
+    // k-NN selects a neighbour count, not a bandwidth — no h-grid at all.
+    if (estimator == kreg::EstimatorKind::kKnn) {
+      const std::vector<std::size_t> kgrid =
+          kreg::default_neighbor_grid(data.size(), k);
+      std::vector<double> scores;
+      std::string method_name;
+      std::unique_ptr<kreg::spmd::Device> device;
+      if (method == "window") {
+        scores = kreg::knn_cv_profile(data, kgrid);
+        method_name = "knn-window-sweep";
+      } else if (method == "parallel") {
+        scores = kreg::knn_cv_profile_parallel(data, kgrid);
+        method_name = "knn-window-sweep-parallel";
+      } else if (method == "tiled") {
+        scores = kreg::knn_cv_profile_tiled(
+            data, kgrid, kreg::Precision::kDouble,
+            kreg::host_tiling_from_stream(stream));
+        method_name = "knn-window-sweep-tiled";
+      } else if (method == "spmd") {
+        device = std::make_unique<kreg::spmd::Device>();
+        kreg::KnnDeviceConfig cfg;
+        cfg.stream = stream;
+        scores = kreg::knn_cv_profile_device(*device, data, kgrid, cfg);
+        method_name = "knn-window-sweep-spmd";
+      } else if (method == "naive") {
+        scores = kreg::knn_cv_profile_naive(data, kgrid);
+        method_name = "knn-naive";
+      } else {
+        usage(argv[0]);
+      }
+      const kreg::KnnSelectionResult result = kreg::knn_selection_from_profile(
+          kgrid, std::move(scores), std::move(method_name));
+      std::printf("k = %zu neighbors (CV = %.6f) via %s [%zu evaluations]\n",
+                  result.k, result.cv_score, result.method.c_str(),
+                  result.grid.size());
+      if (curve_points > 1) {
+        const kreg::KnnRegression fit(data, result.k);
+        const auto [mn, mx] =
+            std::minmax_element(data.x.begin(), data.x.end());
+        std::printf("x,fitted\n");
+        for (std::size_t i = 0; i < curve_points; ++i) {
+          const double x0 =
+              *mn + (*mx - *mn) * static_cast<double>(i) /
+                        static_cast<double>(curve_points - 1);
+          std::printf("%.6f,%.6f\n", x0, fit.predict(x0));
+        }
+      }
+      return 0;
+    }
 
     // Rule-of-thumb methods need no grid.
     if (method == "silverman" || method == "scott") {
@@ -230,6 +303,57 @@ int main(int argc, char** argv) {
       hmin = hmax / static_cast<double>(k);
     }
     const kreg::BandwidthGrid grid(hmin, hmax, k);
+
+    // OSCV: minimize the one-sided criterion over the b-grid, then fit NW
+    // at the rescaled two-sided bandwidth h = C*b.
+    if (estimator == kreg::EstimatorKind::kOscv) {
+      std::vector<double> scores;
+      std::string method_name;
+      std::unique_ptr<kreg::spmd::Device> device;
+      if (method == "window") {
+        scores = kreg::oscv_profile(data, grid.values(), kernel);
+        method_name = "oscv-sweep";
+      } else if (method == "parallel") {
+        scores = kreg::oscv_profile_parallel(data, grid.values(), kernel);
+        method_name = "oscv-sweep-parallel";
+      } else if (method == "tiled") {
+        scores = kreg::oscv_profile_tiled(
+            data, grid.values(), kernel, kreg::Precision::kDouble,
+            kreg::host_tiling_from_stream(stream));
+        method_name = "oscv-sweep-tiled";
+      } else if (method == "spmd") {
+        device = std::make_unique<kreg::spmd::Device>();
+        kreg::OscvDeviceConfig cfg;
+        cfg.stream = stream;
+        scores =
+            kreg::oscv_profile_device(*device, data, grid.values(), kernel, cfg);
+        method_name = "oscv-sweep-spmd";
+      } else if (method == "naive") {
+        scores = kreg::oscv_profile_naive(data, grid.values(), kernel);
+        method_name = "oscv-naive";
+      } else {
+        usage(argv[0]);
+      }
+      kreg::SelectionResult result = kreg::selection_from_profile(
+          grid, std::move(scores), std::move(method_name));
+      const double rescale = kreg::oscv_rescale_constant(kernel);
+      const double b_hat = result.bandwidth;
+      result.bandwidth *= rescale;
+      std::printf(
+          "b = %.6f (OSCV = %.6f) -> h = %.6f (C = %.4f) via %s "
+          "[%zu evaluations]\n",
+          b_hat, result.cv_score, result.bandwidth, rescale,
+          result.method.c_str(), result.evaluations);
+      if (curve_points > 1) {
+        const kreg::NadarayaWatson fit(data, result.bandwidth, kernel);
+        const auto curve = fit.curve(curve_points);
+        std::printf("x,fitted\n");
+        for (std::size_t i = 0; i < curve.x.size(); ++i) {
+          std::printf("%.6f,%.6f\n", curve.x[i], curve.y[i]);
+        }
+      }
+      return 0;
+    }
 
     std::unique_ptr<kreg::Selector> selector;
     std::unique_ptr<kreg::spmd::Device> device;

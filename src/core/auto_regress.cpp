@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/dense_grid.hpp"
+#include "core/oscv_sweep.hpp"
 #include "core/refine.hpp"
 
 namespace kreg {
@@ -37,6 +38,24 @@ std::unique_ptr<Selector> pick_selector(const data::Dataset& data,
   Backend backend = options.backend;
   if (backend == Backend::kDevice && options.device == nullptr) {
     throw std::invalid_argument("auto_regress: Backend::kDevice needs device");
+  }
+  if (options.criterion == AutoOptions::Criterion::kOscv) {
+    if (!is_sweepable(options.kernel)) {
+      throw std::invalid_argument(
+          "auto_regress: OSCV needs a sweepable kernel (one-sided windows "
+          "require compact polynomial support)");
+    }
+    if (backend == Backend::kDevice) {
+      throw std::invalid_argument(
+          "auto_regress: OSCV runs on host backends here; use "
+          "oscv_profile_device for the device path");
+    }
+    const bool parallel =
+        backend == Backend::kParallel ||
+        (backend == Backend::kAuto &&
+         data.size() >= kWindowParallelCrossover);
+    return std::make_unique<OscvSweepSelector>(
+        options.kernel, Precision::kDouble, parallel);
   }
   if (backend == Backend::kAuto) {
     const std::size_t crossover =
@@ -96,6 +115,12 @@ FittedRegression auto_regress(const data::Dataset& data,
   }
   if (options.grid_size == 0) {
     throw std::invalid_argument("auto_regress: grid_size must be >= 1");
+  }
+  if (options.refine && options.criterion == AutoOptions::Criterion::kOscv) {
+    throw std::invalid_argument(
+        "auto_regress: refine is incompatible with the OSCV criterion (the "
+        "zoom rounds assume the selected bandwidth is a grid point of the "
+        "searched profile; OSCV reports the rescaled h = C*b)");
   }
   const BandwidthGrid grid =
       BandwidthGrid::default_for(data, options.grid_size);

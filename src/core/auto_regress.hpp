@@ -40,6 +40,19 @@ struct AutoOptions {
   /// §III per-observation sort, O(n² log n) — kept as the faithful
   /// ablation baseline.
   SweepAlgorithm algorithm = SweepAlgorithm::kWindow;
+
+  /// Bandwidth-selection criterion. kLeastSquaresCv (default): the LOOCV
+  /// grid search of the paper. kOscv: one-sided CV (core/oscv_sweep.hpp) —
+  /// minimizes the one-sided criterion over the grid and fits at the
+  /// rescaled ĥ = C·b̂; requires a sweepable kernel and a host backend, and
+  /// is incompatible with `refine` (the zoom rounds assume the reported
+  /// bandwidth is a grid point of the searched profile, which the
+  /// rescaling breaks).
+  enum class Criterion {
+    kLeastSquaresCv,
+    kOscv,
+  };
+  Criterion criterion = Criterion::kLeastSquaresCv;
 };
 
 /// A fitted kernel regression: the selection diagnostics plus the

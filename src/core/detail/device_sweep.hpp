@@ -210,6 +210,244 @@ inline void window_sweep_resume(std::span<const Scalar> xs_sorted,
   }
 }
 
+/// ---- k-NN fast LOOCV window sweep --------------------------------------
+///
+/// A k-NN neighbourhood is a *window* in the sorted array: the k nearest
+/// leave-one-out neighbours of observation `pos` are contiguous around its
+/// sorted position, and as k ascends across a strictly increasing k-grid
+/// the window only grows — the same monotone-admission invariant the
+/// bandwidth sweep exploits, with the grid axis a neighbour count instead
+/// of a bandwidth (Kanagawa's fast k-NN LOOCV). Two pointers admit the
+/// globally next-nearest candidate per step; a boundary-tie pass then folds
+/// in every remaining candidate at the window's widest admitted distance,
+/// so the neighbour set is exactly {j ≠ pos : |x_j − x_pos| ≤ r_k} with r_k
+/// the k-th smallest LOO distance — well-defined under duplicated x-values
+/// and independent of admission order.
+///
+/// The left and right running Y-sums are carried *separately* and each side
+/// accumulates strictly outward, so the fold order of every partial sum is
+/// a deterministic function of (data, k) alone — which is what lets the
+/// naive O(n²·|grid|) reference reproduce the fast profile bitwise, and
+/// what keeps a k-block-streamed resume identical to the straight-through
+/// sweep. State per observation: the two pointers and the two sums — O(1).
+
+/// Seeds one observation's k-NN window state: pointers collapsed onto
+/// `pos`, both side sums empty (the self term is never admitted).
+template <class Scalar>
+inline void knn_sweep_seed(std::size_t pos, std::size_t& lo, std::size_t& hi,
+                           Scalar& sum_left, Scalar& sum_right) {
+  lo = hi = pos;
+  sum_left = Scalar{};
+  sum_right = Scalar{};
+}
+
+/// Sweeps `ks` — the full neighbour grid, or one ascending slice of it —
+/// resuming from the carried window state. `write(b, sq)` receives the
+/// squared LOO residual for every index b *within the slice*.
+template <class Scalar, class KView, class WriteResid>
+inline void knn_sweep_resume(std::span<const Scalar> xs_sorted,
+                             std::span<const Scalar> ys_sorted, KView ks,
+                             std::size_t pos, std::size_t& lo, std::size_t& hi,
+                             Scalar& sum_left, Scalar& sum_right,
+                             WriteResid&& write) {
+  const std::size_t n = xs_sorted.size();
+  const Scalar xi = xs_sorted[pos];
+  const auto admit_left = [&] {
+    --lo;
+    sum_left += ys_sorted[lo];
+  };
+  const auto admit_right = [&] {
+    ++hi;
+    sum_right += ys_sorted[hi];
+  };
+  for (std::size_t b = 0; b < ks.size(); ++b) {
+    const std::size_t k = ks[b];
+    // Greedy nondecreasing-distance admission until the window holds k
+    // neighbours (ties prefer the left candidate; the tie fold below makes
+    // the final set side-symmetric, so the preference never shows).
+    while (hi - lo < k && (lo > 0 || hi + 1 < n)) {
+      if (lo > 0 && (hi + 1 >= n ||
+                     xi - xs_sorted[lo - 1] <= xs_sorted[hi + 1] - xi)) {
+        admit_left();
+      } else {
+        admit_right();
+      }
+    }
+    // Boundary ties: admit every remaining candidate at distance exactly
+    // r_k (the widest admitted distance). Remaining candidates are all at
+    // distance >= r_k, so the loops admit the tied ones and nothing else.
+    Scalar radius{0};
+    if (lo < pos) {
+      radius = xi - xs_sorted[lo];
+    }
+    if (hi > pos && xs_sorted[hi] - xi > radius) {
+      radius = xs_sorted[hi] - xi;
+    }
+    while (lo > 0 && xi - xs_sorted[lo - 1] <= radius) {
+      admit_left();
+    }
+    while (hi + 1 < n && xs_sorted[hi + 1] - xi <= radius) {
+      admit_right();
+    }
+    const auto count = static_cast<Scalar>(hi - lo);
+    const Scalar e = ys_sorted[pos] - (sum_left + sum_right) / count;
+    write(b, e * e);
+  }
+}
+
+/// The whole-grid k-NN sweep: seed + resume with thread-local state.
+template <class Scalar, class KView, class WriteResid>
+inline void knn_sweep_thread(std::span<const Scalar> xs_sorted,
+                             std::span<const Scalar> ys_sorted, KView ks,
+                             std::size_t pos, WriteResid&& write) {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  Scalar sum_left{};
+  Scalar sum_right{};
+  knn_sweep_seed<Scalar>(pos, lo, hi, sum_left, sum_right);
+  knn_sweep_resume<Scalar>(xs_sorted, ys_sorted, ks, pos, lo, hi, sum_left,
+                           sum_right, std::forward<WriteResid>(write));
+}
+
+/// ---- One-sided CV (OSCV) window sweep ----------------------------------
+///
+/// One-sided kernels are *asymmetric admission windows*: the left-sided
+/// smoother at x admits exactly [x − h, x) — the half-window 0 < x − x_j
+/// ≤ h — so the sweep keeps the bandwidth-monotone invariant with only the
+/// left pointer moving (Savchuk/Hart one-sided cross-validation). The
+/// smoother is the one-sided *local-linear* fit (the estimator OSCV theory
+/// is built on; a one-sided local mean would have O(h) boundary bias), and
+/// its weighted design moments S̃_m = Σ w_j d_j^m, T̃_m = Σ w_j d_j^m Y_j
+/// recombine from the carried absolute moments M_q = Σ |d|^q, N_q =
+/// Σ Y·|d|^q with the usual h^(−p) rescaling: on the left side d = −|d|,
+/// so S̃_m = (−1)^m Σ_p c_p h^(−p) M_{p+m} and the sign factors cancel in
+/// the local-linear ratio. The fit needs moments up to max_power + 2, two
+/// more than the symmetric sweep carries.
+///
+/// The self term is excluded by the window itself (d = 0 fails d > 0), so
+/// the one-sided fit is leave-one-out by construction — duplicates of
+/// x_pos are skipped the same way. Admission accumulates strictly outward
+/// (lo descending), so the fold order is deterministic and a naive
+/// re-accumulation per bandwidth reproduces the fast profile bitwise;
+/// carried state (lo, count, M_q, N_q) makes k-block streaming exact.
+
+/// Number of carried absolute moments for a one-sided local-linear sweep.
+inline constexpr std::size_t oscv_moment_count(
+    const SweepPolynomial& poly) noexcept {
+  return poly.max_power + 3;
+}
+
+/// Upper bound of oscv_moment_count over all sweepable kernels — sizes
+/// thread-local moment arrays.
+inline constexpr std::size_t kOscvMaxMoments = SweepPolynomial::kMaxPower + 3;
+
+/// Recombines the carried one-sided moments into one bandwidth's squared
+/// LOO residual. Shared verbatim by the fast sweeps and the naive
+/// reference so the branch structure (local-linear when the design is
+/// nondegenerate, weighted-mean fallback, 0 when no neighbour carries
+/// weight) is decided on identical values everywhere.
+template <class Scalar>
+inline Scalar oscv_residual(const SweepPolynomial& poly, Scalar h,
+                            std::size_t count, std::span<const Scalar> m_q,
+                            std::span<const Scalar> n_q, Scalar yi) {
+  Scalar a0{};
+  Scalar a1{};
+  Scalar a2{};
+  Scalar b0{};
+  Scalar b1{};
+  const Scalar inv_h = Scalar{1} / h;
+  Scalar inv_pow{1};
+  for (std::size_t p = 0; p <= poly.max_power; ++p) {
+    const auto c = static_cast<Scalar>(poly.coeff[p]);
+    if (c != Scalar{0}) {
+      a0 += c * m_q[p] * inv_pow;
+      a1 += c * m_q[p + 1] * inv_pow;
+      a2 += c * m_q[p + 2] * inv_pow;
+      b0 += c * n_q[p] * inv_pow;
+      b1 += c * n_q[p + 1] * inv_pow;
+    }
+    inv_pow *= inv_h;
+  }
+  Scalar pred;
+  const Scalar det = a0 * a2 - a1 * a1;
+  if (count >= 2 && det > Scalar{0}) {
+    pred = (a2 * b0 - a1 * b1) / det;  // one-sided local linear
+  } else if (a0 > Scalar{0}) {
+    pred = b0 / a0;  // degenerate design: one-sided weighted mean
+  } else {
+    return Scalar{0};  // no neighbour with positive weight: M(X_i) = 0
+  }
+  const Scalar e = yi - pred;
+  return e * e;
+}
+
+/// Seeds one observation's one-sided window state: the left pointer on
+/// `pos`, no admitted neighbours, all moments zero.
+template <class Scalar>
+inline void oscv_sweep_seed(std::size_t pos, std::size_t& lo,
+                            std::size_t& count, std::span<Scalar> m_q,
+                            std::span<Scalar> n_q) {
+  lo = pos;
+  count = 0;
+  std::fill(m_q.begin(), m_q.end(), Scalar{});
+  std::fill(n_q.begin(), n_q.end(), Scalar{});
+}
+
+/// Sweeps `hs` — the full bandwidth grid, or one ascending k-block slice —
+/// resuming from the carried one-sided state. `m_q`/`n_q` must each hold
+/// oscv_moment_count(poly) elements.
+template <class Scalar, class HView, class WriteResid>
+inline void oscv_sweep_resume(std::span<const Scalar> xs_sorted,
+                              std::span<const Scalar> ys_sorted, HView hs,
+                              const SweepPolynomial& poly, std::size_t pos,
+                              std::size_t& lo, std::size_t& count,
+                              std::span<Scalar> m_q, std::span<Scalar> n_q,
+                              WriteResid&& write) {
+  const std::size_t moments = oscv_moment_count(poly);
+  const Scalar xi = xs_sorted[pos];
+  const Scalar yi = ys_sorted[pos];
+  for (std::size_t b = 0; b < hs.size(); ++b) {
+    const Scalar h = hs[b];
+    while (lo > 0 && xi - xs_sorted[lo - 1] <= h) {
+      --lo;
+      const Scalar d = xi - xs_sorted[lo];
+      if (d > Scalar{0}) {  // duplicates of x_pos lie outside [x − h, x)
+        const Scalar yl = ys_sorted[lo];
+        Scalar pw = Scalar{1};
+        for (std::size_t q = 0; q < moments; ++q) {
+          m_q[q] += pw;
+          n_q[q] += yl * pw;
+          pw *= d;
+        }
+        ++count;
+      }
+    }
+    write(b, oscv_residual<Scalar>(poly, h, count,
+                                   std::span<const Scalar>(m_q.data(), moments),
+                                   std::span<const Scalar>(n_q.data(), moments),
+                                   yi));
+  }
+}
+
+/// The whole-grid one-sided sweep: seed + resume with thread-local state.
+template <class Scalar, class HView, class WriteResid>
+inline void oscv_sweep_thread(std::span<const Scalar> xs_sorted,
+                              std::span<const Scalar> ys_sorted, HView hs,
+                              const SweepPolynomial& poly, std::size_t pos,
+                              WriteResid&& write) {
+  Scalar m_q[kOscvMaxMoments] = {};
+  Scalar n_q[kOscvMaxMoments] = {};
+  const std::size_t moments = oscv_moment_count(poly);
+  std::size_t lo = 0;
+  std::size_t count = 0;
+  oscv_sweep_seed<Scalar>(pos, lo, count, std::span<Scalar>(m_q, moments),
+                          std::span<Scalar>(n_q, moments));
+  oscv_sweep_resume<Scalar>(xs_sorted, ys_sorted, hs, poly, pos, lo, count,
+                            std::span<Scalar>(m_q, moments),
+                            std::span<Scalar>(n_q, moments),
+                            std::forward<WriteResid>(write));
+}
+
 /// Halo bounds for n-block streaming (host-side; the data is sorted on the
 /// host before upload, so the slab a block needs is a binary search away —
 /// no device out-of-core sort).

@@ -24,6 +24,7 @@
 #include "core/kde.hpp"
 #include "core/kde_sweep.hpp"
 #include "core/kernels.hpp"
+#include "core/knn_sweep.hpp"
 #include "core/local_linear_cv.hpp"
 #include "core/loocv.hpp"
 #include "core/multi_device_selector.hpp"
@@ -31,6 +32,7 @@
 #include "core/multivariate_sweep.hpp"
 #include "core/nadaraya_watson.hpp"
 #include "core/optimizers.hpp"
+#include "core/oscv_sweep.hpp"
 #include "core/refine.hpp"
 #include "core/rule_of_thumb.hpp"
 #include "core/selectors.hpp"

@@ -88,6 +88,33 @@ std::string WindowSweepSelector::name() const {
          (parallel_ ? ",parallel" : "") + ")";
 }
 
+std::string_view to_string(EstimatorKind estimator) noexcept {
+  switch (estimator) {
+    case EstimatorKind::kNadarayaWatson:
+      return "nw";
+    case EstimatorKind::kKnn:
+      return "knn";
+    case EstimatorKind::kOscv:
+      return "oscv";
+  }
+  return "unknown";
+}
+
+EstimatorKind parse_estimator(std::string_view text) {
+  if (text == "nw") {
+    return EstimatorKind::kNadarayaWatson;
+  }
+  if (text == "knn") {
+    return EstimatorKind::kKnn;
+  }
+  if (text == "oscv") {
+    return EstimatorKind::kOscv;
+  }
+  throw std::invalid_argument("parse_estimator: unknown estimator '" +
+                              std::string(text) +
+                              "' (expected nw, knn, or oscv)");
+}
+
 std::string_view to_string(OptimizeMethod method) noexcept {
   switch (method) {
     case OptimizeMethod::kGoldenSection:

@@ -15,6 +15,24 @@
 
 namespace kreg {
 
+/// The regression estimators the selection engine serves (PR: the CLI and
+/// auto_regress became multi-estimator). kNadarayaWatson selects a
+/// bandwidth by LOOCV (the paper's workload); kKnn selects a neighbour
+/// count by fast k-NN LOOCV (core/knn_sweep.hpp); kOscv selects a
+/// bandwidth by one-sided CV with the Hart–Yi rescaling
+/// (core/oscv_sweep.hpp). All three run on the shared sorted-array +
+/// monotone-admission-window machinery.
+enum class EstimatorKind {
+  kNadarayaWatson,
+  kKnn,
+  kOscv,
+};
+std::string_view to_string(EstimatorKind estimator) noexcept;
+
+/// Parses "nw" / "knn" / "oscv" (the CLI's --estimator values). Throws
+/// std::invalid_argument on anything else, naming the valid spellings.
+EstimatorKind parse_estimator(std::string_view text);
+
 /// Common interface of every bandwidth selector. Grid-based selectors
 /// evaluate CV_lc at each grid value; optimizer-based selectors use the
 /// grid only for its [min, max] bracket. Implementations are const-callable

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -34,6 +35,40 @@ inline void validate_bandwidth_grid(std::span<const double> grid,
           std::string(context) + ": bandwidth grid must be " +
           (strict ? "strictly ascending" : "ascending"));
     }
+  }
+}
+
+/// The neighbor-count analogue for the k-NN window sweep: grids are integer
+/// neighbor counts, strictly increasing, with every value in [1, n − 1] —
+/// an observation has at most n − 1 leave-one-out neighbours, and k = 0
+/// would make the LOOCV mean undefined. Kept beside the bandwidth
+/// validator because the two grids share the same role (the ascending axis
+/// a monotone admission window sweeps along); only the element type and
+/// bounds differ.
+inline void validate_neighbor_grid(std::span<const std::size_t> grid,
+                                   std::size_t n, const char* context) {
+  if (grid.empty()) {
+    throw std::invalid_argument(std::string(context) +
+                                ": neighbor grid must be non-empty");
+  }
+  if (grid.front() == 0) {
+    throw std::invalid_argument(std::string(context) +
+                                ": neighbor counts must be >= 1");
+  }
+  for (std::size_t b = 1; b < grid.size(); ++b) {
+    if (grid[b] <= grid[b - 1]) {
+      throw std::invalid_argument(
+          std::string(context) +
+          ": neighbor grid must be strictly increasing");
+    }
+  }
+  if (n < 2 || grid.back() > n - 1) {
+    throw std::invalid_argument(
+        std::string(context) + ": neighbor count " +
+        std::to_string(grid.back()) + " exceeds the " +
+        std::to_string(n < 2 ? 0 : n - 1) +
+        " leave-one-out neighbours of an n = " + std::to_string(n) +
+        " dataset (need 1 <= k <= n - 1)");
   }
 }
 

@@ -76,6 +76,20 @@ double step_dgp_mean(double x) {
   return 0.75;
 }
 
+Dataset kink_dgp(std::size_t n, rng::Stream& stream, double noise_sd) {
+  Dataset d;
+  d.x.reserve(n);
+  d.y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = stream.uniform();
+    d.x.push_back(x);
+    d.y.push_back(kink_dgp_mean(x) + stream.gaussian(0.0, noise_sd));
+  }
+  return d;
+}
+
+double kink_dgp_mean(double x) { return 2.0 - 6.0 * std::abs(x - 0.5); }
+
 Dataset heteroskedastic_dgp(std::size_t n, rng::Stream& stream, double base_sd,
                             double slope_sd) {
   Dataset d;
@@ -109,6 +123,11 @@ const std::vector<NamedDgp>& all_dgps() {
       {"heteroskedastic",
        [](std::size_t n, rng::Stream& s) { return heteroskedastic_dgp(n, s); },
        heteroskedastic_dgp_mean},
+      // Appended after the original five: parameterized suites address the
+      // registry by index, so new DGPs keep existing indices stable.
+      {"kink",
+       [](std::size_t n, rng::Stream& s) { return kink_dgp(n, s); },
+       kink_dgp_mean},
   };
   return registry;
 }

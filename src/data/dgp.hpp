@@ -36,6 +36,14 @@ double doppler_dgp_mean(double x);
 Dataset step_dgp(std::size_t n, rng::Stream& stream, double noise_sd = 0.2);
 double step_dgp_mean(double x);
 
+/// Continuous but nondifferentiable "kink" mean — a tent at x = 0.5:
+/// m(x) = 2 − 6|x − 0.5|, Y = m(X) + N(0, sd), X ~ U(0,1). The textbook
+/// nonsmooth target for one-sided CV: ordinary LOOCV's selected bandwidth
+/// is dragged down by the kink, while OSCV degrades more gracefully
+/// (Hart & Yi's motivating case).
+Dataset kink_dgp(std::size_t n, rng::Stream& stream, double noise_sd = 0.3);
+double kink_dgp_mean(double x);
+
 /// Heteroskedastic variant of the paper DGP: noise sd grows linearly in x.
 Dataset heteroskedastic_dgp(std::size_t n, rng::Stream& stream,
                             double base_sd = 0.05, double slope_sd = 0.5);

@@ -113,8 +113,9 @@ TEST(AllDgps, GenerateValidDataAndFiniteMeans) {
 
 TEST(AllDgps, RegistryHasExpectedEntries) {
   const auto& dgps = kreg::data::all_dgps();
-  ASSERT_EQ(dgps.size(), 5u);
+  ASSERT_EQ(dgps.size(), 6u);
   EXPECT_EQ(dgps[0].name, "paper");
+  EXPECT_EQ(dgps[5].name, "kink");
 }
 
 TEST(SineDgp, NoiseAveragesOut) {

@@ -1,8 +1,13 @@
 // Tests for the bandwidth grid: paper defaults, spacing, validation, the
-// device constant-memory cap, and zooming.
+// device constant-memory cap, and zooming — plus the shared grid
+// validators every sweep front door calls (validate_bandwidth_grid and its
+// neighbor-count analogue for the k-NN sweep).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/grid.hpp"
+#include "core/validate_grid.hpp"
 #include "data/dgp.hpp"
 #include "rng/stream.hpp"
 
@@ -86,6 +91,82 @@ TEST(BandwidthGrid, RejectsDegenerateSpacing) {
   EXPECT_THROW(BandwidthGrid(1.0, 1.0 + 1e-13, 1000), std::invalid_argument);
   // A single-value grid over the same degenerate range is fine: {max}.
   EXPECT_NO_THROW(BandwidthGrid(1.0, 1.0 + 1e-13, 1));
+}
+
+TEST(ValidateBandwidthGrid, AcceptsAscendingPositive) {
+  const std::vector<double> strict = {0.1, 0.2, 0.5};
+  EXPECT_NO_THROW(kreg::validate_bandwidth_grid(strict, "test"));
+  // Non-strict mode (the multivariate ray's scale multipliers) tolerates
+  // duplicates; strict mode rejects them.
+  const std::vector<double> ties = {0.1, 0.1, 0.5};
+  EXPECT_NO_THROW(
+      kreg::validate_bandwidth_grid(ties, "test", /*strict=*/false));
+  EXPECT_THROW(kreg::validate_bandwidth_grid(ties, "test"),
+               std::invalid_argument);
+}
+
+TEST(ValidateBandwidthGrid, RejectsEmptyNonPositiveAndDescending) {
+  EXPECT_THROW(kreg::validate_bandwidth_grid({}, "test"),
+               std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.5};
+  EXPECT_THROW(kreg::validate_bandwidth_grid(zero, "test"),
+               std::invalid_argument);
+  const std::vector<double> negative = {-0.2, 0.5};
+  EXPECT_THROW(kreg::validate_bandwidth_grid(negative, "test"),
+               std::invalid_argument);
+  const std::vector<double> descending = {0.5, 0.2};
+  EXPECT_THROW(kreg::validate_bandwidth_grid(descending, "test"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      kreg::validate_bandwidth_grid(descending, "test", /*strict=*/false),
+      std::invalid_argument);
+}
+
+TEST(ValidateBandwidthGrid, ErrorCarriesContext) {
+  try {
+    kreg::validate_bandwidth_grid({}, "window_cv_profile");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("window_cv_profile"),
+              std::string::npos);
+  }
+}
+
+TEST(ValidateNeighborGrid, AcceptsFullRange) {
+  const std::vector<std::size_t> grid = {1, 2, 5, 9};
+  EXPECT_NO_THROW(kreg::validate_neighbor_grid(grid, 10, "test"));
+  // The extremes: a single k = 1, and k = n - 1 exactly.
+  const std::vector<std::size_t> one = {1};
+  EXPECT_NO_THROW(kreg::validate_neighbor_grid(one, 2, "test"));
+  const std::vector<std::size_t> edge = {9};
+  EXPECT_NO_THROW(kreg::validate_neighbor_grid(edge, 10, "test"));
+}
+
+TEST(ValidateNeighborGrid, RejectsEmptyZeroAndNonIncreasing) {
+  EXPECT_THROW(kreg::validate_neighbor_grid({}, 10, "test"),
+               std::invalid_argument);
+  const std::vector<std::size_t> zero = {0, 3};
+  EXPECT_THROW(kreg::validate_neighbor_grid(zero, 10, "test"),
+               std::invalid_argument);
+  const std::vector<std::size_t> ties = {2, 2};
+  EXPECT_THROW(kreg::validate_neighbor_grid(ties, 10, "test"),
+               std::invalid_argument);
+  const std::vector<std::size_t> descending = {5, 3};
+  EXPECT_THROW(kreg::validate_neighbor_grid(descending, 10, "test"),
+               std::invalid_argument);
+}
+
+TEST(ValidateNeighborGrid, RejectsCountsBeyondLeaveOneOut) {
+  // k = n has no leave-one-out meaning: only n - 1 neighbours exist.
+  const std::vector<std::size_t> full = {10};
+  EXPECT_THROW(kreg::validate_neighbor_grid(full, 10, "test"),
+               std::invalid_argument);
+  // n < 2 leaves no neighbours at all, whatever the grid says.
+  const std::vector<std::size_t> one = {1};
+  EXPECT_THROW(kreg::validate_neighbor_grid(one, 1, "test"),
+               std::invalid_argument);
+  EXPECT_THROW(kreg::validate_neighbor_grid(one, 0, "test"),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -20,7 +20,10 @@
 #include <string>
 
 #include "core/grid.hpp"
+#include "core/knn_sweep.hpp"
+#include "core/loocv.hpp"
 #include "core/multi_device_selector.hpp"
+#include "core/oscv_sweep.hpp"
 #include "core/spmd_kde.hpp"
 #include "core/spmd_selector.hpp"
 #include "core/window_sweep.hpp"
@@ -225,6 +228,98 @@ TEST(StreamingFuzz, KdeStreamedResidentAgree) {
     Device dev;
     expect_bitwise(SpmdKdeSelector(dev, cfg).select(xs, grid), resident,
                    "kde streamed-vs-resident");
+  }
+}
+
+// Estimator-family fuzz: each iteration draws an estimator — NW LOOCV,
+// k-NN fast LOOCV, or OSCV — with a random grid, precision, and k-block
+// plan, then demands the family's own agreement contract: fast-vs-naive
+// bitwise for k-NN and OSCV (their per-(i, grid-entry) terms accumulate in
+// an identical order everywhere), streamed-vs-resident bitwise on the
+// device, and tolerance agreement for NW against the direct objective
+// (whose summation order legitimately differs).
+TEST(StreamingFuzz, EstimatorFamiliesAgreeAcrossBackends) {
+  Stream s(0x0e571fa7ULL);
+  const std::size_t iters = fuzz_iterations(9);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::size_t estimator = draw(s, 0, 2);
+    const std::size_t n = draw(s, 8, 250);
+    const Precision precision =
+        s.uniform() < 0.5 ? Precision::kFloat : Precision::kDouble;
+    const std::size_t k_block = draw(s, 1, 12);
+    Stream data_stream(s.uniform() * 1e9);
+    const Dataset data = kreg::data::paper_dgp(n, data_stream);
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " estimator=" +
+                 (estimator == 0   ? "nw"
+                  : estimator == 1 ? "knn"
+                                   : "oscv") +
+                 " n=" + std::to_string(n) + " k_block=" +
+                 std::to_string(k_block) + " precision=" +
+                 (precision == Precision::kFloat ? "float" : "double"));
+    Device dev;
+
+    if (estimator == 0) {
+      const std::size_t k = draw(s, 1, 24);
+      const BandwidthGrid grid = BandwidthGrid::default_for(data, k);
+      const std::vector<double> fast = kreg::window_cv_profile(
+          data, grid.values(), KernelType::kEpanechnikov, precision);
+      const double tol = precision == Precision::kFloat ? 1e-3 : 1e-9;
+      for (std::size_t b = 0; b < grid.size(); ++b) {
+        const double direct = kreg::cv_score(data, grid[b]);
+        EXPECT_NEAR(fast[b], direct, tol * std::max(1.0, std::abs(direct)))
+            << "b=" << b;
+      }
+      continue;
+    }
+
+    if (estimator == 1) {
+      // Random strictly increasing neighbour grid within [1, n - 1].
+      std::vector<std::size_t> kgrid;
+      const std::size_t entries = draw(s, 1, 10);
+      std::size_t kv = 0;
+      for (std::size_t e = 0; e < entries && kv < n - 1; ++e) {
+        kv += draw(s, 1, std::max<std::size_t>(1, (n - 1) / entries));
+        kgrid.push_back(std::min(kv, n - 1));
+      }
+      const std::vector<double> fast =
+          kreg::knn_cv_profile(data, kgrid, precision);
+      const std::vector<double> naive =
+          kreg::knn_cv_profile_naive(data, kgrid, precision);
+      ASSERT_EQ(fast.size(), naive.size());
+      for (std::size_t b = 0; b < naive.size(); ++b) {
+        EXPECT_DOUBLE_EQ(fast[b], naive[b]) << "knn fast-vs-naive b=" << b;
+      }
+      kreg::KnnDeviceConfig cfg;
+      cfg.precision = precision;
+      cfg.stream.k_block = k_block;
+      const std::vector<double> streamed =
+          kreg::knn_cv_profile_device(dev, data, kgrid, cfg);
+      for (std::size_t b = 0; b < naive.size(); ++b) {
+        EXPECT_DOUBLE_EQ(streamed[b], naive[b]) << "knn streamed b=" << b;
+      }
+      continue;
+    }
+
+    const KernelType kernel =
+        s.uniform() < 0.5 ? KernelType::kEpanechnikov : KernelType::kUniform;
+    const std::size_t k = draw(s, 1, 20);
+    const BandwidthGrid grid = BandwidthGrid::default_for(data, k);
+    const std::vector<double> fast =
+        kreg::oscv_profile(data, grid.values(), kernel, precision);
+    const std::vector<double> naive =
+        kreg::oscv_profile_naive(data, grid.values(), kernel, precision);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t b = 0; b < naive.size(); ++b) {
+      EXPECT_DOUBLE_EQ(fast[b], naive[b]) << "oscv fast-vs-naive b=" << b;
+    }
+    kreg::OscvDeviceConfig cfg;
+    cfg.precision = precision;
+    cfg.stream.k_block = k_block;
+    const std::vector<double> streamed =
+        kreg::oscv_profile_device(dev, data, grid.values(), kernel, cfg);
+    for (std::size_t b = 0; b < naive.size(); ++b) {
+      EXPECT_DOUBLE_EQ(streamed[b], naive[b]) << "oscv streamed b=" << b;
+    }
   }
 }
 
