@@ -1,0 +1,135 @@
+// Bench panel for the two non-bandwidth workloads on the shared window
+// machinery: k-NN fast LOOCV (grid axis = neighbour count) and one-sided
+// CV (asymmetric admission window). For each (n, grid size) cell the fast
+// sequential sweep and the device sweep are timed against the naive
+// O(n²·|grid|) reference — the same fast-vs-naive axis Table II charts for
+// the bandwidth sweep — and the per-cell speedups land in
+// BENCH_knn_oscv.json in the working directory.
+//
+//   KREG_BENCH_FULL=1   adds the n = 10,000 row (default stops at 4,000)
+//   KREG_BENCH_REPS=N   timing repetitions per cell (median)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/grid.hpp"
+#include "core/knn_sweep.hpp"
+#include "core/oscv_sweep.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+struct Cell {
+  const char* workload;  // "knn" | "oscv"
+  const char* backend;   // "naive" | "fast" | "device"
+  std::size_t n;
+  std::size_t grid;
+  double seconds;
+  double speedup;  // vs naive at the same (workload, n, grid)
+};
+
+void write_json(const std::vector<Cell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"knn_oscv\",\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"backend\": \"%s\", "
+                 "\"n\": %zu, \"grid\": %zu, \"seconds\": %.6e, "
+                 "\"speedup_vs_naive\": %.3f}%s\n",
+                 c.workload, c.backend, c.n, c.grid, c.seconds, c.speedup,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n", path, cells.size());
+}
+
+}  // namespace
+
+int main() {
+  using kreg::bench::Table;
+  const std::size_t reps = kreg::bench::repetitions();
+  kreg::rng::Stream stream(7171);
+  std::vector<Cell> cells;
+
+  std::vector<std::size_t> sizes = {1000, 4000};
+  if (kreg::bench::full_mode()) {
+    sizes.push_back(10000);
+  }
+  const std::size_t grid_sizes[] = {8, 32};
+
+  for (const std::size_t n : sizes) {
+    const kreg::data::Dataset data = kreg::data::paper_dgp(n, stream);
+    for (const std::size_t g : grid_sizes) {
+      // ---- k-NN LOOCV ----------------------------------------------------
+      const std::vector<std::size_t> kgrid =
+          kreg::default_neighbor_grid(n, g);
+      const double knn_naive = kreg::bench::time_median(
+          [&] { (void)kreg::knn_cv_profile_naive(data, kgrid); }, reps);
+      const double knn_fast = kreg::bench::time_median(
+          [&] { (void)kreg::knn_cv_profile(data, kgrid); }, reps);
+      kreg::spmd::Device knn_dev;
+      const double knn_device = kreg::bench::time_median(
+          [&] { (void)kreg::knn_cv_profile_device(knn_dev, data, kgrid); },
+          reps);
+      cells.push_back({"knn", "naive", n, kgrid.size(), knn_naive, 1.0});
+      cells.push_back(
+          {"knn", "fast", n, kgrid.size(), knn_fast, knn_naive / knn_fast});
+      cells.push_back({"knn", "device", n, kgrid.size(), knn_device,
+                       knn_naive / knn_device});
+
+      // ---- OSCV ----------------------------------------------------------
+      const kreg::BandwidthGrid bgrid =
+          kreg::BandwidthGrid::default_for(data, g);
+      const kreg::KernelType kernel = kreg::KernelType::kEpanechnikov;
+      const double oscv_naive = kreg::bench::time_median(
+          [&] {
+            (void)kreg::oscv_profile_naive(data, bgrid.values(), kernel);
+          },
+          reps);
+      const double oscv_fast = kreg::bench::time_median(
+          [&] { (void)kreg::oscv_profile(data, bgrid.values(), kernel); },
+          reps);
+      kreg::spmd::Device oscv_dev;
+      const double oscv_device = kreg::bench::time_median(
+          [&] {
+            (void)kreg::oscv_profile_device(oscv_dev, data, bgrid.values(),
+                                            kernel);
+          },
+          reps);
+      cells.push_back({"oscv", "naive", n, bgrid.size(), oscv_naive, 1.0});
+      cells.push_back({"oscv", "fast", n, bgrid.size(), oscv_fast,
+                       oscv_naive / oscv_fast});
+      cells.push_back({"oscv", "device", n, bgrid.size(), oscv_device,
+                       oscv_naive / oscv_device});
+
+      kreg::bench::banner("KNN + OSCV — n = " + std::to_string(n) +
+                          ", grid = " + std::to_string(g));
+      Table table({"workload", "naive (s)", "fast (s)", "device (s)",
+                   "fast speedup", "device speedup"},
+                  14);
+      table.add_row({"knn", Table::fmt_seconds(knn_naive),
+                     Table::fmt_seconds(knn_fast),
+                     Table::fmt_seconds(knn_device),
+                     Table::fmt_double(knn_naive / knn_fast, 1) + "x",
+                     Table::fmt_double(knn_naive / knn_device, 1) + "x"});
+      table.add_row({"oscv", Table::fmt_seconds(oscv_naive),
+                     Table::fmt_seconds(oscv_fast),
+                     Table::fmt_seconds(oscv_device),
+                     Table::fmt_double(oscv_naive / oscv_fast, 1) + "x",
+                     Table::fmt_double(oscv_naive / oscv_device, 1) + "x"});
+      table.print();
+    }
+  }
+
+  write_json(cells, "BENCH_knn_oscv.json");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Lint: no FMA contraction hazards under src/core/.
+#
+# The whole test suite pins BITWISE parity between backends of one sweep
+# (resident vs streamed vs batched vs scalar), and the build enforces it
+# with -ffp-contract=off (DESIGN.md §12): FMA contraction is chosen per
+# call site under -ffp-contract=fast, so two inline expansions of the same
+# kernel body could round differently. That guarantee dies silently if
+# core code reintroduces contraction by hand — an explicit std::fma, a
+# local `#pragma STDC FP_CONTRACT`, or a per-target -ffp-contract=fast —
+# so this script fails CI when any of those appear under src/core/.
+#
+# Usage: scripts/check_fp_contract.sh [repo-root]
+set -eu
+
+root="${1:-.}"
+core="$root/src/core"
+if [ ! -d "$core" ]; then
+  echo "check_fp_contract: '$core' is not a directory" >&2
+  exit 2
+fi
+
+status=0
+# \b keeps std::fmax/fmaf out; comment-only mentions (lines starting with
+# // or *) are allowed — the guard macro KREG_FP_CONTRACT_OFF documents
+# the policy and must not trip the lint that enforces it.
+for pattern in 'std::fma\b' '#[[:space:]]*pragma[[:space:]]+STDC[[:space:]]+FP_CONTRACT' \
+               '\-ffp-contract=fast'; do
+  # -r over the tree; -n so a finding is actionable; -I skips binaries.
+  if matches=$(grep -rnIE -- "$pattern" "$core" 2>/dev/null |
+               grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|\*)'); then
+    echo "check_fp_contract: forbidden pattern '$pattern' under src/core/:" >&2
+    echo "$matches" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_fp_contract: OK — src/core/ is contraction-free"
+fi
+exit "$status"

@@ -60,6 +60,16 @@ std::size_t Device::check_leaks() {
   return sanitizer_ ? sanitizer_->leak_check(/*may_throw=*/true) : 0;
 }
 
+void Device::enable_interceptor(
+    std::shared_ptr<verify::LaunchInterceptor> hook) {
+  if (!sanitizer_) {
+    throw LaunchConfigError(
+        "enable_interceptor: the verifier records through the sanitizer's "
+        "shadows — call enable_sanitizer first");
+  }
+  interceptor_ = std::move(hook);
+}
+
 void Device::charge(const std::shared_ptr<detail::MemoryLedger>& ledger,
                     std::size_t bytes) {
   if (bytes > ledger->available()) {

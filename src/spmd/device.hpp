@@ -17,6 +17,7 @@
 #include "spmd/errors.hpp"
 #include "spmd/sanitizer/report.hpp"
 #include "spmd/sanitizer/shadow.hpp"
+#include "spmd/verify/interceptor.hpp"
 
 namespace kreg::spmd {
 
@@ -229,6 +230,15 @@ class Device {
   /// the first) and returns how many are live. No-op without a sanitizer.
   std::size_t check_leaks();
 
+  /// ---- Verifier ----------------------------------------------------------
+
+  /// Installs a launch interceptor (the static verifier's entry point):
+  /// every later launch is offered to it first, and skipped here when the
+  /// interceptor executed it itself. Requires the sanitizer — the verifier
+  /// records through its shadows — and throws LaunchConfigError otherwise.
+  void enable_interceptor(std::shared_ptr<verify::LaunchInterceptor> hook);
+  bool interceptor_enabled() const noexcept { return interceptor_ != nullptr; }
+
   /// ---- Global memory ----------------------------------------------------
 
   /// Allocates `count` zero-initialized elements of global memory. Throws
@@ -321,6 +331,13 @@ class Device {
     stats_.blocks_executed += cfg.grid_blocks;
     stats_.threads_executed += cfg.total_threads();
     detail::KernelScope scope(sanitizer_.get(), name);
+    if (interceptor_ != nullptr) {
+      const std::function<void(const ThreadCtx&)> thread_fn =
+          [&kernel](const ThreadCtx& t) { kernel(t); };
+      if (interceptor_->on_launch(name, cfg, thread_fn)) {
+        return;
+      }
+    }
     parallel::parallel_for(
         cfg.grid_blocks,
         [&](std::size_t block) {
@@ -362,6 +379,13 @@ class Device {
         (cfg.threads_per_block + lane_width - 1) / lane_width;
     stats_.lane_dispatches += per_block * cfg.grid_blocks;
     detail::KernelScope scope(sanitizer_.get(), name);
+    if (interceptor_ != nullptr) {
+      const std::function<void(const LaneCtx&)> dispatch_fn =
+          [&kernel](const LaneCtx& d) { kernel(d); };
+      if (interceptor_->on_launch_lanes(name, cfg, lane_width, dispatch_fn)) {
+        return;
+      }
+    }
     parallel::parallel_for(
         cfg.grid_blocks,
         [&](std::size_t block) {
@@ -396,6 +420,15 @@ class Device {
     stats_.blocks_executed += cfg.grid_blocks;
     stats_.threads_executed += cfg.total_threads();
     detail::KernelScope scope(sanitizer_.get(), name);
+    if (interceptor_ != nullptr) {
+      const std::function<void(BlockCtx&)> body_fn = [&body](BlockCtx& ctx) {
+        body(ctx);
+      };
+      if (interceptor_->on_launch_cooperative(name, cfg, shared_bytes,
+                                              body_fn)) {
+        return;
+      }
+    }
     detail::SanitizerState* state = sanitizer_.get();
     parallel::parallel_for(
         cfg.grid_blocks,
@@ -431,6 +464,7 @@ class Device {
   std::shared_ptr<detail::MemoryLedger> global_;
   std::shared_ptr<detail::MemoryLedger> constant_;
   std::shared_ptr<detail::SanitizerState> sanitizer_;
+  std::shared_ptr<verify::LaunchInterceptor> interceptor_;
   LaunchStats stats_;
 };
 

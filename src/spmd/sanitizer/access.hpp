@@ -35,7 +35,7 @@ class MemRef {
   MemRef& operator=(const value_type& v) {
     *ptr_ = v;
     if (shadow_ != nullptr) {
-      shadow_->mark_valid(elem_);
+      shadow_->note_write(elem_);
     }
     return *this;
   }
@@ -49,7 +49,7 @@ class MemRef {
     }
     *ptr_ += v;
     if (shadow_ != nullptr) {
-      shadow_->mark_valid(elem_);
+      shadow_->note_write(elem_);
     }
     return *this;
   }

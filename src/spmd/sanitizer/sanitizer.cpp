@@ -78,6 +78,9 @@ std::vector<SanitizerReport> CountingSink::reports() const {
 namespace detail {
 
 void AllocShadow::check_read(std::size_t elem) {
+  if (AccessRecorder* recorder = state_->recorder()) {
+    recorder->on_global_read(*this, elem);
+  }
   if (is_valid(elem)) {
     return;
   }

@@ -14,6 +14,41 @@
 namespace kreg::spmd::detail {
 
 class SanitizerState;
+class AllocShadow;
+
+/// Tap interface for the static verifier (src/spmd/verify/): when a
+/// recorder is installed on a device's SanitizerState, every instrumented
+/// global access (MemRef through a checked MemView) and every shared access
+/// and barrier-phase event (SharedRef through a recorder-attached
+/// SharedShadow) is forwarded to it before the normal sanitizer processing.
+///
+/// The verifier drives launches serially, so implementations are called
+/// from one thread at a time; they must still cheaply ignore calls made
+/// while no launch is being traced (host-side copy_to_host reads, or
+/// launches the verifier declined to intercept and the device runs on the
+/// pool).
+class AccessRecorder {
+ public:
+  virtual ~AccessRecorder() = default;
+
+  /// A device-side read of `elem` of a checked global allocation.
+  virtual void on_global_read(const AllocShadow& shadow, std::size_t elem) = 0;
+  /// A device-side write of `elem` of a checked global allocation.
+  virtual void on_global_write(const AllocShadow& shadow, std::size_t elem) = 0;
+  /// A shared-memory access of `size` bytes at `byte` by `tid` (kNone-like
+  /// sentinel outside phases) in `phase` of `block`.
+  virtual void on_shared_access(std::size_t block, std::size_t byte,
+                                std::size_t size, bool is_write, bool in_phase,
+                                std::size_t phase, std::size_t tid) = 0;
+  /// A for_each_thread phase opens in `block`. `nested` is true when the
+  /// enclosing block body was already inside a phase — i.e. a barrier
+  /// guarded by per-thread control flow (`tid` is the thread running it),
+  /// which is the barrier-divergence hazard.
+  virtual void on_phase_begin(std::size_t block, bool nested,
+                              std::size_t tid) = 0;
+  virtual void on_phase_end(std::size_t block) = 0;
+  virtual void on_set_tid(std::size_t block, std::size_t tid) = 0;
+};
 
 /// Valid-bit shadow of one global (or constant) allocation: one byte per
 /// element, set on the first write that reaches it (device-side store
@@ -70,8 +105,13 @@ class AllocShadow {
 
   /// initcheck hook for a device-side read of element `elem`. To keep
   /// non-throwing sinks from flooding, only the first uninitialized read of
-  /// each allocation is reported.
+  /// each allocation is reported. Forwards to an installed AccessRecorder
+  /// first, so the verifier sees reads of still-uninitialized elements too.
   void check_read(std::size_t elem);
+
+  /// Write hook: forwards the access to an installed AccessRecorder, then
+  /// marks the element written. MemRef routes every device-side store here.
+  void note_write(std::size_t elem);
 
   /// memcheck hook: index `i` is outside [0, bound). Reports and, when the
   /// sink returns (log-and-count mode), throws LaunchConfigError anyway —
@@ -184,6 +224,16 @@ class SanitizerState : public std::enable_shared_from_this<SanitizerState> {
            leaks_detected();
   }
 
+  /// Installs (or clears, with nullptr) the verifier's access tap. Must be
+  /// called while no launch is in flight; the recorder is read on every
+  /// instrumented access.
+  void set_recorder(AccessRecorder* recorder) noexcept {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+  AccessRecorder* recorder() const noexcept {
+    return recorder_.load(std::memory_order_acquire);
+  }
+
   void set_current_kernel(const char* name) noexcept {
     current_kernel_.store(name, std::memory_order_relaxed);
   }
@@ -208,7 +258,15 @@ class SanitizerState : public std::enable_shared_from_this<SanitizerState> {
   std::size_t next_id_ = 1;
   std::atomic<std::size_t> counts_[4] = {};
   std::atomic<const char*> current_kernel_{nullptr};
+  std::atomic<AccessRecorder*> recorder_{nullptr};
 };
+
+inline void AllocShadow::note_write(std::size_t elem) {
+  if (AccessRecorder* recorder = state_->recorder()) {
+    recorder->on_global_write(*this, elem);
+  }
+  mark_valid(elem);
+}
 
 /// RAII setter for SanitizerState::current_kernel across a launch.
 class KernelScope {
@@ -256,19 +314,40 @@ class SharedShadow {
   std::size_t phase() const noexcept { return phase_; }
   bool in_phase() const noexcept { return in_phase_; }
 
+  /// Attaches the verifier's tap: every access and phase event of this
+  /// block is forwarded before the normal racecheck processing.
+  void set_recorder(AccessRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   void begin_phase() noexcept {
+    if (recorder_ != nullptr) {
+      recorder_->on_phase_begin(block_, in_phase_, tid_);
+    }
     ++epoch_;
     phase_ = phases_run_++;
     in_phase_ = true;
   }
-  void end_phase() noexcept { in_phase_ = false; }
+  void end_phase() noexcept {
+    in_phase_ = false;
+    if (recorder_ != nullptr) {
+      recorder_->on_phase_end(block_);
+    }
+  }
   void set_tid(std::size_t tid) noexcept {
     tid_ = static_cast<std::uint16_t>(tid);
+    if (recorder_ != nullptr) {
+      recorder_->on_set_tid(block_, tid);
+    }
   }
 
   /// Records one access of `size` bytes at `offset` by the current tid.
   /// Reports at most one hazard per access (the first offending byte).
   void record(std::size_t offset, std::size_t size, bool is_write) {
+    if (recorder_ != nullptr) {
+      recorder_->on_shared_access(block_, offset, size, is_write, in_phase_,
+                                  phase_, tid_);
+    }
     if (!in_phase_) {
       return;  // block prologue/epilogue code: barrier-ordered, no hazards
     }
@@ -354,6 +433,7 @@ class SharedShadow {
   SanitizerState* state_;
   const char* kernel_;
   std::size_t block_;
+  AccessRecorder* recorder_ = nullptr;
   std::vector<Cell> cells_;
   std::uint32_t epoch_ = 0;
   std::size_t phase_ = 0;

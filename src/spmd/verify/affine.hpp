@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace kreg::spmd::verify {
+
+/// Executor-id domain: the set {d : lo ≤ d ≤ hi, d ≡ offset (mod step)}.
+///
+/// This is exactly the shape thread-activity guards take in the window
+/// sweep's kernels — a prefix guard `gid < n` gives a step-1 interval, a
+/// tree-reduction guard `t < stride` a shrinking prefix, the interleaved
+/// Harris schedule `t % (2·stride) == 0` a congruence class — so a
+/// launch's active executors canonicalize into one Domain per shape group
+/// or the launch is reported unproven.
+struct Domain {
+  long long lo = 0;
+  long long hi = -1;  ///< inclusive; empty when lo > hi
+  long long step = 1;
+  long long offset = 0;  ///< lo ≡ offset (mod step) always holds
+
+  bool empty() const noexcept { return lo > hi; }
+  long long count() const noexcept {
+    return empty() ? 0 : (hi - lo) / step + 1;
+  }
+  bool contains(long long d) const noexcept {
+    return d >= lo && d <= hi && (d - lo) % step == 0;
+  }
+};
+
+/// Canonicalizes a sorted, duplicate-free id list into a Domain, or
+/// nullopt when the ids are not an arithmetic progression.
+std::optional<Domain> domain_from_ids(const std::vector<long long>& ids);
+
+/// A maximal arithmetic progression of addresses: base + stride·i for
+/// i ∈ [0, count). count == 1 canonicalizes to stride 0.
+struct Ap {
+  long long base = 0;
+  long long stride = 0;
+  long long count = 1;
+};
+
+/// Greedy decomposition of a sorted, duplicate-free address set into
+/// maximal constant-difference runs. Deterministic and translation-
+/// equivariant: translated sets decompose into identically-shaped AP
+/// lists, which is what lets per-executor sets be fitted across executors.
+std::vector<Ap> decompose_aps(const std::vector<long long>& sorted_unique);
+
+/// One access family: the addresses
+///   [slope·d + base + stride·i, slope·d + base + stride·i + width)
+/// for every executor d in `dom` and i ∈ [0, count) — the affine
+/// abstraction of what one shape group of executors does to one object.
+/// `width` is 1 for global families (element-granular) and the access size
+/// in bytes for shared-memory families.
+struct Family {
+  std::uint64_t space = 0;  ///< object key (allocation id / shared arena)
+  bool write = false;
+  long long slope = 0;
+  long long base = 0;
+  long long stride = 0;
+  long long count = 1;
+  long long width = 1;
+  Domain dom;
+};
+
+/// A concrete witness produced by the disjointness prover: executors d1
+/// and d2 whose accesses starting at addr1 and addr2 overlap.
+struct Collision {
+  long long d1 = 0;
+  long long d2 = 0;
+  long long addr1 = 0;
+  long long addr2 = 0;
+};
+
+/// Outcome of one family-pair query.
+struct SolveResult {
+  enum Kind { kDisjoint, kCollision, kInconclusive } kind = kDisjoint;
+  Collision witness;  ///< valid when kind == kCollision
+};
+
+/// Decides whether families `a` and `b` can touch overlapping addresses
+/// from two (with `need_distinct`, distinct) executors: solves the
+/// two-variable linear Diophantine system
+///   slope_a·d1 + base_a + stride_a·i  ≈  slope_b·d2 + base_b + stride_b·j
+/// (≈ meaning interval overlap of the access widths) with d1 ∈ dom_a,
+/// d2 ∈ dom_b via extended-GCD reasoning, enumerating the bounded (i, j)
+/// offsets. Exact: kCollision comes with a concrete witness pair and
+/// kDisjoint is a proof over the whole domains. Returns kInconclusive when
+/// the (i, j, width) product exceeds `pair_cap`.
+SolveResult find_collision(const Family& a, const Family& b,
+                           bool need_distinct, std::size_t pair_cap);
+
+}  // namespace kreg::spmd::verify

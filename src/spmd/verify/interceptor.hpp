@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace kreg::spmd {
+
+struct LaunchConfig;
+struct ThreadCtx;
+struct LaneCtx;
+class BlockCtx;
+
+namespace verify {
+
+/// Launch interception hook for the static verifier.
+///
+/// Device's launch templates offer every named launch to an installed
+/// interceptor before running it on the thread pool. The interceptor may
+/// execute the launch itself — the verifier runs it serially, one executor
+/// at a time, with the AccessRecorder tap collecting every instrumented
+/// access; a serial execution is a legal schedule of the simulator's
+/// relaxed intra-phase ordering, so the results stand. Returning true
+/// means "executed, skip the normal parallel run"; returning false leaves
+/// the launch to the device (the verifier does this for launches too large
+/// to trace exhaustively, after filing an `unproven` report).
+///
+/// The callbacks type-erase the kernel functor so this hook can live
+/// behind a virtual interface while Device's launches stay templates.
+class LaunchInterceptor {
+ public:
+  virtual ~LaunchInterceptor() = default;
+
+  /// Device::launch — `thread` runs the kernel body for one ThreadCtx.
+  virtual bool on_launch(const char* name, const LaunchConfig& cfg,
+                         const std::function<void(const ThreadCtx&)>& thread) = 0;
+  /// Device::launch_lanes — `dispatch` runs the kernel body for one LaneCtx.
+  virtual bool on_launch_lanes(
+      const char* name, const LaunchConfig& cfg, std::size_t lane_width,
+      const std::function<void(const LaneCtx&)>& dispatch) = 0;
+  /// Device::launch_cooperative — `body` runs the block body for a BlockCtx
+  /// the interceptor constructs (with its own recorder-attached
+  /// SharedShadow).
+  virtual bool on_launch_cooperative(
+      const char* name, const LaunchConfig& cfg, std::size_t shared_bytes,
+      const std::function<void(BlockCtx&)>& body) = 0;
+};
+
+}  // namespace verify
+}  // namespace kreg::spmd

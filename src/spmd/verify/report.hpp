@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kreg::spmd::verify {
+
+/// Three-valued verification verdict for one launch.
+enum class VerifyStatus {
+  kVerified,  ///< race-free and barrier-uniform: proven over all thread pairs
+  kHazard,    ///< a concrete witness pair collides (or a divergent barrier)
+  kUnproven,  ///< outside the affine abstraction — the dynamic sanitizer
+              ///< (racecheck/memcheck) remains the coverage for this launch
+};
+
+const char* to_string(VerifyStatus status) noexcept;
+
+/// What kind of hazard a witness demonstrates.
+enum class HazardClass {
+  kWriteWrite,
+  kReadWrite,
+  kBarrierDivergence,
+};
+
+const char* to_string(HazardClass hazard) noexcept;
+
+/// A concrete two-executor witness: the pair of thread/dispatch/tid
+/// identities whose accesses collide (or the tid that reached a divergent
+/// barrier and one that did not).
+struct Witness {
+  HazardClass hazard = HazardClass::kWriteWrite;
+  std::string object;        ///< allocation label, or "shared"
+  bool shared = false;       ///< shared-memory vs global hazard
+  long long block_a = -1;    ///< block of the first executor (-1: n/a)
+  long long block_b = -1;
+  long long exec_a = 0;      ///< gid / dispatch ordinal / tid of executor A
+  long long exec_b = 0;
+  long long phase = -1;      ///< cooperative phase index (-1 outside phases)
+  long long addr_a = 0;      ///< colliding element (global) or byte (shared)
+  long long addr_b = 0;
+  std::string detail;        ///< human-readable one-liner
+};
+
+/// Per-launch verification result.
+struct VerifyReport {
+  std::string kernel;
+  std::size_t grid_blocks = 0;
+  std::size_t threads_per_block = 0;
+  std::size_t lane_width = 0;   ///< 0 for scalar / cooperative launches
+  std::size_t shared_bytes = 0;
+  bool cooperative = false;
+
+  VerifyStatus status = VerifyStatus::kUnproven;
+  std::string reason;  ///< unproven reason / hazard summary, empty if verified
+  std::optional<Witness> witness;
+
+  std::size_t executors = 0;  ///< traced executors (threads/dispatches/…)
+  std::size_t accesses = 0;   ///< recorded instrumented accesses
+  std::size_t families = 0;   ///< affine access families proven disjoint
+  std::size_t phases = 0;     ///< barrier phases observed (cooperative)
+  /// Order-independent hash of the conflict-relevant access sets; the
+  /// runner compares fingerprints across datasets to detect data-dependent
+  /// addressing (which demotes verified to unproven).
+  std::uint64_t fingerprint = 0;
+
+  /// One-line human-readable summary, e.g.
+  ///   "cv_sweep <<<1,256>>>  verified  (families=3, executors=256)".
+  std::string summary() const;
+};
+
+}  // namespace kreg::spmd::verify

@@ -1,0 +1,725 @@
+#include "spmd/verify/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+
+namespace kreg::spmd::verify {
+
+const char* to_string(VerifyStatus status) noexcept {
+  switch (status) {
+    case VerifyStatus::kVerified:
+      return "verified";
+    case VerifyStatus::kHazard:
+      return "hazard";
+    case VerifyStatus::kUnproven:
+      return "unproven";
+  }
+  return "?";
+}
+
+const char* to_string(HazardClass hazard) noexcept {
+  switch (hazard) {
+    case HazardClass::kWriteWrite:
+      return "write-write race";
+    case HazardClass::kReadWrite:
+      return "read-write race";
+    case HazardClass::kBarrierDivergence:
+      return "barrier divergence";
+  }
+  return "?";
+}
+
+std::string VerifyReport::summary() const {
+  std::string line = kernel + " <<<" + std::to_string(grid_blocks) + "," +
+                     std::to_string(threads_per_block) + ">>>";
+  if (lane_width > 0) {
+    line += " lanes=" + std::to_string(lane_width);
+  }
+  if (cooperative) {
+    line += " shared=" + std::to_string(shared_bytes) + "B";
+  }
+  line += "  ";
+  line += to_string(status);
+  switch (status) {
+    case VerifyStatus::kVerified:
+      line += "  (families=" + std::to_string(families) +
+              ", executors=" + std::to_string(executors) +
+              ", accesses=" + std::to_string(accesses) + ")";
+      break;
+    case VerifyStatus::kHazard:
+    case VerifyStatus::kUnproven:
+      line += "  (" + reason + ")";
+      break;
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+
+VerifierState::VerifierState(Device& device, VerifyOptions opts)
+    : device_(&device), opts_(opts) {
+  detail::SanitizerState* state = device.sanitizer();
+  if (state == nullptr) {
+    throw LaunchConfigError(
+        "VerifierState: the device's sanitizer must be enabled — the "
+        "verifier records through its shadows");
+  }
+  state_ = state->shared_from_this();
+  state_->set_recorder(this);
+}
+
+VerifierState::~VerifierState() { state_->set_recorder(nullptr); }
+
+std::vector<VerifyReport> VerifierState::take_reports() {
+  std::vector<VerifyReport> out = std::move(reports_);
+  reports_.clear();
+  return out;
+}
+
+// ---- launch interception --------------------------------------------------
+
+void VerifierState::begin_launch(const char* name, const LaunchConfig& cfg,
+                                 std::size_t lane_width,
+                                 std::size_t shared_bytes, bool cooperative) {
+  current_ = VerifyReport{};
+  current_.kernel = name;
+  current_.grid_blocks = cfg.grid_blocks;
+  current_.threads_per_block = cfg.threads_per_block;
+  current_.lane_width = lane_width;
+  current_.shared_bytes = shared_bytes;
+  current_.cooperative = cooperative;
+  name_ = name;
+  coop_ = cooperative;
+  execs_.clear();
+  exec_index_.clear();
+  labels_.clear();
+  divergences_.clear();
+  cur_exec_ = 0;
+  cur_block_ = -1;
+  cur_phase_ = -1;
+  cur_tid_ = -1;
+  block_phases_ = 0;
+  in_phase_ = false;
+  active_ = true;
+}
+
+void VerifierState::clear_launch() {
+  active_ = false;
+  execs_.clear();
+  exec_index_.clear();
+  labels_.clear();
+  divergences_.clear();
+}
+
+void VerifierState::finish_launch() {
+  active_ = false;
+  reports_.push_back(analyze());
+  clear_launch();
+}
+
+void VerifierState::push_too_large(const char* name, const LaunchConfig& cfg,
+                                   std::size_t lane_width,
+                                   std::size_t shared_bytes, bool cooperative) {
+  VerifyReport r;
+  r.kernel = name;
+  r.grid_blocks = cfg.grid_blocks;
+  r.threads_per_block = cfg.threads_per_block;
+  r.lane_width = lane_width;
+  r.shared_bytes = shared_bytes;
+  r.cooperative = cooperative;
+  r.status = VerifyStatus::kUnproven;
+  r.reason = std::to_string(cfg.total_threads()) +
+             " threads exceed the exhaustive tracing cap of " +
+             std::to_string(opts_.exhaustive_cap) +
+             " — launch ran unverified; the dynamic sanitizer remains the "
+             "coverage";
+  reports_.push_back(std::move(r));
+}
+
+bool VerifierState::on_launch(
+    const char* name, const LaunchConfig& cfg,
+    const std::function<void(const ThreadCtx&)>& thread) {
+  if (active_) {
+    return false;  // re-entrant launch from a kernel body: leave it alone
+  }
+  if (cfg.total_threads() > opts_.exhaustive_cap) {
+    push_too_large(name, cfg, 0, 0, false);
+    return false;
+  }
+  begin_launch(name, cfg, 0, 0, false);
+  try {
+    ThreadCtx ctx;
+    ctx.block_dim = cfg.threads_per_block;
+    ctx.grid_dim = cfg.grid_blocks;
+    for (std::size_t block = 0; block < cfg.grid_blocks; ++block) {
+      ctx.block_idx = block;
+      for (std::size_t tid = 0; tid < cfg.threads_per_block; ++tid) {
+        ctx.thread_idx = tid;
+        Executor e;
+        e.var = static_cast<long long>(block * cfg.threads_per_block + tid);
+        e.block = static_cast<long long>(block);
+        cur_exec_ = execs_.size();
+        execs_.push_back(std::move(e));
+        thread(ctx);
+      }
+    }
+  } catch (...) {
+    clear_launch();
+    throw;
+  }
+  finish_launch();
+  return true;
+}
+
+bool VerifierState::on_launch_lanes(
+    const char* name, const LaunchConfig& cfg, std::size_t lane_width,
+    const std::function<void(const LaneCtx&)>& dispatch) {
+  if (active_) {
+    return false;
+  }
+  if (cfg.total_threads() > opts_.exhaustive_cap) {
+    push_too_large(name, cfg, lane_width, 0, false);
+    return false;
+  }
+  begin_launch(name, cfg, lane_width, 0, false);
+  try {
+    const std::size_t per_block =
+        (cfg.threads_per_block + lane_width - 1) / lane_width;
+    LaneCtx ctx;
+    ctx.block_dim = cfg.threads_per_block;
+    ctx.grid_dim = cfg.grid_blocks;
+    for (std::size_t block = 0; block < cfg.grid_blocks; ++block) {
+      ctx.block_idx = block;
+      std::size_t d = 0;
+      for (std::size_t base = 0; base < cfg.threads_per_block;
+           base += lane_width, ++d) {
+        ctx.base = base;
+        ctx.lanes = std::min(lane_width, cfg.threads_per_block - base);
+        Executor e;
+        e.var = static_cast<long long>(block * per_block + d);
+        e.block = static_cast<long long>(block);
+        cur_exec_ = execs_.size();
+        execs_.push_back(std::move(e));
+        dispatch(ctx);
+      }
+    }
+  } catch (...) {
+    clear_launch();
+    throw;
+  }
+  finish_launch();
+  return true;
+}
+
+bool VerifierState::on_launch_cooperative(
+    const char* name, const LaunchConfig& cfg, std::size_t shared_bytes,
+    const std::function<void(BlockCtx&)>& body) {
+  if (active_) {
+    return false;
+  }
+  if (cfg.total_threads() > opts_.exhaustive_cap) {
+    push_too_large(name, cfg, 0, shared_bytes, true);
+    return false;
+  }
+  begin_launch(name, cfg, 0, shared_bytes, true);
+  try {
+    for (std::size_t block = 0; block < cfg.grid_blocks; ++block) {
+      std::vector<std::byte> shared(shared_bytes);
+      detail::SharedShadow shadow(state_.get(), name_, block, shared_bytes);
+      shadow.set_recorder(this);
+      cur_block_ = static_cast<long long>(block);
+      block_phases_ = 0;
+      in_phase_ = false;
+      cur_tid_ = -1;
+      cur_exec_ = kCoopExec;
+      BlockCtx ctx(block, cfg.threads_per_block, cfg.grid_blocks,
+                   std::span<std::byte>(shared), &shadow);
+      body(ctx);
+      current_.phases = std::max(current_.phases,
+                                 static_cast<std::size_t>(block_phases_));
+    }
+  } catch (...) {
+    clear_launch();
+    throw;
+  }
+  finish_launch();
+  return true;
+}
+
+// ---- recording ------------------------------------------------------------
+
+std::size_t VerifierState::coop_exec_index() {
+  const std::uint64_t code =
+      in_phase_ ? static_cast<std::uint64_t>(cur_phase_) + 1 : 0;
+  const std::uint64_t tid_key = in_phase_ && cur_tid_ >= 0
+                                    ? static_cast<std::uint64_t>(cur_tid_)
+                                    : 0x1FFFFF;
+  const std::uint64_t key = (static_cast<std::uint64_t>(cur_block_) << 42) |
+                            (code << 21) | tid_key;
+  auto [it, inserted] = exec_index_.try_emplace(key, execs_.size());
+  if (inserted) {
+    Executor e;
+    e.var = in_phase_ && cur_tid_ >= 0 ? cur_tid_ : 0;
+    e.block = cur_block_;
+    e.phase = in_phase_ ? cur_phase_ : -1;
+    execs_.push_back(std::move(e));
+  }
+  return it->second;
+}
+
+void VerifierState::record_access(std::uint64_t space, long long addr,
+                                  std::uint32_t width, bool write) {
+  const std::size_t idx =
+      cur_exec_ == kCoopExec ? coop_exec_index() : cur_exec_;
+  execs_[idx].acc.push_back(Access{space, addr, width, write});
+}
+
+void VerifierState::on_global_read(const detail::AllocShadow& shadow,
+                                   std::size_t elem) {
+  if (!active_) {
+    return;
+  }
+  labels_.try_emplace(shadow.id(), shadow.label());
+  record_access(shadow.id(), static_cast<long long>(elem), 1, false);
+}
+
+void VerifierState::on_global_write(const detail::AllocShadow& shadow,
+                                    std::size_t elem) {
+  if (!active_) {
+    return;
+  }
+  labels_.try_emplace(shadow.id(), shadow.label());
+  record_access(shadow.id(), static_cast<long long>(elem), 1, true);
+}
+
+void VerifierState::on_shared_access(std::size_t block, std::size_t byte,
+                                     std::size_t size, bool is_write,
+                                     bool /*in_phase*/, std::size_t /*phase*/,
+                                     std::size_t /*tid*/) {
+  if (!active_ || !coop_) {
+    return;
+  }
+  const std::uint64_t space = kSharedSpace | static_cast<std::uint64_t>(block);
+  labels_.try_emplace(space, "shared");
+  record_access(space, static_cast<long long>(byte),
+                static_cast<std::uint32_t>(size), is_write);
+}
+
+void VerifierState::on_phase_begin(std::size_t block, bool nested,
+                                   std::size_t tid) {
+  if (!active_ || !coop_) {
+    return;
+  }
+  if (nested) {
+    divergences_.push_back(
+        Divergence{block, static_cast<std::size_t>(block_phases_), tid});
+  }
+  cur_phase_ = block_phases_++;
+  in_phase_ = true;
+  cur_tid_ = -1;
+}
+
+void VerifierState::on_phase_end(std::size_t /*block*/) {
+  if (!active_ || !coop_) {
+    return;
+  }
+  in_phase_ = false;
+  cur_tid_ = -1;
+}
+
+void VerifierState::on_set_tid(std::size_t /*block*/, std::size_t tid) {
+  if (!active_ || !coop_) {
+    return;
+  }
+  cur_tid_ = static_cast<long long>(tid);
+}
+
+// ---- analysis -------------------------------------------------------------
+
+bool VerifierState::concurrent(const Executor& a,
+                               const Executor& b) const noexcept {
+  if (&a == &b) {
+    return false;  // program order within one executor
+  }
+  if (!coop_) {
+    return true;  // distinct threads/dispatches of an independent launch
+  }
+  if (a.block != b.block) {
+    return true;  // blocks never synchronize with each other
+  }
+  // Same block: barrier-ordered unless both run in the same phase (the
+  // executors are distinct, so their tids differ). Block-body code
+  // (phase -1) is ordered against every phase of its own block.
+  return a.phase >= 0 && a.phase == b.phase;
+}
+
+std::string VerifierState::describe_exec(const Executor& e) const {
+  if (coop_) {
+    if (e.phase < 0) {
+      return "block " + std::to_string(e.block) + " (block body)";
+    }
+    return "block " + std::to_string(e.block) + " tid " +
+           std::to_string(e.var) + " phase " + std::to_string(e.phase);
+  }
+  if (current_.lane_width > 0) {
+    return "dispatch " + std::to_string(e.var);
+  }
+  return "gid " + std::to_string(e.var);
+}
+
+std::uint64_t VerifierState::fingerprint() const {
+  // One order-independent hash per access-with-context, then sorted and
+  // folded — equal across runs iff the conflict-relevant trace is equal.
+  std::vector<std::uint64_t> items;
+  for (const Executor& e : execs_) {
+    for (const Access& a : e.acc) {
+      std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+        h *= 0xFF51AFD7ED558CCDULL;
+      };
+      mix(a.space);
+      mix(static_cast<std::uint64_t>(a.addr));
+      mix(a.width);
+      mix(a.write ? 1 : 0);
+      mix(static_cast<std::uint64_t>(e.var));
+      mix(static_cast<std::uint64_t>(e.block));
+      mix(static_cast<std::uint64_t>(e.phase));
+      items.push_back(h);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  std::uint64_t fp = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (std::uint64_t v : items) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xFF;
+      fp *= 0x100000001B3ULL;
+    }
+  }
+  return fp;
+}
+
+bool VerifierState::exact_scan(VerifyReport& report) {
+  struct Entry {
+    std::uint32_t exec;
+    bool write;
+  };
+  std::unordered_map<std::uint64_t, std::uint64_t> space_ord;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> cells;
+  for (std::size_t ei = 0; ei < execs_.size(); ++ei) {
+    for (const Access& a : execs_[ei].acc) {
+      const auto [so_it, so_new] = space_ord.try_emplace(
+          a.space, static_cast<std::uint64_t>(space_ord.size()));
+      const std::uint64_t so = so_it->second;
+      for (std::uint32_t b = 0; b < a.width; ++b) {
+        const std::uint64_t key =
+            (so << 42) | static_cast<std::uint64_t>(a.addr + b);
+        std::vector<Entry>& vec = cells[key];
+        bool dup = false;
+        for (const Entry& prev : vec) {
+          if (prev.exec == ei && prev.write == a.write) {
+            dup = true;
+            continue;
+          }
+          if ((prev.write || a.write) &&
+              concurrent(execs_[prev.exec], execs_[ei])) {
+            const Executor& ea = execs_[prev.exec];
+            const Executor& eb = execs_[ei];
+            Witness w;
+            w.hazard = prev.write && a.write ? HazardClass::kWriteWrite
+                                            : HazardClass::kReadWrite;
+            const auto label = labels_.find(a.space);
+            w.object = label != labels_.end() ? label->second : "?";
+            w.shared = (a.space & kSharedSpace) != 0;
+            w.block_a = ea.block;
+            w.block_b = eb.block;
+            w.exec_a = ea.var;
+            w.exec_b = eb.var;
+            w.phase = eb.phase;
+            w.addr_a = a.addr + b;
+            w.addr_b = a.addr + b;
+            w.detail = std::string(to_string(w.hazard)) + " on '" + w.object +
+                       "' " + (w.shared ? "byte " : "element ") +
+                       std::to_string(a.addr + b) + ": " + describe_exec(ea) +
+                       " and " + describe_exec(eb) +
+                       " touch it with no ordering between them";
+            report.reason = w.detail;
+            report.witness = std::move(w);
+            report.status = VerifyStatus::kHazard;
+            return true;
+          }
+        }
+        if (!dup) {
+          vec.push_back(Entry{static_cast<std::uint32_t>(ei), a.write});
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool VerifierState::fit_group(const std::vector<std::size_t>& members,
+                              long long block, long long phase,
+                              std::vector<TaggedFamily>& out,
+                              std::string& reason) {
+  // Per-member access streams keyed (space, write, width) → AP list.
+  using StreamKey = std::tuple<std::uint64_t, bool, std::uint32_t>;
+  struct MemberShape {
+    std::size_t exec;
+    std::map<StreamKey, std::vector<Ap>> streams;
+  };
+  std::vector<MemberShape> shapes;
+  shapes.reserve(members.size());
+  for (std::size_t ei : members) {
+    MemberShape shape;
+    shape.exec = ei;
+    std::map<StreamKey, std::vector<long long>> addrs;
+    for (const Access& a : execs_[ei].acc) {
+      addrs[StreamKey{a.space, a.write, a.width}].push_back(a.addr);
+    }
+    for (auto& [key, v] : addrs) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      shape.streams.emplace(key, decompose_aps(v));
+    }
+    shapes.push_back(std::move(shape));
+  }
+  // Group members by shape signature: same streams, same (stride, count)
+  // per AP position (bases may differ — they are what gets fitted).
+  std::map<std::vector<long long>, std::vector<std::size_t>> groups;
+  for (std::size_t m = 0; m < shapes.size(); ++m) {
+    std::vector<long long> sig;
+    for (const auto& [key, aps] : shapes[m].streams) {
+      sig.push_back(static_cast<long long>(std::get<0>(key)));
+      sig.push_back(std::get<1>(key) ? 1 : 0);
+      sig.push_back(static_cast<long long>(std::get<2>(key)));
+      sig.push_back(static_cast<long long>(aps.size()));
+      for (const Ap& ap : aps) {
+        sig.push_back(ap.stride);
+        sig.push_back(ap.count);
+      }
+    }
+    groups[std::move(sig)].push_back(m);
+  }
+  const auto object_name = [&](std::uint64_t space) {
+    const auto it = labels_.find(space);
+    return it != labels_.end() ? it->second : std::string("?");
+  };
+  for (auto& [sig, group] : groups) {
+    std::sort(group.begin(), group.end(),
+              [&](std::size_t a, std::size_t b) {
+                return execs_[shapes[a].exec].var < execs_[shapes[b].exec].var;
+              });
+    std::vector<long long> ids;
+    ids.reserve(group.size());
+    for (std::size_t m : group) {
+      ids.push_back(execs_[shapes[m].exec].var);
+    }
+    const std::optional<Domain> dom = domain_from_ids(ids);
+    if (!dom) {
+      reason =
+          "active executor ids do not form an interval/congruence domain";
+      return false;
+    }
+    const MemberShape& first = shapes[group.front()];
+    const long long var0 = execs_[first.exec].var;
+    for (const auto& [key, aps0] : first.streams) {
+      for (std::size_t p = 0; p < aps0.size(); ++p) {
+        long long slope = 0;
+        if (group.size() > 1) {
+          const MemberShape& second = shapes[group[1]];
+          const long long var1 = execs_[second.exec].var;
+          const long long dbase =
+              second.streams.at(key)[p].base - aps0[p].base;
+          if (dbase % (var1 - var0) != 0) {
+            reason = "addressing of '" + object_name(std::get<0>(key)) +
+                     "' is not affine in the executor id";
+            return false;
+          }
+          slope = dbase / (var1 - var0);
+          for (std::size_t m : group) {
+            const long long var_m = execs_[shapes[m].exec].var;
+            if (shapes[m].streams.at(key)[p].base !=
+                aps0[p].base + slope * (var_m - var0)) {
+              reason = "addressing of '" + object_name(std::get<0>(key)) +
+                       "' is not affine in the executor id";
+              return false;
+            }
+          }
+        }
+        TaggedFamily tf;
+        tf.fam.space = std::get<0>(key);
+        tf.fam.write = std::get<1>(key);
+        tf.fam.width = static_cast<long long>(std::get<2>(key));
+        tf.fam.slope = slope;
+        tf.fam.base = aps0[p].base - slope * var0;
+        tf.fam.stride = aps0[p].stride;
+        tf.fam.count = aps0[p].count;
+        tf.fam.dom = *dom;
+        tf.block = block;
+        tf.phase = phase;
+        out.push_back(std::move(tf));
+      }
+    }
+  }
+  return true;
+}
+
+bool VerifierState::build_families(std::vector<TaggedFamily>& out,
+                                   std::string& reason) {
+  if (!coop_) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < execs_.size(); ++i) {
+      if (!execs_[i].acc.empty()) {
+        members.push_back(i);
+      }
+    }
+    return fit_group(members, -1, -1, out, reason);
+  }
+  std::map<std::pair<long long, long long>, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < execs_.size(); ++i) {
+    if (!execs_[i].acc.empty()) {
+      classes[{execs_[i].block, execs_[i].phase}].push_back(i);
+    }
+  }
+  for (auto& [key, members] : classes) {
+    if (!fit_group(members, key.first, key.second, out, reason)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VerifyReport VerifierState::analyze() {
+  VerifyReport r = std::move(current_);
+  if (!divergences_.empty()) {
+    const Divergence& d = divergences_.front();
+    Witness w;
+    w.hazard = HazardClass::kBarrierDivergence;
+    w.object = "barrier";
+    w.shared = true;
+    w.block_a = static_cast<long long>(d.block);
+    w.block_b = static_cast<long long>(d.block);
+    w.exec_a = static_cast<long long>(d.tid);
+    w.exec_b = d.tid == 0 && r.threads_per_block > 1 ? 1 : 0;
+    w.phase = static_cast<long long>(d.phase);
+    w.detail = "for_each_thread (a barrier) opened inside the per-thread "
+               "body of a phase by tid " +
+               std::to_string(d.tid) + " of block " + std::to_string(d.block) +
+               " — a tid-dependent branch guards the barrier, so tid " +
+               std::to_string(w.exec_b) + " may not reach it";
+    r.reason = "barrier divergence: " + w.detail;
+    r.witness = std::move(w);
+    r.status = VerifyStatus::kHazard;
+    return r;
+  }
+
+  // Objects never written during the launch cannot participate in a
+  // hazard; dropping them first also removes the data-dependent *read*
+  // patterns (binary-searched windows over the sorted inputs) that would
+  // otherwise defeat the affine fit.
+  std::unordered_set<std::uint64_t> written;
+  for (const Executor& e : execs_) {
+    for (const Access& a : e.acc) {
+      if (a.write) {
+        written.insert(a.space);
+      }
+    }
+  }
+  const auto key_of = [](const Access& a) {
+    return std::tie(a.space, a.addr, a.width, a.write);
+  };
+  std::size_t total_accesses = 0;
+  std::size_t active_execs = 0;
+  for (Executor& e : execs_) {
+    std::vector<Access>& v = e.acc;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&](const Access& a) {
+                             return written.find(a.space) == written.end();
+                           }),
+            v.end());
+    std::sort(v.begin(), v.end(), [&](const Access& a, const Access& b) {
+      return key_of(a) < key_of(b);
+    });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [&](const Access& a, const Access& b) {
+                          return key_of(a) == key_of(b);
+                        }),
+            v.end());
+    total_accesses += v.size();
+    active_execs += v.empty() ? 0 : 1;
+  }
+  r.executors = active_execs;
+  r.accesses = total_accesses;
+  r.fingerprint = fingerprint();
+
+  if (exact_scan(r)) {
+    return r;
+  }
+
+  std::vector<TaggedFamily> families;
+  std::string reason;
+  if (!build_families(families, reason)) {
+    r.status = VerifyStatus::kUnproven;
+    r.reason = reason +
+               " — the exact trace is clean for this input; the dynamic "
+               "sanitizer (racecheck) remains the coverage";
+    return r;
+  }
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    for (std::size_t j = i; j < families.size(); ++j) {
+      const TaggedFamily& a = families[i];
+      const TaggedFamily& b = families[j];
+      if (a.fam.space != b.fam.space || (!a.fam.write && !b.fam.write)) {
+        continue;
+      }
+      bool need_distinct = false;
+      if (!coop_) {
+        need_distinct = true;  // two symbolic thread identities, t1 != t2
+      } else if (a.block != b.block) {
+        need_distinct = false;  // cross-block: any pair is concurrent
+      } else if (a.phase >= 0 && a.phase == b.phase) {
+        need_distinct = true;  // same phase: distinct tids
+      } else {
+        continue;  // same block, barrier-ordered
+      }
+      const SolveResult sr =
+          find_collision(a.fam, b.fam, need_distinct, opts_.pair_cap);
+      const auto label = labels_.find(a.fam.space);
+      const std::string object =
+          label != labels_.end() ? label->second : std::string("?");
+      if (sr.kind == SolveResult::kInconclusive) {
+        r.status = VerifyStatus::kUnproven;
+        r.reason = "family-pair budget exceeded on '" + object +
+                   "' — the exact trace is clean for this input";
+        return r;
+      }
+      if (sr.kind == SolveResult::kCollision) {
+        // The trace is exhaustive and its exact scan was clean, so a model
+        // collision means abstraction and trace disagree; stay sound.
+        r.status = VerifyStatus::kUnproven;
+        r.reason = "affine model predicts a collision on '" + object +
+                   "' the concrete trace does not contain — model rejected";
+        return r;
+      }
+    }
+  }
+  r.status = VerifyStatus::kVerified;
+  r.families = families.size();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+SymbolicDevice::SymbolicDevice(DeviceProperties props,
+                               parallel::ThreadPool* pool, VerifyOptions opts)
+    : Device(props, pool) {
+  enable_sanitizer(std::make_shared<SilentSink>());
+  verifier_ = std::make_shared<VerifierState>(*this, opts);
+  enable_interceptor(verifier_);
+}
+
+}  // namespace kreg::spmd::verify

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spmd/device.hpp"
+#include "spmd/verify/affine.hpp"
+#include "spmd/verify/interceptor.hpp"
+#include "spmd/verify/report.hpp"
+
+namespace kreg::spmd::verify {
+
+struct VerifyOptions {
+  /// Launches whose total thread count exceeds this are not traced — they
+  /// run normally on the pool and are reported unproven (too large for
+  /// exhaustive symbolic tracing). The verifier's per-thread cost is a few
+  /// hundred bytes, so the default covers every runner configuration.
+  std::size_t exhaustive_cap = std::size_t{1} << 15;
+  /// Budget for one family-pair disjointness query: the (i, j, width)
+  /// enumeration over the bounded loop offsets. Exceeding it demotes the
+  /// launch to unproven rather than burning unbounded time.
+  std::size_t pair_cap = std::size_t{1} << 24;
+};
+
+/// A sink that swallows findings. The verifier's serial tracing
+/// legitimately drives the dynamic racecheck over seeded-hazard kernels
+/// before the static analysis runs, so its device must not throw
+/// mid-trace; findings are still counted on the SanitizerState.
+class SilentSink final : public SanitizerSink {
+ public:
+  void report(const SanitizerReport&) override {}
+};
+
+/// The symbolic two-thread verifier.
+///
+/// Installed as both the device's LaunchInterceptor and the sanitizer
+/// layer's AccessRecorder, it executes every named launch once, serially,
+/// one executor (thread / lane dispatch / cooperative tid) at a time —
+/// a legal schedule of the simulator, so results stand and the launch is
+/// not re-run. Every instrumented access (MemView/MemRef globals,
+/// SharedSpan/SharedRef shared memory) lands in a per-executor trace.
+///
+/// The analysis then lifts the traces into the affine abstraction:
+/// read-only objects are dropped, each executor's per-object access set is
+/// decomposed into maximal arithmetic progressions, executors are grouped
+/// by access shape, and each shape group is fitted as an affine function
+/// of a single symbolic executor variable (global thread id, dispatch
+/// ordinal, or tid within a barrier phase) with an interval + congruence
+/// activity domain. Disjointness of every write-write and read-write
+/// family pair — over *two symbolic identities* t₁ ≠ t₂ ranging over the
+/// whole domains — is decided exactly by a bounded linear-Diophantine
+/// solver (affine.hpp). Barrier phases mirror racecheck's model: shared
+/// accesses conflict only within a phase, global accesses across blocks
+/// always, and a for_each_thread opened from inside a per-thread body is
+/// the barrier-divergence hazard.
+///
+/// Alongside the abstraction an exact byte-granular conflict scan runs
+/// over the full trace; hazards always carry the concrete witness pair it
+/// produces. Launches whose addressing does not fit the abstraction are
+/// reported unproven with the reason (the runner additionally demotes
+/// launches whose traces differ across datasets — data-dependent
+/// addressing), and explicitly fall back to the dynamic sanitizer.
+class VerifierState final : public LaunchInterceptor,
+                            public detail::AccessRecorder {
+ public:
+  /// Installs this verifier as `device`'s access recorder. The device must
+  /// already have its sanitizer enabled. enable_interceptor() must be
+  /// called separately (SymbolicDevice does both).
+  explicit VerifierState(Device& device, VerifyOptions opts = {});
+  ~VerifierState() override;
+
+  VerifierState(const VerifierState&) = delete;
+  VerifierState& operator=(const VerifierState&) = delete;
+
+  const std::vector<VerifyReport>& reports() const noexcept {
+    return reports_;
+  }
+  std::vector<VerifyReport> take_reports();
+
+  // ---- LaunchInterceptor --------------------------------------------------
+  bool on_launch(const char* name, const LaunchConfig& cfg,
+                 const std::function<void(const ThreadCtx&)>& thread) override;
+  bool on_launch_lanes(
+      const char* name, const LaunchConfig& cfg, std::size_t lane_width,
+      const std::function<void(const LaneCtx&)>& dispatch) override;
+  bool on_launch_cooperative(
+      const char* name, const LaunchConfig& cfg, std::size_t shared_bytes,
+      const std::function<void(BlockCtx&)>& body) override;
+
+  // ---- AccessRecorder -----------------------------------------------------
+  void on_global_read(const detail::AllocShadow& shadow,
+                      std::size_t elem) override;
+  void on_global_write(const detail::AllocShadow& shadow,
+                       std::size_t elem) override;
+  void on_shared_access(std::size_t block, std::size_t byte, std::size_t size,
+                        bool is_write, bool in_phase, std::size_t phase,
+                        std::size_t tid) override;
+  void on_phase_begin(std::size_t block, bool nested, std::size_t tid) override;
+  void on_phase_end(std::size_t block) override;
+  void on_set_tid(std::size_t block, std::size_t tid) override;
+
+ private:
+  struct Access {
+    std::uint64_t space = 0;  ///< alloc id, or kSharedSpace | block
+    long long addr = 0;       ///< element (global) or byte offset (shared)
+    std::uint32_t width = 1;  ///< 1 (global, element units) or bytes (shared)
+    bool write = false;
+  };
+  struct Executor {
+    long long var = 0;     ///< symbolic variable value: gid / dispatch / tid
+    long long block = -1;
+    long long phase = -1;  ///< cooperative phase; -1 = block-body (uniform)
+    std::vector<Access> acc;
+  };
+  struct Divergence {
+    std::size_t block = 0;
+    std::size_t phase = 0;
+    std::size_t tid = 0;
+  };
+  /// A family plus the concurrency tags pairing needs.
+  struct TaggedFamily {
+    Family fam;
+    long long block = -1;  ///< -1 for independent/lanes launches
+    long long phase = -1;  ///< -1 for uniform block-body code
+  };
+
+  static constexpr std::uint64_t kSharedSpace = std::uint64_t{1} << 63;
+  static constexpr std::size_t kCoopExec = static_cast<std::size_t>(-1);
+
+  void begin_launch(const char* name, const LaunchConfig& cfg,
+                    std::size_t lane_width, std::size_t shared_bytes,
+                    bool cooperative);
+  void finish_launch();
+  void clear_launch();
+  void push_too_large(const char* name, const LaunchConfig& cfg,
+                      std::size_t lane_width, std::size_t shared_bytes,
+                      bool cooperative);
+
+  std::size_t coop_exec_index();
+  void record_access(std::uint64_t space, long long addr, std::uint32_t width,
+                     bool write);
+  bool concurrent(const Executor& a, const Executor& b) const noexcept;
+
+  VerifyReport analyze();
+  bool exact_scan(VerifyReport& report);
+  bool build_families(std::vector<TaggedFamily>& out, std::string& reason);
+  bool fit_group(const std::vector<std::size_t>& members, long long block,
+                 long long phase, std::vector<TaggedFamily>& out,
+                 std::string& reason);
+  std::uint64_t fingerprint() const;
+  std::string describe_exec(const Executor& e) const;
+
+  Device* device_;
+  std::shared_ptr<detail::SanitizerState> state_;
+  VerifyOptions opts_;
+  std::vector<VerifyReport> reports_;
+
+  // ---- per-launch state ---------------------------------------------------
+  bool active_ = false;
+  bool coop_ = false;
+  const char* name_ = "";
+  VerifyReport current_;
+  std::vector<Executor> execs_;
+  std::unordered_map<std::uint64_t, std::size_t> exec_index_;
+  std::unordered_map<std::uint64_t, std::string> labels_;
+  std::vector<Divergence> divergences_;
+  std::size_t cur_exec_ = 0;
+  // cooperative execution context, mirrored from the SharedShadow events
+  long long cur_block_ = -1;
+  long long cur_phase_ = -1;
+  long long cur_tid_ = -1;
+  long long block_phases_ = 0;
+  bool in_phase_ = false;
+};
+
+/// Drop-in Device that runs every named launch in verification mode: the
+/// production selection code executes unmodified, each launch is traced
+/// serially and statically verified, and the per-launch VerifyReports
+/// accumulate on verifier(). Installs a SilentSink sanitizer (shadows are
+/// the recording substrate; dynamic findings are counted, not thrown).
+class SymbolicDevice : public Device {
+ public:
+  explicit SymbolicDevice(
+      DeviceProperties props = DeviceProperties::tesla_s10(),
+      parallel::ThreadPool* pool = nullptr, VerifyOptions opts = {});
+
+  VerifierState& verifier() noexcept { return *verifier_; }
+
+ private:
+  std::shared_ptr<VerifierState> verifier_;
+};
+
+}  // namespace kreg::spmd::verify
