@@ -1,15 +1,19 @@
 // Roofline-style bench for the batched (SELL-C-σ) window-sweep execution
 // layer: elements/s of the scalar host sweep vs the lane-batched kernels
-// across lane widths C ∈ {4, 8, 16} and σ-sort on/off, with an estimated
-// memory-bandwidth figure per cell so the vector speedup can be read
-// against the streaming roofline. One "element" is one unit of sweep work:
-// an admitted observation (one pass of the moment-sum m-loop) or one
-// per-(observation, bandwidth) recombination — both counted exactly from
-// the admission-window lengths, not sampled. Cells land in
-// BENCH_vector.json in the working directory.
+// across lane widths C ∈ {4, 8, 16} and σ-policies (none / length /
+// position-length), with an estimated memory-bandwidth figure per cell so
+// the vector speedup can be read against the streaming roofline. One
+// "element" is one unit of sweep work: an admitted observation (one pass
+// of the moment-sum m-loop) or one per-(observation, bandwidth)
+// recombination — both counted exactly from the admission-window lengths,
+// not sampled. Batched cells also report the contiguous-run rate (the
+// fraction of phase-2 steps served by the block-load/transpose fast path
+// instead of a gather) and the resolved software-prefetch distance. Cells
+// land in BENCH_vector.json in the working directory.
 //
-//   KREG_BENCH_FULL=1   adds the n = 10⁶ row (default stops at 10⁵)
-//   KREG_BENCH_REPS=N   timing repetitions per cell (median)
+//   KREG_BENCH_FULL=1     adds the n = 10⁶ row (default stops at 10⁵)
+//   KREG_BENCH_REPS=N     timing repetitions per cell (median)
+//   KREG_PREFETCH_DIST=N  software-prefetch distance for the batched cells
 #include <cstdio>
 #include <numeric>
 #include <string>
@@ -25,7 +29,9 @@ struct Cell {
   std::size_t k;
   const char* kernel;
   std::size_t lane_width;  // 0 = the scalar reference sweep
-  bool sigma;
+  const char* sigma_policy;
+  std::size_t prefetch;
+  double contig_rate;  // fraction of phase-2 steps on the transpose path
   double seconds;
   double elements_per_s;
   double est_gbps;
@@ -44,12 +50,13 @@ void write_json(const std::vector<Cell>& cells, const char* path) {
     std::fprintf(f,
                  "    {\"n\": %zu, \"k\": %zu, \"kernel\": \"%s\", "
                  "\"lane_width\": %zu, "
-                 "\"sigma\": %s, \"seconds\": %.6e, "
+                 "\"sigma_policy\": \"%s\", \"prefetch_distance\": %zu, "
+                 "\"contig_rate\": %.4f, \"seconds\": %.6e, "
                  "\"elements_per_s\": %.6e, \"est_gbps\": %.3f, "
                  "\"speedup_vs_scalar\": %.3f}%s\n",
-                 c.n, c.k, c.kernel, c.lane_width, c.sigma ? "true" : "false",
-                 c.seconds, c.elements_per_s, c.est_gbps, c.speedup,
-                 i + 1 < cells.size() ? "," : "");
+                 c.n, c.k, c.kernel, c.lane_width, c.sigma_policy, c.prefetch,
+                 c.contig_rate, c.seconds, c.elements_per_s, c.est_gbps,
+                 c.speedup, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -64,6 +71,9 @@ int main() {
   const std::size_t k = 50;
   kreg::rng::Stream stream(2024);
   std::vector<Cell> cells;
+
+  const std::size_t prefetch =
+      kreg::resolve_prefetch_distance(kreg::kPrefetchFromEnv);
 
   std::vector<std::size_t> sizes = {100000};
   if (kreg::bench::full_mode()) {
@@ -97,14 +107,25 @@ int main() {
         admissions * 2.0 * sizeof(double) +
         static_cast<double>(n * k) * sizeof(double);
 
-    // Two kernels bracket the arithmetic-intensity axis of the roofline:
-    // Epanechnikov (3-term recombination, gather-bound) and triweight
-    // (7-term, vector-arithmetic-bound — where lane batching pays most).
+    // Three kernels span the arithmetic-intensity axis of the roofline:
+    // uniform (1-term recombination, purely gather-bound), Epanechnikov
+    // (3-term, gather-bound) and triweight (7-term,
+    // vector-arithmetic-bound — where lane batching pays most).
     const struct {
       kreg::KernelType type;
       const char* name;
-    } kernels[] = {{kreg::KernelType::kEpanechnikov, "epanechnikov"},
+    } kernels[] = {{kreg::KernelType::kUniform, "uniform"},
+                   {kreg::KernelType::kEpanechnikov, "epanechnikov"},
                    {kreg::KernelType::kTriweight, "triweight"}};
+
+    const struct {
+      kreg::SigmaPolicy policy;
+      const char* name;
+      const char* label;  // row suffix in the printed table
+    } policies[] = {
+        {kreg::SigmaPolicy::kNone, "none", ""},
+        {kreg::SigmaPolicy::kLength, "length", " +len"},
+        {kreg::SigmaPolicy::kPositionLength, "position-length", " +pos"}};
 
     for (const auto& kernel : kernels) {
       kreg::bench::banner("VECTOR SWEEP — n = " + std::to_string(n) +
@@ -112,8 +133,9 @@ int main() {
                           ", " +
                           std::to_string(static_cast<std::size_t>(admissions)) +
                           " admissions");
-      Table table({"config", "time (s)", "Melem/s", "est GB/s", "speedup"},
-                  12);
+      Table table(
+          {"config", "time (s)", "Melem/s", "est GB/s", "contig", "speedup"},
+          12);
 
       const double t_scalar = kreg::bench::time_median(
           [&] {
@@ -123,29 +145,35 @@ int main() {
           reps);
       table.add_row({"scalar", Table::fmt_seconds(t_scalar),
                      Table::fmt_double(elements / t_scalar / 1e6, 1),
-                     Table::fmt_double(bytes / t_scalar / 1e9, 2), "1.0x"});
-      cells.push_back({n, k, kernel.name, 0, false, t_scalar,
+                     Table::fmt_double(bytes / t_scalar / 1e9, 2), "-",
+                     "1.0x"});
+      cells.push_back({n, k, kernel.name, 0, "none", 0, 0.0, t_scalar,
                        elements / t_scalar, bytes / t_scalar / 1e9, 1.0});
 
       for (const std::size_t width : {4u, 8u, 16u}) {
-        for (const bool sigma : {false, true}) {
+        for (const auto& pol : policies) {
           kreg::BatchedSweep batched;
           batched.lane_width = width;
-          batched.sigma_sort = sigma;
+          batched.sigma = pol.policy;
+          batched.prefetch_distance = prefetch;
+          kreg::BatchRunStats stats;
           const double t = kreg::bench::time_median(
               [&] {
+                stats = {};
                 (void)kreg::window_cv_profile_batched(
                     data, grid.values(), kernel.type,
-                    kreg::Precision::kDouble, batched);
+                    kreg::Precision::kDouble, batched, {}, nullptr, &stats);
               },
               reps);
-          const std::string label = "C=" + std::to_string(width) +
-                                    (sigma ? " +sigma" : "");
-          table.add_row({label, Table::fmt_seconds(t),
-                         Table::fmt_double(elements / t / 1e6, 1),
-                         Table::fmt_double(bytes / t / 1e9, 2),
-                         Table::fmt_double(t_scalar / t, 2) + "x"});
-          cells.push_back({n, k, kernel.name, width, sigma, t, elements / t,
+          const std::string label = "C=" + std::to_string(width) + pol.label;
+          table.add_row(
+              {label, Table::fmt_seconds(t),
+               Table::fmt_double(elements / t / 1e6, 1),
+               Table::fmt_double(bytes / t / 1e9, 2),
+               Table::fmt_double(100.0 * stats.contig_rate(), 1) + "%",
+               Table::fmt_double(t_scalar / t, 2) + "x"});
+          cells.push_back({n, k, kernel.name, width, pol.name, prefetch,
+                           stats.contig_rate(), t, elements / t,
                            bytes / t / 1e9, t_scalar / t});
         }
       }
@@ -157,7 +185,9 @@ int main() {
       "\nelements/s counts admissions + recombinations exactly; est GB/s is "
       "the compulsory streaming traffic (x/y reads + residual writes) over "
       "the same wall time. The batched kernels' margin over scalar at equal "
-      "traffic is vector (SIMD) throughput, not bandwidth.\n");
+      "traffic is vector (SIMD) throughput, not bandwidth; the contig "
+      "column is the share of lane-resume steps served by the "
+      "contiguous-run transpose fast path instead of gathers.\n");
   write_json(cells, "BENCH_vector.json");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/batched_sweep.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -8,8 +9,77 @@
 #include "core/detail/batched_lanes.hpp"
 #include "core/validate_grid.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sort/two_key.hpp"
 
 namespace kreg {
+
+const char* to_string(SigmaPolicy policy) {
+  switch (policy) {
+    case SigmaPolicy::kNone:
+      return "none";
+    case SigmaPolicy::kLength:
+      return "length";
+    case SigmaPolicy::kPositionLength:
+      return "position-length";
+  }
+  return "unknown";
+}
+
+SigmaPolicy parse_sigma_policy(std::string_view text) {
+  if (text == "none") {
+    return SigmaPolicy::kNone;
+  }
+  if (text == "length") {
+    return SigmaPolicy::kLength;
+  }
+  if (text == "position-length") {
+    return SigmaPolicy::kPositionLength;
+  }
+  throw std::invalid_argument(
+      "parse_sigma_policy: '" + std::string(text) +
+      "' is not a sigma policy (expected none, length, or position-length)");
+}
+
+std::size_t parse_prefetch_distance(std::string_view text) {
+  if (text.empty()) {
+    throw std::invalid_argument(
+        "parse_prefetch_distance: empty input (expected a base-10 step "
+        "count, 0 = off)");
+  }
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(
+          "parse_prefetch_distance: '" + std::string(text) +
+          "' is not a non-negative base-10 step count (0 = off)");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > kMaxPrefetchDistance) {
+      throw std::invalid_argument(
+          "parse_prefetch_distance: '" + std::string(text) +
+          "' exceeds the maximum distance of " +
+          std::to_string(kMaxPrefetchDistance));
+    }
+  }
+  return value;
+}
+
+std::size_t resolve_prefetch_distance(std::size_t requested) {
+  if (requested == kPrefetchFromEnv) {
+    const char* env = std::getenv("KREG_PREFETCH_DIST");
+    if (env == nullptr || *env == '\0') {
+      return 0;
+    }
+    return parse_prefetch_distance(env);
+  }
+  if (requested > kMaxPrefetchDistance) {
+    throw std::invalid_argument(
+        "prefetch_distance must be at most " +
+        std::to_string(kMaxPrefetchDistance) + " (got " +
+        std::to_string(requested) + ")");
+  }
+  return requested;
+}
 
 std::size_t resolve_lane_width(std::size_t requested) {
   if (requested == 0) {
@@ -23,13 +93,15 @@ std::size_t resolve_lane_width(std::size_t requested) {
 }
 
 template <class Scalar>
-std::vector<std::size_t> admission_window_lengths(
-    std::span<const Scalar> xs_sorted, Scalar h_max) {
+AdmissionWindows admission_windows(std::span<const Scalar> xs_sorted,
+                                   Scalar h_max) {
   const std::size_t n = xs_sorted.size();
-  std::vector<std::size_t> lengths(n);
+  AdmissionWindows win;
+  win.lo.resize(n);
+  win.length.resize(n);
   // Both window bounds at h_max are monotone in pos, so one two-pointer
-  // pass computes every length — the same O(n) discipline as the sweep
-  // itself, using its exact admission predicate.
+  // pass computes every (lo, length) — the same O(n) discipline as the
+  // sweep itself, using its exact admission predicate.
   std::size_t lo = 0;
   std::size_t hi = 0;
   for (std::size_t pos = 0; pos < n; ++pos) {
@@ -43,9 +115,21 @@ std::vector<std::size_t> admission_window_lengths(
     while (hi + 1 < n && xs_sorted[hi + 1] - x <= h_max) {
       ++hi;
     }
-    lengths[pos] = hi - lo + 1;
+    win.lo[pos] = lo;
+    win.length[pos] = hi - lo + 1;
   }
-  return lengths;
+  return win;
+}
+
+template AdmissionWindows admission_windows<float>(std::span<const float>,
+                                                   float);
+template AdmissionWindows admission_windows<double>(std::span<const double>,
+                                                    double);
+
+template <class Scalar>
+std::vector<std::size_t> admission_window_lengths(
+    std::span<const Scalar> xs_sorted, Scalar h_max) {
+  return admission_windows<Scalar>(xs_sorted, h_max).length;
 }
 
 template std::vector<std::size_t> admission_window_lengths<float>(
@@ -54,26 +138,52 @@ template std::vector<std::size_t> admission_window_lengths<double>(
     std::span<const double>, double);
 
 std::vector<std::uint32_t> sigma_batch_order(
-    std::span<const std::size_t> lengths, std::size_t begin, std::size_t end,
-    std::size_t scope, bool sigma_sort) {
+    std::span<const std::size_t> lengths, std::span<const std::size_t> los,
+    std::size_t begin, std::size_t end, std::size_t scope,
+    SigmaPolicy policy, std::size_t position_bucket) {
   const std::size_t count = end - begin;
   std::vector<std::uint32_t> order(count);
   std::iota(order.begin(), order.end(), std::uint32_t{0});
-  if (!sigma_sort || count == 0) {
+  if (policy == SigmaPolicy::kNone || count == 0) {
     return order;
   }
+  if (policy == SigmaPolicy::kPositionLength && los.size() < end) {
+    throw std::invalid_argument(
+        "sigma_batch_order: position-length policy needs window lo indices "
+        "covering [begin, end)");
+  }
+  const std::size_t bucket = position_bucket == 0 ? 1 : position_bucket;
   const std::size_t step = scope == 0 ? count : scope;
+  std::vector<std::uint32_t> scratch;
   for (std::size_t s0 = 0; s0 < count; s0 += step) {
     const std::size_t s1 = std::min(s0 + step, count);
-    // Stable and descending: equal-length rows keep ascending order, so
-    // the permutation is deterministic.
-    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(s0),
-                     order.begin() + static_cast<std::ptrdiff_t>(s1),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return lengths[begin + a] > lengths[begin + b];
-                     });
+    if (policy == SigmaPolicy::kLength) {
+      // Stable and descending: equal-length rows keep ascending order, so
+      // the permutation is deterministic.
+      std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(s0),
+                       order.begin() + static_cast<std::ptrdiff_t>(s1),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return lengths[begin + a] > lengths[begin + b];
+                       });
+    } else {
+      // Two-key: position bucket ascending (gather locality), length
+      // descending inside a bucket (small padded tails), stable (rows
+      // equal under both keys keep ascending order — deterministic).
+      sort::two_key_argsort(
+          std::span<std::uint32_t>(order.data() + s0, s1 - s0),
+          [&](std::uint32_t r) { return los[begin + r] / bucket; },
+          [&](std::uint32_t r) { return lengths[begin + r]; }, scratch);
+    }
   }
   return order;
+}
+
+std::vector<std::uint32_t> sigma_batch_order(
+    std::span<const std::size_t> lengths, std::size_t begin, std::size_t end,
+    std::size_t scope, bool sigma_sort) {
+  return sigma_batch_order(
+      lengths, {}, begin, end, scope,
+      sigma_sort ? SigmaPolicy::kLength : SigmaPolicy::kNone, 1);
 }
 
 namespace {
@@ -84,13 +194,15 @@ namespace {
 /// C-wide lane batches staging their residuals in a tile-local buffer.
 /// Because the fold visits buffered residuals in exactly the (row, b)
 /// order the scalar tiled kernel adds them, the profile is bitwise
-/// identical to the scalar one for any lane width and σ setting.
+/// identical to the scalar one for any lane width, σ policy, and prefetch
+/// distance.
 template <class Scalar, std::size_t C>
 std::vector<double> profile_batched(const data::Dataset& data,
                                     std::span<const double> grid,
-                                    KernelType kernel, bool sigma_sort,
-                                    HostTiling tiling,
-                                    parallel::ThreadPool* pool) {
+                                    KernelType kernel, SigmaPolicy sigma,
+                                    std::size_t prefetch, HostTiling tiling,
+                                    parallel::ThreadPool* pool,
+                                    BatchRunStats* stats) {
   const std::size_t n = data.size();
   const std::size_t k = grid.size();
   const SweepPolynomial poly = sweep_polynomial(kernel);
@@ -107,13 +219,14 @@ std::vector<double> profile_batched(const data::Dataset& data,
   const std::span<const Scalar> xs(sorted.x);
   const std::span<const Scalar> ys(sorted.y);
 
-  // σ-sort key: admission-window length at h_max, shared by every tile.
-  const std::vector<std::size_t> lengths =
-      admission_window_lengths<Scalar>(xs, host_grid.back());
+  // σ keys: admission-window (lo, length) at h_max, shared by every tile.
+  const AdmissionWindows win =
+      admission_windows<Scalar>(xs, host_grid.back());
 
   const std::size_t tiles = (n + n_block - 1) / n_block;
   std::vector<std::vector<double>> partials(tiles,
                                             std::vector<double>(k, 0.0));
+  std::vector<BatchRunStats> tile_stats(stats != nullptr ? tiles : 0);
 
   parallel::parallel_for(
       tiles,
@@ -121,11 +234,14 @@ std::vector<double> profile_batched(const data::Dataset& data,
         const std::size_t begin = tile * n_block;
         const std::size_t nb = std::min(n_block, n - begin);
         std::vector<double>& acc = partials[tile];
+        BatchRunStats* tstats =
+            stats != nullptr ? &tile_stats[tile] : nullptr;
 
         // Batch membership: the tile is the σ-scope; consecutive C rows of
         // the (possibly σ-sorted) order form one batch, the last padded.
-        const std::vector<std::uint32_t> order =
-            sigma_batch_order(lengths, begin, begin + nb, nb, sigma_sort);
+        const std::vector<std::uint32_t> order = sigma_batch_order(
+            win.length, win.lo, begin, begin + nb, nb, sigma,
+            sigma_position_bucket(sizeof(Scalar)));
         const std::size_t nbatches = (nb + C - 1) / C;
         std::vector<detail::LaneBatch<Scalar, C>> batches(nbatches);
         for (std::size_t g = 0; g < nbatches; ++g) {
@@ -146,10 +262,11 @@ std::vector<double> profile_batched(const data::Dataset& data,
           const std::span<const Scalar> hs(host_grid.data() + b0, kb);
           for (detail::LaneBatch<Scalar, C>& st : batches) {
             detail::batch_resume(
-                st, xs, ys, hs, poly, [&](std::size_t b, std::size_t l,
-                                          Scalar sq) {
+                st, xs, ys, hs, poly,
+                [&](std::size_t b, std::size_t l, Scalar sq) {
                   buf[(st.pos[l] - begin) * kb + b] = sq;
-                });
+                },
+                prefetch, tstats);
           }
           for (std::size_t r = 0; r < nb; ++r) {
             for (std::size_t b = 0; b < kb; ++b) {
@@ -169,6 +286,11 @@ std::vector<double> profile_batched(const data::Dataset& data,
   for (double& total : totals) {
     total /= static_cast<double>(n);
   }
+  if (stats != nullptr) {
+    for (const BatchRunStats& ts : tile_stats) {
+      *stats += ts;
+    }
+  }
   return totals;
 }
 
@@ -180,7 +302,8 @@ std::vector<double> window_cv_profile_batched(const data::Dataset& data,
                                               Precision precision,
                                               BatchedSweep batched,
                                               HostTiling tiling,
-                                              parallel::ThreadPool* pool) {
+                                              parallel::ThreadPool* pool,
+                                              BatchRunStats* stats) {
   if (data.empty()) {
     throw std::invalid_argument("window_cv_profile_batched: empty dataset");
   }
@@ -192,13 +315,15 @@ std::vector<double> window_cv_profile_batched(const data::Dataset& data,
         "' is not supported by the window sweep; use the naive path");
   }
   const std::size_t lane_width = resolve_lane_width(batched.lane_width);
+  const std::size_t prefetch =
+      resolve_prefetch_distance(batched.prefetch_distance);
   return detail::with_lane_width(lane_width, [&](auto width) {
     constexpr std::size_t C = decltype(width)::value;
     return precision == Precision::kFloat
-               ? profile_batched<float, C>(data, grid, kernel,
-                                           batched.sigma_sort, tiling, pool)
-               : profile_batched<double, C>(data, grid, kernel,
-                                            batched.sigma_sort, tiling, pool);
+               ? profile_batched<float, C>(data, grid, kernel, batched.sigma,
+                                           prefetch, tiling, pool, stats)
+               : profile_batched<double, C>(data, grid, kernel, batched.sigma,
+                                            prefetch, tiling, pool, stats);
   });
 }
 

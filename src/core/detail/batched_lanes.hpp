@@ -2,12 +2,15 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 
+#include "core/batch_stats.hpp"
 #include "core/kernels.hpp"
+#include "core/detail/batched_lanes_contig.hpp"
 #include "core/detail/batched_lanes_avx512.hpp"
 
 namespace kreg::detail {
@@ -27,10 +30,14 @@ namespace kreg::detail {
 ///   phase 1  per lane: advance lo/hi pointers, *recording* the admission
 ///            counts instead of accumulating (scalar, but cheap — two
 ///            comparisons per admitted element);
-///   phase 2  lockstep over s = 0 … max admissions − 1: every lane loads
-///            its s-th admitted element (left side first, in the scalar
-///            sweep's exact order), lanes that ran out contribute an exact
-///            zero; the m-loop over the C-wide arrays is branch-free;
+///   phase 2  two lockstep runs — left side descending, then right side
+///            ascending: the scalar sweep's exact admission order — where
+///            step s feeds every lane its element at base ∓ s, lanes that
+///            ran out contribute an exact zero, and the m-loop over the
+///            C-wide arrays is branch-free; the linear step indexing
+///            enables the contiguous-run transpose fast path
+///            (batched_lanes_contig.hpp) whenever the active lanes' bases
+///            fit one block window;
 ///   phase 3  recombination across lanes with the per-bandwidth scalars
 ///            (h, 1/h and its powers) hoisted out — computed once per
 ///            batch instead of once per observation.
@@ -149,16 +156,26 @@ inline void batch_store(const LaneBatch<Scalar, C>& st, LoView lo_all,
 /// receives the squared LOO residual of active lane l for every slice
 /// index b in ascending order. Per lane this performs bit-for-bit the
 /// operations of `window_sweep_resume` on that lane's observation.
+///
+/// `prefetch` (> 0) issues software prefetches for the admission lines
+/// `prefetch` steps ahead of the current one; `stats`, when non-null,
+/// counts the phase-2 steps served by the contiguous-run transpose fast
+/// path versus per-lane gathers (see batched_lanes_contig.hpp). Both are
+/// observational: values and profiles are bitwise identical for every
+/// setting.
 template <class Scalar, std::size_t C, class HView, class WriteResid>
 inline void batch_resume(LaneBatch<Scalar, C>& st,
                          std::span<const Scalar> xs_sorted,
                          std::span<const Scalar> ys_sorted, HView hs,
-                         const SweepPolynomial& poly, WriteResid&& write) {
+                         const SweepPolynomial& poly, WriteResid&& write,
+                         std::size_t prefetch = 0,
+                         BatchRunStats* stats = nullptr) {
 #if KREG_HAVE_BATCHED_AVX512
   // Hand-vectorized fast path for the zmm-width double batches; produces
   // bit-identical profiles (see batched_lanes_avx512.hpp for the argument).
   if constexpr (std::is_same_v<Scalar, double> && (C == 8 || C == 16)) {
-    if (batch_resume_avx512(st, xs_sorted, ys_sorted, hs, poly, write)) {
+    if (batch_resume_avx512(st, xs_sorted, ys_sorted, hs, poly, write,
+                            prefetch, stats)) {
       return;
     }
   }
@@ -166,10 +183,14 @@ inline void batch_resume(LaneBatch<Scalar, C>& st,
   const std::size_t n = xs_sorted.size();
   const std::size_t k = hs.size();
   const std::size_t terms = poly.max_power + 1;
+  const Scalar* xs = xs_sorted.data();
+  const Scalar* ys = ys_sorted.data();
 
-  std::array<std::size_t, C> nleft{};   // admissions from the left this h
-  std::array<std::size_t, C> ntotal{};  // total admissions this h
-  std::array<std::size_t, C> hi_old{};  // right pointer before this h
+  std::array<std::size_t, C> lo_new{};  // left pointer after this h
+  std::array<std::size_t, C> hi_new{};  // right pointer after this h
+  alignas(64) std::int64_t cnt[C];      // this phase's admissions per lane
+  alignas(64) std::int64_t base[C];     // this phase's step-0 index per lane
+  std::array<std::size_t, C> off{};     // base − min_base (contig runs)
   alignas(64) std::array<Scalar, C> dv{};
   alignas(64) std::array<Scalar, C> yv{};
   alignas(64) std::array<Scalar, C> pw{};
@@ -180,63 +201,119 @@ inline void batch_resume(LaneBatch<Scalar, C>& st,
   for (std::size_t b = 0; b < k; ++b) {
     const Scalar h = hs[b];
 
-    // Phase 1: pointer walks, recording counts. Scalar per lane — the
-    // comparisons are the admission predicate of the scalar sweep, so the
-    // recorded extents are exactly the elements it would admit.
-    std::size_t max_steps = 0;
+    // Phase 1: pointer walks, recording the new extents. Scalar per lane —
+    // the comparisons are the admission predicate of the scalar sweep, so
+    // the recorded extents are exactly the elements it would admit.
     for (std::size_t l = 0; l < st.lanes; ++l) {
       const Scalar x = st.xi[l];
       std::size_t lo = st.lo[l];
-      while (lo > 0 && x - xs_sorted[lo - 1] <= h) {
+      while (lo > 0 && x - xs[lo - 1] <= h) {
         --lo;
       }
       std::size_t hi = st.hi[l];
-      while (hi + 1 < n && xs_sorted[hi + 1] - x <= h) {
+      while (hi + 1 < n && xs[hi + 1] - x <= h) {
         ++hi;
       }
-      nleft[l] = st.lo[l] - lo;
-      hi_old[l] = st.hi[l];
-      ntotal[l] = nleft[l] + (hi - st.hi[l]);
-      st.lo[l] = lo;
-      st.hi[l] = hi;
-      max_steps = ntotal[l] > max_steps ? ntotal[l] : max_steps;
-    }
-    for (std::size_t l = st.lanes; l < C; ++l) {
-      ntotal[l] = 0;
+      lo_new[l] = lo;
+      hi_new[l] = hi;
     }
 
-    // Phase 2: lockstep accumulation. Step s feeds every lane its s-th
-    // admitted element — left side first, descending, then right side
-    // ascending: the scalar sweep's exact admission order — and exhausted
-    // lanes contribute exact zeros (pw = 0 so every term adds ±0.0).
-    for (std::size_t s = 0; s < max_steps; ++s) {
+    // Phase 2: left run (descending from the old lo − 1), then right run
+    // (ascending from the old hi + 1) — the scalar sweep's exact admission
+    // order, with each lane's step index a linear function of s
+    // (idx = base ∓ s). Exhausted lanes contribute exact zeros (pw = 0 so
+    // every term adds ±0.0); relative to the interleaved form, only where
+    // those padding steps fall differs, and padding never changes a finite
+    // accumulator. The linear indexing is what enables the contiguous-run
+    // transpose fast path (batched_lanes_contig.hpp): when all active
+    // lanes' bases fit one block window, the per-lane loads become one
+    // contiguous block copy plus an L1-resident transpose.
+    for (int phase = 0; phase < 2; ++phase) {
+      const bool left = phase == 0;
+      std::size_t max_cnt = 0;
       for (std::size_t l = 0; l < C; ++l) {
-        if (s < ntotal[l]) {
-          const std::size_t idx = s < nleft[l]
-                                      ? st.lo[l] + (nleft[l] - 1 - s)
-                                      : hi_old[l] + 1 + (s - nleft[l]);
-          const Scalar xl = xs_sorted[idx];
-          dv[l] = xl < st.xi[l] ? st.xi[l] - xl : xl - st.xi[l];
-          yv[l] = ys_sorted[idx];
-          pw[l] = Scalar{1};
+        if (l < st.lanes) {
+          cnt[l] = left ? static_cast<std::int64_t>(st.lo[l] - lo_new[l])
+                        : static_cast<std::int64_t>(hi_new[l] - st.hi[l]);
+          base[l] = left ? static_cast<std::int64_t>(st.lo[l]) - 1
+                         : static_cast<std::int64_t>(st.hi[l]) + 1;
         } else {
-          dv[l] = Scalar{};
-          yv[l] = Scalar{};
-          pw[l] = Scalar{};
+          cnt[l] = 0;
+          base[l] = 0;
+        }
+        const auto c = static_cast<std::size_t>(cnt[l]);
+        max_cnt = c > max_cnt ? c : max_cnt;
+      }
+      const ContigRun run = detect_contig_run(cnt, base, C, max_cnt, n, left);
+      if (run.steps != 0) {
+        for (std::size_t l = 0; l < C; ++l) {
+          off[l] = cnt[l] > 0
+                       ? static_cast<std::size_t>(base[l] - run.min_base)
+                       : 0;
         }
       }
-      // The vector hot loop: C-wide, branch-free, contiguous.
-      for (std::size_t m = 0; m < terms; ++m) {
-        for (std::size_t l = 0; l < C; ++l) {
-          st.s_m[m][l] += pw[l];
+      if (stats != nullptr) {
+        stats->contig_steps += run.steps;
+        stats->gather_steps += max_cnt - run.steps;
+      }
+      for (std::size_t s = 0; s < max_cnt; ++s) {
+        if (prefetch != 0 && run.any) {
+          // The run's extreme bases slide linearly with s, so the span's
+          // frontier `prefetch` steps ahead is its two endpoint lines.
+          const auto d = static_cast<std::int64_t>(s + prefetch);
+          const std::int64_t pmin = left ? run.min_base - d : run.min_base + d;
+          const std::int64_t pmax = left ? run.max_base - d : run.max_base + d;
+          if (pmin >= 0 && pmin < static_cast<std::int64_t>(n)) {
+            __builtin_prefetch(xs + pmin);
+            __builtin_prefetch(ys + pmin);
+          }
+          if (pmax != pmin && pmax >= 0 &&
+              pmax < static_cast<std::int64_t>(n)) {
+            __builtin_prefetch(xs + pmax);
+            __builtin_prefetch(ys + pmax);
+          }
         }
-        for (std::size_t l = 0; l < C; ++l) {
-          st.t_m[m][l] += yv[l] * pw[l];
+        if (s < run.steps) {
+          contig_load_transpose<Scalar, C>(
+              xs, ys,
+              left ? run.min_base - static_cast<std::int64_t>(s)
+                   : run.min_base + static_cast<std::int64_t>(s),
+              cnt, off.data(), s, st.xi.data(), dv.data(), yv.data(),
+              pw.data());
+        } else {
+          const auto si = static_cast<std::int64_t>(s);
+          for (std::size_t l = 0; l < C; ++l) {
+            if (si < cnt[l]) {
+              const auto idx =
+                  static_cast<std::size_t>(left ? base[l] - si : base[l] + si);
+              const Scalar xl = xs[idx];
+              dv[l] = xl < st.xi[l] ? st.xi[l] - xl : xl - st.xi[l];
+              yv[l] = ys[idx];
+              pw[l] = Scalar{1};
+            } else {
+              dv[l] = Scalar{};
+              yv[l] = Scalar{};
+              pw[l] = Scalar{};
+            }
+          }
         }
-        for (std::size_t l = 0; l < C; ++l) {
-          pw[l] *= dv[l];
+        // The vector hot loop: C-wide, branch-free, contiguous.
+        for (std::size_t m = 0; m < terms; ++m) {
+          for (std::size_t l = 0; l < C; ++l) {
+            st.s_m[m][l] += pw[l];
+          }
+          for (std::size_t l = 0; l < C; ++l) {
+            st.t_m[m][l] += yv[l] * pw[l];
+          }
+          for (std::size_t l = 0; l < C; ++l) {
+            pw[l] *= dv[l];
+          }
         }
       }
+    }
+    for (std::size_t l = 0; l < st.lanes; ++l) {
+      st.lo[l] = lo_new[l];
+      st.hi[l] = hi_new[l];
     }
 
     // Phase 3: recombination across lanes. h, 1/h and its running powers

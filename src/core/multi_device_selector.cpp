@@ -26,6 +26,8 @@ MultiDeviceGridSelector::MultiDeviceGridSelector(
     }
   }
   (void)resolve_lane_width(config_.lane_width);  // reject bad widths early
+  config_.prefetch_distance =
+      resolve_prefetch_distance(config_.prefetch_distance);
 }
 
 std::size_t MultiDeviceGridSelector::estimated_bytes_per_device(
@@ -112,9 +114,9 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
     // Lane batching: the σ-sort key is a global property of the sorted
     // array, so one pass serves every device's slice.
     const std::size_t lane_width = resolve_lane_width(config.lane_width);
-    std::vector<std::size_t> lengths;
+    AdmissionWindows win;
     if (lane_width > 1) {
-      lengths = admission_window_lengths<Scalar>(xs_host, reach);
+      win = admission_windows<Scalar>(xs_host, reach);
     }
     for (std::size_t d = 0; d < slices.size(); ++d) {
       spmd::Device& device = *devices[d];
@@ -198,8 +200,9 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
 
           std::vector<std::uint32_t> tile_order;
           if (lane_width > 1) {
-            tile_order = sigma_batch_order(lengths, base + n0, base + n0 + nb,
-                                           tpb, config.sigma_sort);
+            tile_order = sigma_batch_order(
+                win.length, win.lo, base + n0, base + n0 + nb, tpb,
+                config.sigma, sigma_position_bucket(sizeof(Scalar)));
           }
           const std::span<const std::uint32_t> order_s(tile_order);
 
@@ -247,7 +250,8 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
                       [&](std::size_t b, std::size_t l, Scalar sq) {
                         const std::size_t q = st.pos[l] - rel0;
                         resid_all[b * nb + q] = sq;
-                      });
+                      },
+                      config.prefetch_distance);
                   detail::batch_store(st, lo_all, hi_all, sm_all, tm_all,
                                       terms, key);
                 });
@@ -351,9 +355,9 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
 
       std::vector<std::uint32_t> slice_order;
       if (lane_width > 1) {
-        slice_order =
-            sigma_batch_order(lengths, base, base + rows, tpb,
-                              config.sigma_sort);
+        slice_order = sigma_batch_order(
+            win.length, win.lo, base, base + rows, tpb, config.sigma,
+            sigma_position_bucket(sizeof(Scalar)));
       }
       const std::span<const std::uint32_t> order_s(slice_order);
 
@@ -400,7 +404,8 @@ SelectionResult run_multi_device(const std::vector<spmd::Device*>& devices,
                   [&](std::size_t b, std::size_t l, Scalar sq) {
                     const std::size_t q = st.pos[l] - base;
                     resid_all[b * rows + q] = sq;
-                  });
+                  },
+                  config.prefetch_distance);
               detail::batch_store(st, lo_all, hi_all, sm_all, tm_all, terms,
                                   key);
             });
@@ -609,8 +614,11 @@ std::string MultiDeviceGridSelector::name() const {
     const std::size_t lanes = resolve_lane_width(config_.lane_width);
     if (lanes > 1) {
       n += ",lanes=" + std::to_string(lanes);
-      if (config_.sigma_sort) {
-        n += ",sigma";
+      if (config_.sigma != SigmaPolicy::kNone) {
+        n += ",sigma=" + std::string(to_string(config_.sigma));
+      }
+      if (config_.prefetch_distance != 0) {
+        n += ",prefetch=" + std::to_string(config_.prefetch_distance);
       }
     }
   }

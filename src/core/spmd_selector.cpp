@@ -31,6 +31,8 @@ SpmdGridSelector::SpmdGridSelector(spmd::Device& device,
     throw std::invalid_argument("SpmdGridSelector: threads_per_block == 0");
   }
   (void)resolve_lane_width(config_.lane_width);  // reject bad widths early
+  config_.prefetch_distance =
+      resolve_prefetch_distance(config_.prefetch_distance);
 }
 
 std::size_t SpmdGridSelector::estimated_bytes(std::size_t n, std::size_t k,
@@ -77,10 +79,10 @@ template <class Scalar>
 std::vector<std::uint32_t> sigma_launch_order(std::span<const Scalar> host_x,
                                               Scalar reach, std::size_t begin,
                                               std::size_t end, std::size_t tpb,
-                                              bool sigma_sort) {
-  const std::vector<std::size_t> lengths =
-      admission_window_lengths<Scalar>(host_x, reach);
-  return sigma_batch_order(lengths, begin, end, tpb, sigma_sort);
+                                              SigmaPolicy policy) {
+  const AdmissionWindows win = admission_windows<Scalar>(host_x, reach);
+  return sigma_batch_order(win.length, win.lo, begin, end, tpb, policy,
+                           sigma_position_bucket(sizeof(Scalar)));
 }
 
 /// Single-block cooperative sum over values[j * stride + offset] for
@@ -176,7 +178,7 @@ SelectionResult run_streamed_window_selection(
   if (lane_width > 1) {
     order = sigma_launch_order<Scalar>(std::span<const Scalar>(host_x),
                                        host_grid.back(), 0, n, tpb,
-                                       config.sigma_sort);
+                                       config.sigma);
   }
   const std::span<const std::uint32_t> order_s(order);
 
@@ -223,7 +225,7 @@ SelectionResult run_streamed_window_selection(
                                [&](std::size_t b, std::size_t l, Scalar sq) {
             const std::size_t j = st.pos[l];
             resid_all[bandwidth_major ? b * n + j : j * kb + b] = sq;
-          });
+          }, config.prefetch_distance);
           detail::batch_store(st, lo_all, hi_all, sm_all, tm_all, terms, key);
         });
       });
@@ -340,9 +342,9 @@ SelectionResult run_streamed_2d_window_selection(
   // global property of the sorted array, so it is computed once and each
   // n-block's launch rows are permuted within their launch-block scopes.
   const std::size_t lane_width = resolve_lane_width(config.lane_width);
-  std::vector<std::size_t> lengths;
+  AdmissionWindows win;
   if (lane_width > 1) {
-    lengths = admission_window_lengths<Scalar>(host_xs, reach);
+    win = admission_windows<Scalar>(host_xs, reach);
   }
 
   for (std::size_t n0 = 0; n0 < n; n0 += plan.n_block) {
@@ -385,7 +387,8 @@ SelectionResult run_streamed_2d_window_selection(
     std::vector<std::uint32_t> tile_order;
     if (lane_width > 1) {
       tile_order =
-          sigma_batch_order(lengths, n0, n0 + nb, tpb, config.sigma_sort);
+          sigma_batch_order(win.length, win.lo, n0, n0 + nb, tpb,
+                            config.sigma, sigma_position_bucket(sizeof(Scalar)));
     }
     const std::span<const std::uint32_t> order_s(tile_order);
 
@@ -432,7 +435,8 @@ SelectionResult run_streamed_2d_window_selection(
                 [&](std::size_t b, std::size_t l, Scalar sq) {
                   const std::size_t q = st.pos[l] - rel0;
                   resid_all[bandwidth_major ? b * nb + q : q * kb + b] = sq;
-                });
+                },
+                config.prefetch_distance);
             detail::batch_store(st, lo_all, hi_all, sm_all, tm_all, terms,
                                 key);
           });
@@ -669,7 +673,7 @@ SelectionResult run_device_selection(spmd::Device& device,
     // bitwise identical to the scalar kernel's.
     const std::vector<std::uint32_t> order = sigma_launch_order<Scalar>(
         std::span<const Scalar>(host_x), host_grid.back(), 0, n, tpb,
-        config.sigma_sort);
+        config.sigma);
     const std::span<const std::uint32_t> order_s(order);
     detail::with_lane_width(lane_width, [&](auto width_c) {
       constexpr std::size_t C = decltype(width_c)::value;
@@ -691,7 +695,7 @@ SelectionResult run_device_selection(spmd::Device& device,
                              [&](std::size_t b, std::size_t l, Scalar sq) {
           const std::size_t j = st.pos[l];
           resid_all[bandwidth_major ? b * n + j : j * k + b] = sq;
-        });
+        }, config.prefetch_distance);
       });
     });
   } else {
@@ -831,8 +835,11 @@ std::string SpmdGridSelector::name() const {
     const std::size_t lanes = resolve_lane_width(config_.lane_width);
     if (lanes > 1) {
       n += ",lanes=" + std::to_string(lanes);
-      if (config_.sigma_sort) {
-        n += ",sigma";
+      if (config_.sigma != SigmaPolicy::kNone) {
+        n += ",sigma=" + std::string(to_string(config_.sigma));
+      }
+      if (config_.prefetch_distance != 0) {
+        n += ",prefetch=" + std::to_string(config_.prefetch_distance);
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <string>
 
+#include "core/batched_sweep.hpp"
 #include "core/selectors.hpp"
 #include "core/streaming.hpp"
 #include "spmd/device.hpp"
@@ -67,12 +68,18 @@ struct SpmdSelectorConfig {
   /// keyed by observation, so every lane width is bitwise identical to the
   /// scalar kernels. Window algorithm only.
   std::size_t lane_width = 0;
-  /// σ-sort each launch block's observations by admission-window length at
-  /// h_max before grouping into lanes, so the lanes of one dispatch do
-  /// similar work (coherent simulated warps). Pure scheduling permutation:
-  /// profiles are bitwise identical either way. Ignored when lane_width
-  /// resolves to 1.
-  bool sigma_sort = true;
+  /// σ-sort each launch block's observations before grouping into lanes
+  /// (see kreg::SigmaPolicy): kLength groups similar admission-window
+  /// lengths (coherent simulated warps), kPositionLength additionally
+  /// groups nearby window positions so a dispatch's lanes read overlapping
+  /// index ranges (cache-resident gathers, contiguous-run fast path). Pure
+  /// scheduling permutation: profiles are bitwise identical for every
+  /// policy. Ignored when lane_width resolves to 1.
+  SigmaPolicy sigma = SigmaPolicy::kPositionLength;
+  /// Software-prefetch distance for the batched lane-resume inner loops,
+  /// in phase-2 steps ahead. 0 = off; kPrefetchFromEnv (the default)
+  /// reads KREG_PREFETCH_DIST. Resolved (and validated) at construction.
+  std::size_t prefetch_distance = kPrefetchFromEnv;
 };
 
 /// **Program 4** — "CUDA on GPU": the paper's parallel grid search on the

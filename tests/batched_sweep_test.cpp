@@ -29,7 +29,9 @@ using kreg::KernelType;
 using kreg::MultiDeviceGridSelector;
 using kreg::Precision;
 using kreg::ResidualLayout;
+using kreg::BatchRunStats;
 using kreg::SelectionResult;
+using kreg::SigmaPolicy;
 using kreg::SpmdGridSelector;
 using kreg::SpmdSelectorConfig;
 using kreg::data::Dataset;
@@ -40,6 +42,9 @@ Dataset paper_data(std::size_t n, std::uint64_t seed) {
   Stream s(seed);
   return kreg::data::paper_dgp(n, s);
 }
+
+constexpr SigmaPolicy kAllPolicies[] = {
+    SigmaPolicy::kNone, SigmaPolicy::kLength, SigmaPolicy::kPositionLength};
 
 std::vector<double> test_grid(std::size_t k = 24) {
   return BandwidthGrid(0.05, 1.2, k).values();
@@ -159,6 +164,110 @@ TEST(SigmaBatchOrder, RespectsBeginOffsetAndIsAPermutation) {
   }
 }
 
+// --- sigma_batch_order: two-key (position, length) policy --------------------
+
+TEST(SigmaBatchOrderTwoKey, PolicyNoneIsIdentityAndIgnoresKeys) {
+  const std::vector<std::size_t> lengths = {5, 1, 9, 3, 7};
+  const std::vector<std::size_t> los = {40, 0, 20, 10, 30};
+  const auto order = kreg::sigma_batch_order(lengths, los, 0, 5, 0,
+                                             SigmaPolicy::kNone, 8);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(order[r], r);
+  }
+}
+
+TEST(SigmaBatchOrderTwoKey, PrimarySortsByPositionBucketAscending) {
+  // Buckets of width 8: lo 17 → bucket 2, lo 9 → 1, lo 0 → 0, lo 25 → 3.
+  const std::vector<std::size_t> lengths = {4, 4, 4, 4};
+  const std::vector<std::size_t> los = {17, 9, 0, 25};
+  const auto order = kreg::sigma_batch_order(
+      lengths, los, 0, 4, 0, SigmaPolicy::kPositionLength, 8);
+  const std::vector<std::uint32_t> want = {2, 1, 0, 3};
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(order[r], want[r]) << "r=" << r;
+  }
+}
+
+TEST(SigmaBatchOrderTwoKey, SecondaryLengthDescendingWithinBucket) {
+  // All four lo values land in bucket 0 (width 16) → pure length order.
+  const std::vector<std::size_t> lengths = {5, 9, 1, 7};
+  const std::vector<std::size_t> los = {3, 0, 15, 8};
+  const auto order = kreg::sigma_batch_order(
+      lengths, los, 0, 4, 0, SigmaPolicy::kPositionLength, 16);
+  const std::vector<std::uint32_t> want = {1, 3, 0, 2};
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(order[r], want[r]) << "r=" << r;
+  }
+}
+
+TEST(SigmaBatchOrderTwoKey, StableOnFullKeyTiesAndRespectsScopes) {
+  // Rows 0/2/4 tie on (bucket 0, length 6): original order must survive.
+  const std::vector<std::size_t> lengths = {6, 2, 6, 8, 6, 3};
+  const std::vector<std::size_t> los = {1, 3, 2, 0, 5, 4};
+  const auto order = kreg::sigma_batch_order(
+      lengths, los, 0, 6, 0, SigmaPolicy::kPositionLength, 8);
+  const std::vector<std::uint32_t> want = {3, 0, 2, 4, 5, 1};
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(order[r], want[r]) << "r=" << r;
+  }
+  // scope = 3: {6,2,6} with lo {1,3,2} and {8,6,3} with lo {0,5,4} sort
+  // independently (one bucket each → length order, stable).
+  const auto scoped = kreg::sigma_batch_order(
+      lengths, los, 0, 6, 3, SigmaPolicy::kPositionLength, 8);
+  const std::vector<std::uint32_t> want_scoped = {0, 2, 1, 3, 4, 5};
+  ASSERT_EQ(scoped.size(), want_scoped.size());
+  for (std::size_t r = 0; r < want_scoped.size(); ++r) {
+    EXPECT_EQ(scoped[r], want_scoped[r]) << "r=" << r;
+  }
+}
+
+TEST(SigmaBatchOrderTwoKey, PositionLengthRequiresLoCoverage) {
+  const std::vector<std::size_t> lengths = {5, 1, 9};
+  const std::vector<std::size_t> los = {0, 1};  // too short for end = 3
+  EXPECT_THROW(kreg::sigma_batch_order(lengths, los, 0, 3, 0,
+                                       SigmaPolicy::kPositionLength, 8),
+               std::invalid_argument);
+}
+
+TEST(SigmaBatchOrderTwoKey, LegacyBoolOverloadMapsToLengthPolicy) {
+  const std::vector<std::size_t> lengths = {5, 1, 9, 5, 7};
+  const auto legacy = kreg::sigma_batch_order(lengths, 0, 5, 0, true);
+  const auto policy = kreg::sigma_batch_order(
+      lengths, {}, 0, 5, 0, SigmaPolicy::kLength, 8);
+  ASSERT_EQ(legacy.size(), policy.size());
+  for (std::size_t r = 0; r < legacy.size(); ++r) {
+    EXPECT_EQ(legacy[r], policy[r]) << "r=" << r;
+  }
+}
+
+// --- admission_windows -------------------------------------------------------
+
+TEST(AdmissionWindowsTest, LoAndLengthMatchBruteForce) {
+  const Dataset data = paper_data(193, 19);
+  const auto sorted = kreg::sort_dataset<double>(data.x, data.y);
+  const double h_max = 0.7;
+  const kreg::AdmissionWindows win = kreg::admission_windows<double>(
+      std::span<const double>(sorted.x), h_max);
+  ASSERT_EQ(win.lo.size(), sorted.x.size());
+  ASSERT_EQ(win.length.size(), sorted.x.size());
+  for (std::size_t i = 0; i < sorted.x.size(); ++i) {
+    std::size_t lo = i;
+    while (lo > 0 && sorted.x[i] - sorted.x[lo - 1] <= h_max) {
+      --lo;
+    }
+    std::size_t hi = i;
+    while (hi + 1 < sorted.x.size() && sorted.x[hi + 1] - sorted.x[i] <= h_max) {
+      ++hi;
+    }
+    EXPECT_EQ(win.lo[i], lo) << "i=" << i;
+    EXPECT_EQ(win.length[i], hi - lo + 1) << "i=" << i;
+  }
+}
+
 // --- host batched profile: bitwise parity ----------------------------------
 
 // One tile covering the dataset ⇒ the batched profile must equal the
@@ -173,15 +282,15 @@ TEST(BatchedHostProfile, BitwiseEqualsScalarSingleTile) {
     HostTiling one_tile;
     one_tile.n_block = n;  // single tile: matches profile_sequential order
     for (const std::size_t width : {1u, 4u, 8u, 16u}) {
-      for (const bool sigma : {false, true}) {
+      for (const SigmaPolicy sigma : kAllPolicies) {
         BatchedSweep batched;
         batched.lane_width = width;
-        batched.sigma_sort = sigma;
+        batched.sigma = sigma;
         const std::vector<double> got = kreg::window_cv_profile_batched(
             data, grid, KernelType::kEpanechnikov, Precision::kDouble,
             batched, one_tile);
         SCOPED_TRACE("n=" + std::to_string(n) + " C=" + std::to_string(width) +
-                     " sigma=" + std::to_string(sigma));
+                     " sigma=" + std::string(kreg::to_string(sigma)));
         expect_bitwise_profiles(got, want);
       }
     }
@@ -218,16 +327,16 @@ TEST(BatchedHostProfile, BitwiseEqualsTiledUnderStreamingTilings) {
       tiling.k_block = k_block;
       const std::vector<double> want = kreg::window_cv_profile_tiled(
           data, grid, KernelType::kEpanechnikov, Precision::kDouble, tiling);
-      for (const bool sigma : {false, true}) {
+      for (const SigmaPolicy sigma : kAllPolicies) {
         BatchedSweep batched;
         batched.lane_width = 8;
-        batched.sigma_sort = sigma;
+        batched.sigma = sigma;
         const std::vector<double> got = kreg::window_cv_profile_batched(
             data, grid, KernelType::kEpanechnikov, Precision::kDouble,
             batched, tiling);
         SCOPED_TRACE("n_block=" + std::to_string(n_block) +
                      " k_block=" + std::to_string(k_block) +
-                     " sigma=" + std::to_string(sigma));
+                     " sigma=" + std::string(kreg::to_string(sigma)));
         expect_bitwise_profiles(got, want);
       }
     }
@@ -248,6 +357,98 @@ TEST(BatchedHostProfile, BitwiseParityTriweightKernel) {
       data, grid, KernelType::kTriweight, Precision::kDouble, batched,
       one_tile);
   expect_bitwise_profiles(got, want);
+}
+
+// Tiny samples stress the batch machinery's edges: n < C (one all-padding
+// batch beyond lane 0), n = C (exactly one full batch), and n = C + 1 (a
+// one-lane ragged tail) — for both precisions under the default two-key
+// policy, where the contiguous-run detector sees windows pinned against
+// both array edges.
+TEST(BatchedHostProfile, TinyNBitwiseParityPositionLength) {
+  const std::vector<double> grid = test_grid(16);
+  for (const std::size_t n : {5u, 8u, 9u, 16u, 17u}) {
+    const Dataset data = paper_data(n, 100 + n);
+    HostTiling one_tile;
+    one_tile.n_block = n;
+    for (const Precision precision : {Precision::kFloat, Precision::kDouble}) {
+      const std::vector<double> want =
+          kreg::window_cv_profile(data, grid, KernelType::kEpanechnikov,
+                                  precision);
+      for (const std::size_t width : {8u, 16u}) {
+        BatchedSweep batched;
+        batched.lane_width = width;
+        batched.sigma = SigmaPolicy::kPositionLength;
+        BatchRunStats stats;
+        const std::vector<double> got = kreg::window_cv_profile_batched(
+            data, grid, KernelType::kEpanechnikov, precision, batched,
+            one_tile, nullptr, &stats);
+        SCOPED_TRACE("n=" + std::to_string(n) + " C=" + std::to_string(width) +
+                     " float=" +
+                     std::to_string(precision == Precision::kFloat));
+        expect_bitwise_profiles(got, want);
+        EXPECT_GE(stats.contig_rate(), 0.0);
+        EXPECT_LE(stats.contig_rate(), 1.0);
+      }
+    }
+  }
+}
+
+// Under the two-key policy a batch's lanes admit from overlapping index
+// ranges, so the contiguous-run transpose path must actually fire — and
+// firing must not perturb a single bit of the profile.
+TEST(BatchedHostProfile, ContigFastPathFiresAndStaysBitwise) {
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(1024, 77);
+  const std::vector<double> want = kreg::window_cv_profile(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble);
+  HostTiling one_tile;
+  one_tile.n_block = 1024;
+  for (const std::size_t width : {4u, 8u, 16u}) {
+    BatchedSweep batched;
+    batched.lane_width = width;
+    batched.sigma = SigmaPolicy::kPositionLength;
+    BatchRunStats stats;
+    const std::vector<double> got = kreg::window_cv_profile_batched(
+        data, grid, KernelType::kEpanechnikov, Precision::kDouble, batched,
+        one_tile, nullptr, &stats);
+    SCOPED_TRACE("C=" + std::to_string(width));
+    expect_bitwise_profiles(got, want);
+    EXPECT_GT(stats.contig_steps, 0u);
+    EXPECT_GT(stats.contig_steps + stats.gather_steps, 0u);
+    EXPECT_GE(stats.contig_rate(), 0.0);
+    EXPECT_LE(stats.contig_rate(), 1.0);
+  }
+}
+
+// Software prefetch is observational: any distance gives the same bits.
+TEST(BatchedHostProfile, PrefetchDistanceIsBitwiseNeutral) {
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(517, 41);
+  HostTiling one_tile;
+  one_tile.n_block = 517;
+  const std::vector<double> want = kreg::window_cv_profile(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble);
+  for (const std::size_t dist : {0u, 1u, 8u, 64u}) {
+    BatchedSweep batched;
+    batched.lane_width = 8;
+    batched.prefetch_distance = dist;
+    const std::vector<double> got = kreg::window_cv_profile_batched(
+        data, grid, KernelType::kEpanechnikov, Precision::kDouble, batched,
+        one_tile);
+    SCOPED_TRACE("dist=" + std::to_string(dist));
+    expect_bitwise_profiles(got, want);
+  }
+}
+
+TEST(BatchedHostProfile, RejectsOversizedPrefetchDistance) {
+  const Dataset data = paper_data(32, 3);
+  const std::vector<double> grid = test_grid(4);
+  BatchedSweep batched;
+  batched.prefetch_distance = kreg::kMaxPrefetchDistance + 1;
+  EXPECT_THROW(kreg::window_cv_profile_batched(data, grid,
+                                               KernelType::kEpanechnikov,
+                                               Precision::kDouble, batched),
+               std::invalid_argument);
 }
 
 TEST(BatchedHostProfile, DefaultsMatchTiledDefaults) {
@@ -279,12 +480,12 @@ TEST(BatchedHostProfile, RejectsBadLaneWidthAndBadGrid) {
 
 // --- device batched kernels: bitwise parity --------------------------------
 
-SpmdSelectorConfig device_cfg(std::size_t lane_width, bool sigma,
+SpmdSelectorConfig device_cfg(std::size_t lane_width, SigmaPolicy sigma,
                               Precision precision = Precision::kDouble) {
   SpmdSelectorConfig cfg;
   cfg.precision = precision;
   cfg.lane_width = lane_width;
-  cfg.sigma_sort = sigma;
+  cfg.sigma = sigma;
   cfg.stream.auto_tune = false;  // pin the resident path unless overridden
   return cfg;
 }
@@ -306,13 +507,14 @@ TEST(SpmdBatchedParity, ResidentBitwiseAcrossLaneWidthsAndSigma) {
   const BandwidthGrid grid(0.05, 1.2, 32);
   Device dev;
   const SelectionResult want =
-      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
+      SpmdGridSelector(dev, device_cfg(1, SigmaPolicy::kNone))
+          .select(data, grid);
   for (const std::size_t width : {4u, 8u, 16u}) {
-    for (const bool sigma : {false, true}) {
+    for (const SigmaPolicy sigma : kAllPolicies) {
       const SelectionResult got =
           SpmdGridSelector(dev, device_cfg(width, sigma)).select(data, grid);
       SCOPED_TRACE("C=" + std::to_string(width) +
-                   " sigma=" + std::to_string(sigma));
+                   " sigma=" + std::string(kreg::to_string(sigma)));
       expect_same_selection(got, want);
     }
   }
@@ -323,11 +525,12 @@ TEST(SpmdBatchedParity, ResidentBitwiseObservationMajorAndFloat) {
   const BandwidthGrid grid(0.05, 1.2, 24);
   Device dev;
   for (const Precision precision : {Precision::kFloat, Precision::kDouble}) {
-    SpmdSelectorConfig scalar = device_cfg(1, false, precision);
+    SpmdSelectorConfig scalar = device_cfg(1, SigmaPolicy::kNone, precision);
     scalar.layout = ResidualLayout::kObservationMajor;
     const SelectionResult want =
         SpmdGridSelector(dev, scalar).select(data, grid);
-    SpmdSelectorConfig batched = device_cfg(8, true, precision);
+    SpmdSelectorConfig batched =
+        device_cfg(8, SigmaPolicy::kPositionLength, precision);
     batched.layout = ResidualLayout::kObservationMajor;
     const SelectionResult got =
         SpmdGridSelector(dev, batched).select(data, grid);
@@ -340,13 +543,14 @@ TEST(SpmdBatchedParity, StreamedKblockBitwise) {
   const BandwidthGrid grid(0.05, 1.2, 40);
   Device dev;
   const SelectionResult resident =
-      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
-  for (const bool sigma : {false, true}) {
+      SpmdGridSelector(dev, device_cfg(1, SigmaPolicy::kNone))
+          .select(data, grid);
+  for (const SigmaPolicy sigma : kAllPolicies) {
     SpmdSelectorConfig cfg = device_cfg(8, sigma);
     cfg.stream.k_block = 8;
     const SelectionResult got =
         SpmdGridSelector(dev, cfg).select(data, grid);
-    SCOPED_TRACE("sigma=" + std::to_string(sigma));
+    SCOPED_TRACE("sigma=" + std::string(kreg::to_string(sigma)));
     expect_same_selection(got, resident);
   }
 }
@@ -356,9 +560,10 @@ TEST(SpmdBatchedParity, Streamed2DTileBitwise) {
   const BandwidthGrid grid(0.05, 1.2, 32);
   Device dev;
   const SelectionResult resident =
-      SpmdGridSelector(dev, device_cfg(1, false)).select(data, grid);
+      SpmdGridSelector(dev, device_cfg(1, SigmaPolicy::kNone))
+          .select(data, grid);
   for (const std::size_t width : {4u, 16u}) {
-    SpmdSelectorConfig cfg = device_cfg(width, true);
+    SpmdSelectorConfig cfg = device_cfg(width, SigmaPolicy::kPositionLength);
     cfg.stream.k_block = 8;
     cfg.stream.n_block = 96;
     const SelectionResult got =
@@ -368,25 +573,40 @@ TEST(SpmdBatchedParity, Streamed2DTileBitwise) {
   }
 }
 
-TEST(SpmdBatchedParity, NameReportsLanesAndSigma) {
+TEST(SpmdBatchedParity, NameReportsLanesSigmaAndPrefetch) {
   Device dev;
-  const std::string batched = SpmdGridSelector(dev, device_cfg(8, true)).name();
+  const std::string batched =
+      SpmdGridSelector(dev, device_cfg(8, SigmaPolicy::kLength)).name();
   EXPECT_NE(batched.find("lanes=8"), std::string::npos) << batched;
-  EXPECT_NE(batched.find("sigma"), std::string::npos) << batched;
+  EXPECT_NE(batched.find("sigma=length"), std::string::npos) << batched;
+  const std::string poslen =
+      SpmdGridSelector(dev, device_cfg(8, SigmaPolicy::kPositionLength))
+          .name();
+  EXPECT_NE(poslen.find("sigma=position-length"), std::string::npos) << poslen;
   const std::string no_sigma =
-      SpmdGridSelector(dev, device_cfg(4, false)).name();
+      SpmdGridSelector(dev, device_cfg(4, SigmaPolicy::kNone)).name();
   EXPECT_NE(no_sigma.find("lanes=4"), std::string::npos) << no_sigma;
   EXPECT_EQ(no_sigma.find("sigma"), std::string::npos) << no_sigma;
-  const std::string scalar = SpmdGridSelector(dev, device_cfg(1, true)).name();
+  EXPECT_EQ(no_sigma.find("prefetch"), std::string::npos) << no_sigma;
+  SpmdSelectorConfig pf = device_cfg(8, SigmaPolicy::kPositionLength);
+  pf.prefetch_distance = 6;
+  const std::string with_pf = SpmdGridSelector(dev, pf).name();
+  EXPECT_NE(with_pf.find("prefetch=6"), std::string::npos) << with_pf;
+  const std::string scalar =
+      SpmdGridSelector(dev, device_cfg(1, SigmaPolicy::kLength)).name();
   EXPECT_EQ(scalar.find("lanes"), std::string::npos) << scalar;
 }
 
-TEST(SpmdBatchedParity, CtorRejectsBadLaneWidth) {
+TEST(SpmdBatchedParity, CtorRejectsBadLaneWidthAndBadPrefetch) {
   Device dev;
-  EXPECT_THROW(SpmdGridSelector(dev, device_cfg(5, true)),
+  EXPECT_THROW(SpmdGridSelector(dev, device_cfg(5, SigmaPolicy::kLength)),
                std::invalid_argument);
-  EXPECT_THROW(MultiDeviceGridSelector({&dev}, device_cfg(3, true)),
+  EXPECT_THROW(MultiDeviceGridSelector({&dev},
+                                       device_cfg(3, SigmaPolicy::kLength)),
                std::invalid_argument);
+  SpmdSelectorConfig pf = device_cfg(8, SigmaPolicy::kPositionLength);
+  pf.prefetch_distance = kreg::kMaxPrefetchDistance + 1;
+  EXPECT_THROW(SpmdGridSelector(dev, pf), std::invalid_argument);
 }
 
 TEST(MultiDeviceBatchedParity, ResidentAndStreamedBitwise) {
@@ -396,17 +616,18 @@ TEST(MultiDeviceBatchedParity, ResidentAndStreamedBitwise) {
   Device dev2;
   const std::vector<Device*> devices = {&dev1, &dev2};
   const SelectionResult want =
-      MultiDeviceGridSelector(devices, device_cfg(1, false))
+      MultiDeviceGridSelector(devices, device_cfg(1, SigmaPolicy::kNone))
           .select(data, grid);
   for (const std::size_t width : {4u, 8u}) {
     const SelectionResult got =
-        MultiDeviceGridSelector(devices, device_cfg(width, true))
+        MultiDeviceGridSelector(
+            devices, device_cfg(width, SigmaPolicy::kPositionLength))
             .select(data, grid);
     SCOPED_TRACE("C=" + std::to_string(width));
     expect_same_selection(got, want);
   }
   // Force both streaming dimensions on each device slice.
-  SpmdSelectorConfig streamed = device_cfg(8, true);
+  SpmdSelectorConfig streamed = device_cfg(8, SigmaPolicy::kPositionLength);
   streamed.stream.k_block = 8;
   streamed.stream.n_block = 64;
   const SelectionResult got =

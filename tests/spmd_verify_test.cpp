@@ -365,7 +365,8 @@ TEST(VerifyProduction, BatchedLanesWithoutSigmaSortVerify) {
   SpmdSelectorConfig cfg;
   cfg.precision = Precision::kDouble;
   cfg.lane_width = 8;
-  cfg.sigma_sort = false;  // identity lane order: affine addressing
+  cfg.sigma = kreg::SigmaPolicy::kNone;  // identity lane order: affine
+                                         // addressing
   const SelectionResult got = SpmdGridSelector(dev, cfg).select(d, grid);
   const SelectionResult want = SortedGridSelector().select(d, grid);
   EXPECT_DOUBLE_EQ(got.bandwidth, want.bandwidth);
