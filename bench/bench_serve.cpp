@@ -1,0 +1,335 @@
+// bench_serve — load generator for the kreg-serve scheduler.
+//
+// Drives the serving stack at concurrency {1, 8, 32} in two phases per
+// level: a *unique* phase (every request a distinct dataset seed — all
+// cache misses) and a *repeat* phase (the same requests again — the
+// profile cache must answer). Reports p50/p99 latency, throughput, and the
+// repeat-phase hit rate, writes BENCH_serve.json, and exits nonzero when
+// any job fails or the repeat phase hits less than half its requests —
+// the CI serve job relies on both assertions.
+//
+// Modes:
+//   bench_serve                      in-process (ServeContext, no sockets)
+//   bench_serve --socket PATH        against a running kreg_serve daemon
+//   bench_serve --device-budget B    ledger cap for in-process mode
+//                                    (default 1MiB — forces streamed plans
+//                                    and real admission pressure)
+//   bench_serve --jobs N             requests per client per phase (def. 8)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/streaming.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  std::size_t hits = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double throughput() const {
+    return seconds > 0.0 ? static_cast<double>(jobs) / seconds : 0.0;
+  }
+  double hit_rate() const {
+    return jobs > 0 ? static_cast<double>(hits) / static_cast<double>(jobs)
+                    : 0.0;
+  }
+};
+
+struct Cell {
+  std::size_t concurrency = 0;
+  const char* phase = "";
+  PhaseResult result;
+};
+
+/// One request line: estimator mixed by index, dataset seed unique per
+/// (client, index) so the unique phase misses and the repeat phase hits.
+std::string request_line(std::size_t client, std::size_t index) {
+  static const char* kEstimators[] = {"nw", "knn", "oscv"};
+  const char* estimator = kEstimators[index % 3];
+  const std::uint64_t seed = 1000 + client * 97 + index;
+  std::string line = "select estimator=" + std::string(estimator) +
+                     " dgp=paper n=768 seed=" + std::to_string(seed) +
+                     " backend=device";
+  if (index % 2 == 1) {
+    // knn grids are neighbor counts (integers >= 1), not bandwidths.
+    line += std::strcmp(estimator, "knn") == 0 ? " grid=4:96:16"
+                                               : " grid=0.05:1.0:32";
+  }
+  return line;
+}
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string roundtrip(const std::string& line) = 0;
+};
+
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(kreg::serve::ServeContext& context)
+      : context_(context) {}
+  std::string roundtrip(const std::string& line) override {
+    return context_.handle_line(line, nullptr);
+  }
+
+ private:
+  kreg::serve::ServeContext& context_;
+};
+
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      throw std::runtime_error("connect(" + path + "): " + std::strerror(err));
+    }
+  }
+  ~SocketTransport() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  std::string roundtrip(const std::string& line) override {
+    std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t wrote = ::write(fd_, out.data() + sent, out.size() - sent);
+      if (wrote <= 0) {
+        throw std::runtime_error("write failed");
+      }
+      sent += static_cast<std::size_t>(wrote);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) {
+        throw std::runtime_error("connection closed mid-response");
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    const std::size_t newline = buffer_.find('\n');
+    std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct BenchConfig {
+  std::string socket_path;  // empty = in-process
+  std::size_t device_budget = std::size_t{1} << 20;
+  std::size_t jobs_per_client = 8;
+  kreg::serve::ServeContext* context = nullptr;
+};
+
+PhaseResult run_phase(const BenchConfig& config, std::size_t concurrency,
+                      const char* phase) {
+  PhaseResult result;
+  std::vector<std::vector<double>> latencies(concurrency);
+  std::vector<std::size_t> failed(concurrency, 0);
+  std::vector<std::size_t> hits(concurrency, 0);
+  std::vector<std::string> errors(concurrency);
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        std::unique_ptr<Transport> transport;
+        if (config.socket_path.empty()) {
+          transport = std::make_unique<InProcessTransport>(*config.context);
+        } else {
+          transport = std::make_unique<SocketTransport>(config.socket_path);
+        }
+        for (std::size_t j = 0; j < config.jobs_per_client; ++j) {
+          const std::string line = request_line(c, j);
+          const auto t0 = Clock::now();
+          const std::string response = transport->roundtrip(line);
+          const auto t1 = Clock::now();
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+          if (response.rfind("ok ", 0) != 0) {
+            ++failed[c];
+            if (errors[c].empty()) {
+              errors[c] = response;
+            }
+          } else if (response.find(" cache=hit") != std::string::npos) {
+            ++hits[c];
+          }
+        }
+      } catch (const std::exception& e) {
+        failed[c] += config.jobs_per_client - latencies[c].size();
+        if (errors[c].empty()) {
+          errors[c] = e.what();
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    result.failed += failed[c];
+    result.hits += hits[c];
+    if (!errors[c].empty()) {
+      std::fprintf(stderr, "bench_serve: [%s c=%zu] %s\n", phase, c,
+                   errors[c].c_str());
+    }
+  }
+  result.jobs = concurrency * config.jobs_per_client;
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    result.p50_ms = all[all.size() / 2];
+    result.p99_ms = all[std::min(all.size() - 1, (all.size() * 99) / 100)];
+  }
+  return result;
+}
+
+void write_json(const std::vector<Cell>& cells, const char* mode,
+                const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n  \"mode\": \"%s\",\n"
+                  "  \"cells\": [\n",
+               mode);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"concurrency\": %zu, \"phase\": \"%s\", \"jobs\": %zu, "
+        "\"failed\": %zu, \"cache_hits\": %zu, \"hit_rate\": %.3f, "
+        "\"seconds\": %.6e, \"throughput_jobs_per_s\": %.2f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        c.concurrency, c.phase, c.result.jobs, c.result.failed, c.result.hits,
+        c.result.hit_rate(), c.result.seconds, c.result.throughput(),
+        c.result.p50_ms, c.result.p99_ms, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n", path, cells.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using kreg::bench::Table;
+  BenchConfig config;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(arg + " requires a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--socket") {
+        config.socket_path = value();
+      } else if (arg == "--device-budget") {
+        config.device_budget = kreg::parse_memory_budget(value());
+      } else if (arg == "--jobs") {
+        config.jobs_per_client =
+            static_cast<std::size_t>(std::stoul(value()));
+        if (config.jobs_per_client == 0) {
+          throw std::invalid_argument("--jobs must be positive");
+        }
+      } else {
+        throw std::invalid_argument("unknown argument '" + arg + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 2;
+  }
+
+  std::unique_ptr<kreg::serve::ServeContext> context;
+  if (config.socket_path.empty()) {
+    kreg::serve::SchedulerConfig sched;
+    sched.device_budget_bytes = config.device_budget;
+    sched.record_events = false;  // unbounded event log ≠ a load test
+    context = std::make_unique<kreg::serve::ServeContext>(sched);
+    context->scheduler().start_pump();
+    config.context = context.get();
+    std::printf("bench_serve: in-process, device budget %zu bytes\n",
+                config.device_budget);
+  } else {
+    std::printf("bench_serve: against daemon at %s\n",
+                config.socket_path.c_str());
+  }
+
+  kreg::bench::banner("kreg-serve load test");
+  Table table({"concurrency", "phase", "jobs", "failed", "hit rate",
+               "p50 (ms)", "p99 (ms)", "jobs/s"});
+  std::vector<Cell> cells;
+  bool ok = true;
+  for (const std::size_t concurrency : {1u, 8u, 32u}) {
+    for (const char* phase : {"unique", "repeat"}) {
+      const PhaseResult result = run_phase(config, concurrency, phase);
+      table.add_row({std::to_string(concurrency), phase,
+                     std::to_string(result.jobs),
+                     std::to_string(result.failed),
+                     Table::fmt_double(result.hit_rate(), 3),
+                     Table::fmt_double(result.p50_ms, 3),
+                     Table::fmt_double(result.p99_ms, 3),
+                     Table::fmt_double(result.throughput(), 1)});
+      cells.push_back(Cell{concurrency, phase, result});
+      if (result.failed != 0) {
+        std::fprintf(stderr,
+                     "bench_serve: %zu failed jobs at concurrency %zu (%s)\n",
+                     result.failed, concurrency, phase);
+        ok = false;
+      }
+      if (std::string(phase) == "repeat" && result.hit_rate() <= 0.5) {
+        std::fprintf(stderr,
+                     "bench_serve: repeat hit rate %.3f <= 0.5 at "
+                     "concurrency %zu\n",
+                     result.hit_rate(), concurrency);
+        ok = false;
+      }
+    }
+  }
+  table.print();
+  write_json(cells, config.socket_path.empty() ? "in-process" : "socket",
+             "BENCH_serve.json");
+  if (context) {
+    context->scheduler().stop_pump();
+  }
+  return ok ? 0 : 1;
+}

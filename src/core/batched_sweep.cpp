@@ -8,6 +8,7 @@
 
 #include "core/detail/batched_lanes.hpp"
 #include "core/validate_grid.hpp"
+#include "core/window_sweep.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sort/two_key.hpp"
 
@@ -317,6 +318,18 @@ std::vector<double> window_cv_profile_batched(const data::Dataset& data,
   const std::size_t lane_width = resolve_lane_width(batched.lane_width);
   const std::size_t prefetch =
       resolve_prefetch_distance(batched.prefetch_distance);
+  if (lane_width == 4) {
+    // The C = 4 narrow batch loses to the scalar sweep on every measured
+    // host (ROADMAP: the transpose fast path cannot amortize 4-lane
+    // shuffles), so an explicit lane_width = 4 request takes the scalar
+    // tiled sweep. Bitwise identical by the batched == scalar parity
+    // contract; the rerouting is visible only in the stats ledger.
+    if (stats != nullptr) {
+      ++stats->scalar_routed;
+    }
+    return window_cv_profile_tiled(data, grid, kernel, precision, tiling,
+                                   pool);
+  }
   return detail::with_lane_width(lane_width, [&](auto width) {
     constexpr std::size_t C = decltype(width)::value;
     return precision == Precision::kFloat

@@ -60,4 +60,26 @@ BandwidthGrid BandwidthGrid::zoomed(double lo, double hi, std::size_t k) const {
   return BandwidthGrid(lo, hi, k);
 }
 
+BandwidthGrid BandwidthGrid::from_values(std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("BandwidthGrid::from_values: empty grid");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] > 0.0)) {
+      throw std::invalid_argument(
+          "BandwidthGrid::from_values: value at index " + std::to_string(i) +
+          " (" + std::to_string(values[i]) + ") is not positive");
+    }
+    if (i > 0 && !(values[i] > values[i - 1])) {
+      throw std::invalid_argument(
+          "BandwidthGrid::from_values: values are not strictly ascending at "
+          "index " +
+          std::to_string(i));
+    }
+  }
+  BandwidthGrid grid;
+  grid.values_ = std::move(values);
+  return grid;
+}
+
 }  // namespace kreg

@@ -35,6 +35,15 @@ class BandwidthGrid {
   static BandwidthGrid default_for(const data::Dataset& dataset,
                                    std::size_t k);
 
+  /// Wraps an explicit candidate list — the entry point for submittable
+  /// plan objects (core/job.hpp) and for merged multi-tenant grids, which
+  /// are strictly ascending but not evenly spaced. Values are taken
+  /// verbatim (no respacing), so profiles computed through the wrapped
+  /// grid are bitwise comparable with profiles computed from the raw
+  /// span. Throws std::invalid_argument when `values` is empty, contains
+  /// a non-positive entry, or is not strictly ascending.
+  static BandwidthGrid from_values(std::vector<double> values);
+
   const std::vector<double>& values() const noexcept { return values_; }
   std::size_t size() const noexcept { return values_.size(); }
   double min() const noexcept { return values_.front(); }
@@ -52,6 +61,8 @@ class BandwidthGrid {
   BandwidthGrid zoomed(double lo, double hi, std::size_t k) const;
 
  private:
+  BandwidthGrid() = default;  // from_values fills values_ directly
+
   std::vector<double> values_;
 };
 

@@ -1,0 +1,72 @@
+#include "serve/fingerprint.hpp"
+
+#include <bit>
+
+namespace kreg::serve {
+
+namespace {
+
+// SplitMix64's output permutation (rng/splitmix64.hpp) applied as a mixing
+// step: absorb one word, then scramble. Chaining word-by-word keeps the
+// digest order-sensitive.
+constexpr std::uint64_t mix_word(std::uint64_t state,
+                                 std::uint64_t word) noexcept {
+  std::uint64_t z = state + word + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kSeedLo = 0x6b72656773657276ULL;  // "kregserv"
+constexpr std::uint64_t kSeedHi = 0xa5b35705f00dcafeULL;
+
+class DualDigest {
+ public:
+  constexpr DualDigest() noexcept : lo_(kSeedLo), hi_(kSeedHi) {}
+
+  constexpr void absorb(std::uint64_t word) noexcept {
+    lo_ = mix_word(lo_, word);
+    hi_ = mix_word(hi_, ~word);
+  }
+
+  constexpr Fingerprint128 digest() const noexcept { return {lo_, hi_}; }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+}  // namespace
+
+Fingerprint128 fingerprint_span(std::span<const double> values) {
+  DualDigest digest;
+  digest.absorb(values.size());
+  for (const double value : values) {
+    digest.absorb(std::bit_cast<std::uint64_t>(value));
+  }
+  return digest.digest();
+}
+
+Fingerprint128 fingerprint_counts(std::span<const std::size_t> values) {
+  DualDigest digest;
+  digest.absorb(values.size());
+  for (const std::size_t value : values) {
+    digest.absorb(static_cast<std::uint64_t>(value));
+  }
+  return digest.digest();
+}
+
+Fingerprint128 fingerprint_dataset(const data::Dataset& data) {
+  DualDigest digest;
+  digest.absorb(data.size());
+  for (const double x : data.x) {
+    digest.absorb(std::bit_cast<std::uint64_t>(x));
+  }
+  digest.absorb(0x00594f4c4f4d4f58ULL);  // X|Y domain separator
+  for (const double y : data.y) {
+    digest.absorb(std::bit_cast<std::uint64_t>(y));
+  }
+  return digest.digest();
+}
+
+}  // namespace kreg::serve

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.hpp"
+
+namespace kreg::serve {
+
+/// A 128-bit content fingerprint: two independent 64-bit digests of the
+/// same byte stream, mixed with different seeds. The dual-digest idea is
+/// borrowed from the static verifier's dual-dataset probes (spmd/verify):
+/// one 64-bit hash can collide plausibly at scale, but an aliasing pair
+/// must collide in *both* independently-seeded digests simultaneously —
+/// and the cache key additionally carries the exact lengths, so a full
+/// collision still has to match element counts (see the collision
+/// regression test in serve_test).
+struct Fingerprint128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Fingerprint128&,
+                         const Fingerprint128&) = default;
+};
+
+/// Order-sensitive digest of a double span: hashes the exact IEEE-754 bit
+/// patterns in sequence, so a permuted grid fingerprints differently and
+/// -0.0 differs from +0.0 (bitwise semantics, matching the bitwise result
+/// contract the cache serves).
+Fingerprint128 fingerprint_span(std::span<const double> values);
+
+/// Digest of a size_t span (neighbour grids).
+Fingerprint128 fingerprint_counts(std::span<const std::size_t> values);
+
+/// Content fingerprint of a dataset: length, every X bit pattern, a domain
+/// separator, then every Y bit pattern — so two datasets with the same X
+/// but different Y fingerprint differently (the CV profile depends on
+/// both), as do X/Y swaps.
+Fingerprint128 fingerprint_dataset(const data::Dataset& data);
+
+}  // namespace kreg::serve

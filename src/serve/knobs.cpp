@@ -1,0 +1,97 @@
+#include "serve/knobs.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "core/streaming.hpp"
+
+namespace kreg::serve {
+
+std::size_t parse_worker_count(std::string_view text) {
+  if (text.empty()) {
+    throw std::invalid_argument("parse_worker_count: empty input");
+  }
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw std::invalid_argument("parse_worker_count: '" + std::string(text) +
+                                  "' is not a plain decimal count");
+    }
+    const auto digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) {
+      throw std::invalid_argument("parse_worker_count: '" + std::string(text) +
+                                  "' overflows the counter");
+    }
+    value = value * 10 + digit;
+  }
+  if (value == 0) {
+    throw std::invalid_argument(
+        "parse_worker_count: worker count must be positive");
+  }
+  if (value > kMaxServeWorkers) {
+    throw std::invalid_argument(
+        "parse_worker_count: " + std::string(text) + " exceeds the maximum (" +
+        std::to_string(kMaxServeWorkers) + ")");
+  }
+  return value;
+}
+
+std::size_t resolve_worker_count(std::size_t requested, std::size_t fallback) {
+  if (requested == kServeFromEnv) {
+    const char* env = std::getenv("KREG_SERVE_WORKERS");
+    if (env == nullptr || env[0] == '\0') {
+      return fallback;
+    }
+    return parse_worker_count(env);
+  }
+  if (requested == 0) {
+    return fallback;
+  }
+  if (requested > kMaxServeWorkers) {
+    throw std::invalid_argument(
+        "resolve_worker_count: " + std::to_string(requested) +
+        " exceeds the maximum (" + std::to_string(kMaxServeWorkers) + ")");
+  }
+  return requested;
+}
+
+std::size_t parse_cache_budget(std::string_view text) {
+  if (text == "0" || text == "off" || text == "none" || text == "disabled") {
+    return 0;
+  }
+  return parse_memory_budget(text);
+}
+
+std::size_t resolve_cache_budget(std::size_t requested) {
+  if (requested != kServeFromEnv) {
+    return requested;
+  }
+  const char* env = std::getenv("KREG_SERVE_CACHE_BUDGET");
+  if (env == nullptr || env[0] == '\0') {
+    return kDefaultCacheBudgetBytes;
+  }
+  return parse_cache_budget(env);
+}
+
+void validate_socket_path(const std::string& path) {
+  if (path.empty()) {
+    throw std::invalid_argument("validate_socket_path: empty path");
+  }
+  if (path.front() != '/') {
+    throw std::invalid_argument("validate_socket_path: '" + path +
+                                "' is not absolute");
+  }
+  // sockaddr_un::sun_path is 108 bytes including the terminating NUL.
+  constexpr std::size_t kMaxSunPath = 107;
+  if (path.size() > kMaxSunPath) {
+    throw std::invalid_argument(
+        "validate_socket_path: path is " + std::to_string(path.size()) +
+        " chars, exceeding sockaddr_un's limit of " +
+        std::to_string(kMaxSunPath));
+  }
+}
+
+}  // namespace kreg::serve

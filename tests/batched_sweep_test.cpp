@@ -403,7 +403,9 @@ TEST(BatchedHostProfile, ContigFastPathFiresAndStaysBitwise) {
       data, grid, KernelType::kEpanechnikov, Precision::kDouble);
   HostTiling one_tile;
   one_tile.n_block = 1024;
-  for (const std::size_t width : {4u, 8u, 16u}) {
+  // C = 4 is absent: narrow-batch host requests are rerouted to the scalar
+  // sweep (see CFourRoutesToScalarSweep), so its vector counters never fire.
+  for (const std::size_t width : {8u, 16u}) {
     BatchedSweep batched;
     batched.lane_width = width;
     batched.sigma = SigmaPolicy::kPositionLength;
@@ -417,7 +419,39 @@ TEST(BatchedHostProfile, ContigFastPathFiresAndStaysBitwise) {
     EXPECT_GT(stats.contig_steps + stats.gather_steps, 0u);
     EXPECT_GE(stats.contig_rate(), 0.0);
     EXPECT_LE(stats.contig_rate(), 1.0);
+    EXPECT_EQ(stats.scalar_routed, 0u);
   }
+}
+
+// The C = 4 narrow batch loses to scalar on the host (ROADMAP measurement):
+// an explicit lane_width = 4 request must take the scalar tiled sweep —
+// bitwise identical, no vector steps, and the reroute noted in the ledger.
+TEST(BatchedHostProfile, CFourRoutesToScalarSweep) {
+  const std::vector<double> grid = test_grid();
+  const Dataset data = paper_data(640, 19);
+  HostTiling tiling;  // auto tiles: matches window_cv_profile_tiled exactly
+  const std::vector<double> want = kreg::window_cv_profile_tiled(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble, tiling);
+  BatchedSweep batched;
+  batched.lane_width = 4;
+  BatchRunStats stats;
+  const std::vector<double> got = kreg::window_cv_profile_batched(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble, batched,
+      tiling, nullptr, &stats);
+  expect_bitwise_profiles(got, want);
+  EXPECT_EQ(stats.scalar_routed, 1u);
+  EXPECT_EQ(stats.contig_steps, 0u);
+  EXPECT_EQ(stats.gather_steps, 0u);
+
+  // The wide batch still takes the vector path: no reroute.
+  batched.lane_width = 8;
+  BatchRunStats wide_stats;
+  const std::vector<double> wide = kreg::window_cv_profile_batched(
+      data, grid, KernelType::kEpanechnikov, Precision::kDouble, batched,
+      tiling, nullptr, &wide_stats);
+  expect_bitwise_profiles(wide, want);
+  EXPECT_EQ(wide_stats.scalar_routed, 0u);
+  EXPECT_GT(wide_stats.contig_steps + wide_stats.gather_steps, 0u);
 }
 
 // Software prefetch is observational: any distance gives the same bits.

@@ -1,0 +1,232 @@
+// Seeded multi-client stress for the kreg-serve scheduler.
+//
+// N client threads × M jobs each, mixed estimators/backends/budgets drawn
+// from a seeded stream, submitted against the *threaded* scheduler while
+// the pump drains concurrently. The contract under test is the strongest
+// one the serving layer makes: every returned profile — whether it came
+// from a fresh launch, the profile cache, a coalesced twin, or a merged
+// co-scheduled launch — is bitwise identical to a direct run_job call for
+// that job. A second pass replays the identical submission sequence into
+// the deterministic executor and requires outcome-for-outcome equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/job.hpp"
+#include "core/knn_sweep.hpp"
+#include "data/dgp.hpp"
+#include "rng/stream.hpp"
+#include "serve/scheduler.hpp"
+#include "spmd/device.hpp"
+
+namespace {
+
+using kreg::EstimatorKind;
+using kreg::JobBackend;
+using kreg::JobContext;
+using kreg::SelectionJob;
+using kreg::SelectionProfile;
+using kreg::serve::JobOutcome;
+using kreg::serve::Scheduler;
+using kreg::serve::SchedulerConfig;
+
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kJobsPerClient = 6;
+
+/// The deterministic job mix: a handful of shared datasets (so cache hits,
+/// coalescing, and co-scheduling all actually happen under load) crossed
+/// with estimator/backend/knob choices derived from the seeded stream.
+std::vector<SelectionJob> make_job_mix(std::uint64_t seed) {
+  std::vector<std::shared_ptr<const kreg::data::Dataset>> datasets;
+  for (std::size_t d = 0; d < 3; ++d) {
+    kreg::rng::Stream stream(900 + d);
+    datasets.push_back(std::make_shared<const kreg::data::Dataset>(
+        kreg::data::paper_dgp(120 + 40 * d, stream)));
+  }
+  kreg::rng::Stream pick(seed);
+  std::vector<SelectionJob> jobs;
+  jobs.reserve(kClients * kJobsPerClient);
+  for (std::size_t i = 0; i < kClients * kJobsPerClient; ++i) {
+    SelectionJob job;
+    job.data = datasets[pick.index(datasets.size())];
+    switch (pick.index(3)) {
+      case 0:
+        job.estimator = EstimatorKind::kNadarayaWatson;
+        break;
+      case 1:
+        job.estimator = EstimatorKind::kKnn;
+        break;
+      default:
+        job.estimator = EstimatorKind::kOscv;
+        break;
+    }
+    switch (pick.index(3)) {
+      case 0:
+        job.backend = JobBackend::kHostSweep;
+        break;
+      case 1:
+        job.backend = JobBackend::kHostTiled;
+        break;
+      default:
+        job.backend = JobBackend::kDevice;
+        break;
+    }
+    if (job.estimator == EstimatorKind::kKnn) {
+      job.neighbor_grid = kreg::default_neighbor_grid(
+          job.data->size(), 8 + pick.index(8));
+    } else {
+      job.bandwidth_grid =
+          kreg::BandwidthGrid(0.05 + 0.01 * static_cast<double>(
+                                               pick.index(4)),
+                              1.0, 8 + pick.index(8))
+              .values();
+    }
+    if (job.backend == JobBackend::kDevice && pick.index(3) == 0) {
+      // A random (generous) explicit budget: exercises streamed plans under
+      // admission without ever being the reason a launch fails.
+      job.stream.memory_budget_bytes = std::size_t{1} << (19 + pick.index(3));
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+SelectionProfile direct_run(const SelectionJob& job) {
+  kreg::spmd::Device device;
+  JobContext ctx;
+  ctx.device = &device;
+  return kreg::run_job(job, ctx);
+}
+
+void expect_profiles_bitwise(const SelectionProfile& got,
+                             const SelectionProfile& want, std::size_t index) {
+  ASSERT_EQ(got.grid.size(), want.grid.size()) << "job " << index;
+  ASSERT_EQ(got.scores.size(), want.scores.size()) << "job " << index;
+  for (std::size_t i = 0; i < got.grid.size(); ++i) {
+    ASSERT_EQ(got.grid[i], want.grid[i]) << "job " << index << " grid " << i;
+  }
+  for (std::size_t i = 0; i < got.scores.size(); ++i) {
+    ASSERT_EQ(got.scores[i], want.scores[i])
+        << "job " << index << " score " << i;
+  }
+  EXPECT_EQ(got.argmin, want.argmin) << "job " << index;
+  EXPECT_EQ(got.selected, want.selected) << "job " << index;
+  EXPECT_EQ(got.cv_score, want.cv_score) << "job " << index;
+  EXPECT_EQ(got.method, want.method) << "job " << index;
+}
+
+TEST(ServeStress, ConcurrentClientsGetBitwiseIdenticalProfiles) {
+  const std::vector<SelectionJob> jobs = make_job_mix(2026);
+  SchedulerConfig config;
+  config.deterministic = false;
+  config.workers = 4;
+  config.device_budget_bytes = std::size_t{4} << 20;  // real admission pressure
+  config.record_events = false;
+  Scheduler scheduler(config);
+  scheduler.start_pump();
+  std::vector<std::future<JobOutcome>> futures(jobs.size());
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t j = 0; j < kJobsPerClient; ++j) {
+          const std::size_t index = c * kJobsPerClient + j;
+          futures[index] = scheduler.submit(jobs[index]);
+        }
+      });
+    }
+    for (std::thread& client : clients) {
+      client.join();
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome outcome = futures[i].get();
+    ASSERT_TRUE(outcome.ok) << "job " << i << ": " << outcome.error;
+    expect_profiles_bitwise(outcome.profile, direct_run(jobs[i]), i);
+  }
+  scheduler.stop_pump();
+  const kreg::serve::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, jobs.size());
+  EXPECT_EQ(stats.completed, jobs.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServeStress, ThreadedAndDeterministicExecutorsAgreeOutcomeForOutcome) {
+  // The same submission sequence (single submitter, one drain) must produce
+  // identical decisions and identical bits in both executor modes — the
+  // differential that pins the threaded scheduler to the unit-testable one.
+  const std::vector<SelectionJob> jobs = make_job_mix(4052);
+  const auto run_all = [&](bool deterministic) {
+    SchedulerConfig config;
+    config.deterministic = deterministic;
+    config.workers = deterministic ? 0 : 4;
+    config.device_budget_bytes = std::size_t{4} << 20;
+    Scheduler scheduler(config);
+    std::vector<std::future<JobOutcome>> futures;
+    futures.reserve(jobs.size());
+    for (const SelectionJob& job : jobs) {
+      futures.push_back(scheduler.submit(job));
+    }
+    scheduler.drain();
+    std::vector<JobOutcome> outcomes;
+    outcomes.reserve(futures.size());
+    for (auto& future : futures) {
+      outcomes.push_back(future.get());
+    }
+    return std::make_pair(std::move(outcomes), scheduler.stats());
+  };
+  auto [det, det_stats] = run_all(true);
+  auto [thr, thr_stats] = run_all(false);
+  ASSERT_EQ(det.size(), thr.size());
+  for (std::size_t i = 0; i < det.size(); ++i) {
+    ASSERT_TRUE(det[i].ok) << "job " << i << ": " << det[i].error;
+    ASSERT_TRUE(thr[i].ok) << "job " << i << ": " << thr[i].error;
+    EXPECT_EQ(det[i].cache_hit, thr[i].cache_hit) << "job " << i;
+    expect_profiles_bitwise(thr[i].profile, det[i].profile, i);
+  }
+  EXPECT_EQ(thr_stats.cache_hits, det_stats.cache_hits);
+  EXPECT_EQ(thr_stats.cache_misses, det_stats.cache_misses);
+  EXPECT_EQ(thr_stats.coalesced, det_stats.coalesced);
+  EXPECT_EQ(thr_stats.co_scheduled, det_stats.co_scheduled);
+  EXPECT_EQ(thr_stats.launches, det_stats.launches);
+  EXPECT_EQ(thr_stats.deferrals, det_stats.deferrals);
+  EXPECT_EQ(thr_stats.waves, det_stats.waves);
+}
+
+TEST(ServeStress, RepeatedMixIsServedFromTheCacheBitwise) {
+  // Replay the whole mix a second time on the same scheduler: every repeat
+  // must be a cache hit (or coalesced twin) and bitwise equal to round one.
+  const std::vector<SelectionJob> jobs = make_job_mix(7919);
+  SchedulerConfig config;
+  config.deterministic = true;
+  Scheduler scheduler(config);
+  std::vector<std::future<JobOutcome>> first;
+  for (const SelectionJob& job : jobs) {
+    first.push_back(scheduler.submit(job));
+  }
+  scheduler.drain();
+  std::vector<std::future<JobOutcome>> second;
+  for (const SelectionJob& job : jobs) {
+    second.push_back(scheduler.submit(job));
+  }
+  scheduler.drain();
+  const std::uint64_t launches_after_round_one = scheduler.stats().launches;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome a = first[i].get();
+    const JobOutcome b = second[i].get();
+    ASSERT_TRUE(a.ok) << "job " << i << ": " << a.error;
+    ASSERT_TRUE(b.ok) << "job " << i << ": " << b.error;
+    EXPECT_TRUE(b.cache_hit) << "job " << i;
+    expect_profiles_bitwise(b.profile, a.profile, i);
+  }
+  // Round two launched nothing.
+  EXPECT_EQ(scheduler.stats().launches, launches_after_round_one);
+}
+
+}  // namespace

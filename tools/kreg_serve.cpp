@@ -1,0 +1,102 @@
+// kreg_serve — the bandwidth-selection daemon.
+//
+// Listens on a UNIX-domain stream socket and serves the line protocol of
+// src/serve/protocol.hpp: clients submit `select ...` requests, the async
+// scheduler (src/serve/scheduler.hpp) admits them against the simulated
+// device's memory ledger, co-schedules compatible small jobs onto one
+// launch, and answers from the profile cache when the same
+// (dataset, grid, estimator) has been selected before.
+//
+// Usage:
+//   kreg_serve [--socket PATH] [--workers N] [--cache-budget BYTES|off]
+//              [--device-budget BYTES] [--devices N] [--deterministic]
+//
+// Defaults: --socket /tmp/kreg_serve.sock; --workers from
+// KREG_SERVE_WORKERS (else hardware concurrency); --cache-budget from
+// KREG_SERVE_CACHE_BUDGET (else 64 MiB); --device-budget the 4 GiB paper
+// device. Knob validation is strict: empty, zero, or overflowing values
+// are rejected at startup, not discovered mid-serve.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "core/streaming.hpp"
+#include "serve/knobs.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--workers N]\n"
+               "          [--cache-budget BYTES|off] [--device-budget BYTES]\n"
+               "          [--devices N] [--deterministic]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kreg::serve;
+  ServerConfig config;
+  config.socket_path = "/tmp/kreg_serve.sock";
+  std::size_t workers = kServeFromEnv;
+  std::size_t cache_budget = kServeFromEnv;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(arg + " requires a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--socket") {
+        config.socket_path = value();
+      } else if (arg == "--workers") {
+        workers = parse_worker_count(value());
+      } else if (arg == "--cache-budget") {
+        cache_budget = parse_cache_budget(value());
+      } else if (arg == "--device-budget") {
+        config.scheduler.device_budget_bytes =
+            kreg::parse_memory_budget(value());
+      } else if (arg == "--devices") {
+        config.scheduler.device_count = parse_worker_count(value());
+      } else if (arg == "--deterministic") {
+        config.scheduler.deterministic = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown argument '" + arg + "'");
+      }
+    }
+    config.scheduler.workers = resolve_worker_count(workers, 0);
+    config.scheduler.cache_budget_bytes = resolve_cache_budget(cache_budget);
+    validate_socket_path(config.socket_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kreg_serve: %s\n", e.what());
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    Server server(std::move(config));
+    std::printf("kreg_serve: listening on %s (workers=%zu cache=%zu B%s)\n",
+                server.socket_path().c_str(),
+                server.context().scheduler().config().workers,
+                server.context().scheduler().config().cache_budget_bytes,
+                server.context().scheduler().config().deterministic
+                    ? ", deterministic"
+                    : "");
+    std::fflush(stdout);
+    server.run();
+    std::printf("kreg_serve: shut down\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kreg_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
